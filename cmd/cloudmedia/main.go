@@ -1,0 +1,131 @@
+// Command cloudmedia runs the CloudMedia reproduction experiments: every
+// table and figure of the paper's evaluation section, at a configurable
+// scale.
+//
+// Usage:
+//
+//	cloudmedia -exp fig4                # one experiment
+//	cloudmedia -exp all -hours 12      # the whole suite, shorter horizon
+//	cloudmedia -list                   # show available experiment IDs
+//	cloudmedia -exp fig10 -scale 10 -csv  # paper-scale run, CSV output
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cloudmedia/internal/experiments"
+	"cloudmedia/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudmedia:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cloudmedia", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "", "experiment ID to run (or 'all')")
+		list   = fs.Bool("list", false, "list experiment IDs and exit")
+		scale  = fs.Float64("scale", 2, "workload scale (1 ≈ 250 concurrent users, 10 ≈ paper scale)")
+		hours  = fs.Float64("hours", 24, "simulated duration per run, hours")
+		seed   = fs.Int64("seed", 42, "random seed")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		asJSON = fs.Bool("json", false, "emit JSON instead of aligned text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return nil
+	}
+	if *exp == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -exp (or -list)")
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	registry := experiments.Registry()
+	for _, id := range ids {
+		runner, ok := registry[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", id)
+		}
+		sc := experiments.DefaultScenario(sim.ClientServer, *scale)
+		sc.Hours = *hours
+		sc.Seed = *seed
+		res, err := runner(sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *asJSON {
+			if err := renderJSON(res); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := render(res, *csv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderJSON emits the result as one JSON document per experiment.
+func renderJSON(res *experiments.Result) error {
+	type jsonTable struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	doc := struct {
+		ID      string             `json:"id"`
+		Summary map[string]float64 `json:"summary"`
+		Tables  []jsonTable        `json:"tables"`
+	}{ID: res.ID, Summary: res.Summary}
+	for _, tbl := range res.Tables {
+		doc.Tables = append(doc.Tables, jsonTable{Title: tbl.Title, Headers: tbl.Headers, Rows: tbl.Rows})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func render(res *experiments.Result, csv bool) error {
+	for _, tbl := range res.Tables {
+		var err error
+		if csv {
+			err = tbl.RenderCSV(os.Stdout)
+		} else {
+			err = tbl.Render(os.Stdout)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if len(res.Summary) > 0 {
+		keys := make([]string, 0, len(res.Summary))
+		for k := range res.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("# %s summary\n", res.ID)
+		for _, k := range keys {
+			fmt.Printf("%-28s %.4g\n", k, res.Summary[k])
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunMissingExperiment(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -exp: want error")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+}
+
+func TestRunStaticExperiments(t *testing.T) {
+	for _, id := range []string{"tab2", "tab3", "vmlat", "storcost"} {
+		if err := run([]string{"-exp", id}); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestRunStaticExperimentCSV(t *testing.T) {
+	if err := run([]string{"-exp", "tab2", "-csv"}); err != nil {
+		t.Fatalf("tab2 -csv: %v", err)
+	}
+}
+
+func TestRunShortFigure(t *testing.T) {
+	// A tiny figure run proves the simulator path end to end from the CLI.
+	if err := run([]string{"-exp", "fig6", "-scale", "1", "-hours", "2"}); err != nil {
+		t.Fatalf("fig6: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag: want error")
+	}
+}
+
+func TestRunStaticExperimentJSON(t *testing.T) {
+	if err := run([]string{"-exp", "tab3", "-json"}); err != nil {
+		t.Fatalf("tab3 -json: %v", err)
+	}
+}

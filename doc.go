@@ -1,0 +1,14 @@
+// Package cloudmedia is a from-scratch Go reproduction of "CloudMedia:
+// When Cloud on Demand Meets Video on Demand" (Wu, Wu, Li, Qiu, Lau —
+// ICDCS 2011).
+//
+// The implementation lives under internal/: the Jackson queueing analysis
+// (internal/queueing), the P2P peer-supply analysis (internal/p2p), the
+// rental heuristics (internal/provision), the IaaS cloud simulator
+// (internal/cloud), the workload trace generator (internal/workload), the
+// discrete-event streaming simulator (internal/sim), and the dynamic
+// provisioning controller that is the paper's primary contribution
+// (internal/core). The experiment harness (internal/experiments) and the
+// cloudmedia CLI (cmd/cloudmedia) regenerate every table and figure of the
+// paper's evaluation. See README.md, DESIGN.md, and EXPERIMENTS.md.
+package cloudmedia

@@ -1,0 +1,98 @@
+// Multiregion: the paper's "ongoing work" — CloudMedia spanning
+// geographic locations.
+//
+// Three regions with different population shares and regional VM pricing
+// each run their own cloud, tracker statistics, and hourly provisioning
+// controller. The report shows how the bill follows both the regional
+// crowd and the regional price list.
+//
+// Run with: go run ./examples/multiregion
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/geo"
+	"cloudmedia/internal/metrics"
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/sim"
+	"cloudmedia/internal/viewing"
+	"cloudmedia/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Asia-Pacific rents at a 20% discount; Europe at a 10% premium.
+	discounted := cloud.DefaultVMClusters()
+	for i := range discounted {
+		discounted[i].PricePerHour *= 0.8
+	}
+	premium := cloud.DefaultVMClusters()
+	for i := range premium {
+		premium[i].PricePerHour *= 1.1
+	}
+	regions := []geo.Region{
+		{Name: "us-east", Share: 0.5},
+		{Name: "eu-west", Share: 0.3, VMClusters: premium},
+		{Name: "ap-south", Share: 0.2, VMClusters: discounted},
+	}
+
+	channel := queueing.Config{
+		Chunks:          8,
+		PlaybackRate:    50e3,
+		ChunkSeconds:    75,
+		VMBandwidth:     cloud.DefaultVMBandwidth,
+		EntryFirstChunk: 0.7,
+		SlotsPerVM:      5,
+	}
+	transfer, err := viewing.SequentialWithJumps(channel.Chunks, 0.9, 1.0/3)
+	if err != nil {
+		return err
+	}
+	wl := workload.Default()
+	wl.Channels = 4
+	wl.BaseArrivalRate = 1.0
+
+	d, err := geo.New(geo.Config{
+		Regions:  regions,
+		Mode:     sim.P2P,
+		Channel:  channel,
+		Workload: wl,
+		Transfer: transfer,
+		Seed:     11,
+	})
+	if err != nil {
+		return err
+	}
+
+	const hours = 8
+	d.RunUntil(hours * 3600)
+	reports, totalVM, totalStorage := d.Report()
+
+	tbl := metrics.NewTable(fmt.Sprintf("Multi-region deployment after %d simulated hours", hours),
+		"region", "viewers", "quality", "vm_cost", "cost_per_viewer")
+	for _, r := range reports {
+		perViewer := 0.0
+		if r.Users > 0 {
+			perViewer = r.VMCost / float64(r.Users)
+		}
+		tbl.AddRow(r.Name, r.Users, r.Quality, r.VMCost, perViewer)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nglobal bill: $%.2f VMs + $%.5f storage\n", totalVM, totalStorage)
+	fmt.Println("two forces show up per viewer: the regional discount cuts the bill")
+	fmt.Println("proportionally, while smaller regions pay more per head because the")
+	fmt.Println("per-chunk capacity floors amortize over fewer viewers — an economy of")
+	fmt.Println("scale the single-region analysis already predicts")
+	return nil
+}

@@ -1,0 +1,95 @@
+// Quickstart: the CloudMedia analysis pipeline on a single channel.
+//
+// It walks the whole Sec. IV/V derivation for one video channel with the
+// paper's parameters: solve the Jackson queueing network for the per-chunk
+// server demand, subtract the expected peer supply, and turn the residual
+// cloud demand into a concrete VM + storage rental plan against the
+// Table II/III catalogs.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/metrics"
+	"cloudmedia/internal/p2p"
+	"cloudmedia/internal/provision"
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/viewing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The paper's channel parameters: r = 50 KB/s (400 Kbps), 5-minute
+	// chunks, 100-minute video → 20 chunks, 10 Mbps VMs.
+	cfg := queueing.Config{
+		Chunks:          20,
+		PlaybackRate:    50e3,
+		ChunkSeconds:    300,
+		VMBandwidth:     cloud.DefaultVMBandwidth,
+		EntryFirstChunk: 0.7,
+	}
+
+	// Viewing behaviour: sequential watching with VCR jumps every ~15 min.
+	transfer, err := viewing.PaperDefault(cfg.Chunks)
+	if err != nil {
+		return err
+	}
+
+	// Demand side: 900 arrivals/hour into this channel.
+	lambda := 900.0 / 3600
+	eq, err := queueing.Solve(cfg, transfer, lambda, 0)
+	if err != nil {
+		return err
+	}
+
+	// Supply side: peers with ~270 Kbps mean uplink.
+	res, err := p2p.Solve(p2p.Analysis{
+		Equilibrium: eq,
+		Transfer:    transfer,
+		PeerUpload:  34e3,
+	})
+	if err != nil {
+		return err
+	}
+
+	tbl := metrics.NewTable("Per-chunk equilibrium (Λ = 0.25/s, 20 chunks)",
+		"chunk", "arrival_rate", "servers", "capacity_mbps", "owners", "peer_mbps", "cloud_mbps")
+	for i := 0; i < cfg.Chunks; i++ {
+		tbl.AddRow(i, eq.ArrivalRates[i], eq.Servers[i],
+			eq.Capacity[i]*8/1e6, res.Owners[i], res.PeerSupply[i]*8/1e6, res.CloudDemand[i]*8/1e6)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\ntotal capacity: %.1f Mbps, peer supply: %.1f Mbps, cloud residual: %.1f Mbps\n\n",
+		eq.TotalCapacity()*8/1e6, res.TotalPeerSupply()*8/1e6, res.TotalCloudDemand()*8/1e6)
+
+	// Rental plans against the paper's catalogs and budgets.
+	var demands []provision.ChunkDemand
+	for i, d := range res.CloudDemand {
+		demands = append(demands, provision.ChunkDemand{Channel: 0, Chunk: i, Demand: d})
+	}
+	vmPlan, err := provision.PlanVMs(demands, cfg.VMBandwidth, cloud.DefaultVMClusters(), 100)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("VM plan: %.2f VMs (%v rented), $%.2f/hour, utility %.2f\n",
+		vmPlan.TotalVMs(), vmPlan.RentalVMs(), vmPlan.CostPerHour, vmPlan.Utility)
+
+	storagePlan, err := provision.PlanStorage(demands, cfg.ChunkBytes(), cloud.DefaultNFSClusters(), 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("storage plan: %v, $%.5f/hour\n", storagePlan.GBPerCluster, storagePlan.CostPerHour)
+	return nil
+}

@@ -1,0 +1,144 @@
+package cloud
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Catalog is the information the SLA negotiator exposes to a consumer
+// during negotiation: the cluster specs plus current availability.
+type Catalog struct {
+	VMBandwidth float64 // R in bytes/s, part of the QoS agreement
+	VMClusters  []VMClusterAvailability
+	NFSClusters []NFSClusterAvailability
+}
+
+// VMClusterAvailability pairs a VM cluster spec with its free capacity.
+type VMClusterAvailability struct {
+	Spec         VMClusterSpec
+	AvailableVMs int // MaxVMs − currently allocated
+}
+
+// NFSClusterAvailability pairs an NFS cluster spec with its free capacity.
+type NFSClusterAvailability struct {
+	Spec        NFSClusterSpec
+	AvailableGB float64 // CapacityGB − currently stored
+}
+
+// Request is a consumer's resource reconfiguration: absolute targets per
+// cluster, matching the paper's periodic SLA updates. Omitted clusters are
+// left unchanged.
+type Request struct {
+	Time      float64            // simulated submission time
+	VMTargets map[string]int     // cluster name → VM count
+	StorageGB map[string]float64 // NFS cluster name → stored GB
+}
+
+// Broker is the communication interface between the VoD provider and the
+// cloud (Fig. 1). It performs SLA negotiation (Catalog), forwards requests
+// through the request monitor (Submit), and keeps the request log the
+// monitor maintains.
+type Broker struct {
+	cloud *Cloud
+
+	mu  sync.Mutex
+	log []Request
+}
+
+// NewBroker attaches a broker to a cloud.
+func NewBroker(c *Cloud) (*Broker, error) {
+	if c == nil {
+		return nil, fmt.Errorf("cloud: nil cloud")
+	}
+	return &Broker{cloud: c}, nil
+}
+
+// Negotiate returns the current catalog: prices, QoS (per-VM bandwidth) and
+// availability. The controller calls this at the start of every
+// provisioning interval (Sec. V-B).
+func (b *Broker) Negotiate() Catalog {
+	cat := Catalog{VMBandwidth: b.cloud.VMBandwidth()}
+	for _, spec := range b.cloud.VMClusters() {
+		allocated, err := b.cloud.AllocatedVMs(spec.Name)
+		if err != nil {
+			continue // cannot happen: spec came from the catalog
+		}
+		cat.VMClusters = append(cat.VMClusters, VMClusterAvailability{
+			Spec:         spec,
+			AvailableVMs: spec.MaxVMs - allocated,
+		})
+	}
+	for _, spec := range b.cloud.NFSClusters() {
+		stored, err := b.cloud.StoredGB(spec.Name)
+		if err != nil {
+			continue
+		}
+		cat.NFSClusters = append(cat.NFSClusters, NFSClusterAvailability{
+			Spec:        spec,
+			AvailableGB: spec.CapacityGB - stored,
+		})
+	}
+	return cat
+}
+
+// Submit validates and applies a reconfiguration request, recording it in
+// the request log. Either the whole request applies or none of it does.
+func (b *Broker) Submit(req Request) error {
+	// Pre-validate against capacity so a partial failure cannot leave the
+	// cloud half-reconfigured.
+	for name, target := range req.VMTargets {
+		specs := b.cloud.VMClusters()
+		found := false
+		for _, s := range specs {
+			if s.Name == name {
+				found = true
+				if target < 0 || target > s.MaxVMs {
+					return fmt.Errorf("%w: cluster %q: %d VMs (capacity %d)", ErrCapacity, name, target, s.MaxVMs)
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: VM cluster %q", ErrUnknownCluster, name)
+		}
+	}
+	for name, gb := range req.StorageGB {
+		specs := b.cloud.NFSClusters()
+		found := false
+		for _, s := range specs {
+			if s.Name == name {
+				found = true
+				if gb < 0 || gb > s.CapacityGB {
+					return fmt.Errorf("%w: NFS cluster %q: %v GB (capacity %v)", ErrCapacity, name, gb, s.CapacityGB)
+				}
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: NFS cluster %q", ErrUnknownCluster, name)
+		}
+	}
+
+	for name, target := range req.VMTargets {
+		if err := b.cloud.SetVMs(req.Time, name, target); err != nil {
+			return err
+		}
+	}
+	for name, gb := range req.StorageGB {
+		if err := b.cloud.SetStorage(req.Time, name, gb); err != nil {
+			return err
+		}
+	}
+	b.mu.Lock()
+	b.log = append(b.log, req)
+	b.mu.Unlock()
+	return nil
+}
+
+// RequestLog returns a copy of all submitted requests, oldest first — the
+// request monitor's audit trail.
+func (b *Broker) RequestLog() []Request {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Request, len(b.log))
+	copy(out, b.log)
+	return out
+}

@@ -1,0 +1,113 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+)
+
+func newTestBroker(t *testing.T) (*Broker, *Cloud) {
+	t.Helper()
+	c := newTestCloud(t)
+	b, err := NewBroker(c)
+	if err != nil {
+		t.Fatalf("NewBroker: %v", err)
+	}
+	return b, c
+}
+
+func TestNewBrokerNilCloud(t *testing.T) {
+	if _, err := NewBroker(nil); err == nil {
+		t.Error("nil cloud: want error")
+	}
+}
+
+func TestNegotiateCatalog(t *testing.T) {
+	b, c := newTestBroker(t)
+	cat := b.Negotiate()
+	if cat.VMBandwidth != DefaultVMBandwidth {
+		t.Errorf("catalog bandwidth = %v", cat.VMBandwidth)
+	}
+	if len(cat.VMClusters) != 3 || len(cat.NFSClusters) != 2 {
+		t.Fatalf("catalog sizes: %d VM, %d NFS", len(cat.VMClusters), len(cat.NFSClusters))
+	}
+	if cat.VMClusters[0].AvailableVMs != 75 {
+		t.Errorf("fresh availability = %d, want 75", cat.VMClusters[0].AvailableVMs)
+	}
+	// Allocate and re-negotiate: availability must shrink.
+	if err := c.SetVMs(0, "standard", 20); err != nil {
+		t.Fatal(err)
+	}
+	cat = b.Negotiate()
+	if cat.VMClusters[0].AvailableVMs != 55 {
+		t.Errorf("availability after allocation = %d, want 55", cat.VMClusters[0].AvailableVMs)
+	}
+}
+
+func TestSubmitAppliesRequest(t *testing.T) {
+	b, c := newTestBroker(t)
+	req := Request{
+		Time:      100,
+		VMTargets: map[string]int{"standard": 12, "advanced": 3},
+		StorageGB: map[string]float64{"high": 5},
+	}
+	if err := b.Submit(req); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got, _ := c.AllocatedVMs("standard"); got != 12 {
+		t.Errorf("standard allocated = %d, want 12", got)
+	}
+	if got, _ := c.AllocatedVMs("advanced"); got != 3 {
+		t.Errorf("advanced allocated = %d, want 3", got)
+	}
+	if gb, _ := c.StoredGB("high"); gb != 5 {
+		t.Errorf("high stored = %v, want 5", gb)
+	}
+	log := b.RequestLog()
+	if len(log) != 1 || log[0].Time != 100 {
+		t.Errorf("request log = %+v", log)
+	}
+}
+
+func TestSubmitRejectsInvalidAtomically(t *testing.T) {
+	b, c := newTestBroker(t)
+	// First a valid baseline.
+	if err := b.Submit(Request{Time: 0, VMTargets: map[string]int{"standard": 5}}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Now an invalid request: the valid part must NOT be applied.
+	err := b.Submit(Request{
+		Time:      10,
+		VMTargets: map[string]int{"standard": 10, "medium": 99},
+	})
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatalf("err = %v, want ErrCapacity", err)
+	}
+	if got, _ := c.AllocatedVMs("standard"); got != 5 {
+		t.Errorf("partial application: standard = %d, want 5", got)
+	}
+	if len(b.RequestLog()) != 1 {
+		t.Errorf("rejected request logged: %d entries", len(b.RequestLog()))
+	}
+}
+
+func TestSubmitUnknownClusters(t *testing.T) {
+	b, _ := newTestBroker(t)
+	if err := b.Submit(Request{VMTargets: map[string]int{"ghost": 1}}); !errors.Is(err, ErrUnknownCluster) {
+		t.Errorf("err = %v, want ErrUnknownCluster", err)
+	}
+	if err := b.Submit(Request{StorageGB: map[string]float64{"ghost": 1}}); !errors.Is(err, ErrUnknownCluster) {
+		t.Errorf("err = %v, want ErrUnknownCluster", err)
+	}
+}
+
+func TestRequestLogIsCopy(t *testing.T) {
+	b, _ := newTestBroker(t)
+	if err := b.Submit(Request{Time: 1, VMTargets: map[string]int{"standard": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	log := b.RequestLog()
+	log[0].Time = 999
+	if b.RequestLog()[0].Time != 1 {
+		t.Error("RequestLog exposes internal storage")
+	}
+}

@@ -1,0 +1,332 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrCapacity is returned when a request exceeds a cluster's capacity.
+var ErrCapacity = errors.New("cloud: insufficient cluster capacity")
+
+// ErrUnknownCluster is returned when a request names a cluster that does
+// not exist.
+var ErrUnknownCluster = errors.New("cloud: unknown cluster")
+
+// Option configures a Cloud.
+type Option func(*Cloud)
+
+// WithBootLatency overrides the VM launch latency in seconds.
+func WithBootLatency(seconds float64) Option {
+	return func(c *Cloud) { c.bootSeconds = seconds }
+}
+
+// WithShutdownLatency overrides the VM shutdown latency in seconds.
+func WithShutdownLatency(seconds float64) Option {
+	return func(c *Cloud) { c.shutdownSeconds = seconds }
+}
+
+// WithVMBandwidth overrides the per-VM bandwidth R in bytes/s.
+func WithVMBandwidth(bytesPerSecond float64) Option {
+	return func(c *Cloud) { c.vmBandwidth = bytesPerSecond }
+}
+
+// vmClusterState tracks one virtual cluster at runtime.
+type vmClusterState struct {
+	spec      VMClusterSpec
+	allocated int // VMs currently rented (billed), including those booting
+	// boots holds the ready times of VMs still booting, kept sorted.
+	boots []float64
+}
+
+// nfsClusterState tracks one NFS cluster at runtime.
+type nfsClusterState struct {
+	spec     NFSClusterSpec
+	storedGB float64
+}
+
+// Cloud is the simulated IaaS infrastructure. All methods are safe for
+// concurrent use; simulated time flows through the `now` parameters, which
+// must be non-decreasing across calls (enforced for billing).
+type Cloud struct {
+	mu sync.Mutex
+
+	vms     map[string]*vmClusterState
+	vmOrder []string
+	nfs     map[string]*nfsClusterState
+	nfsOr   []string
+
+	vmBandwidth     float64
+	bootSeconds     float64
+	shutdownSeconds float64
+
+	lastBilled  float64
+	vmCost      float64
+	storageCost float64
+}
+
+// New builds a Cloud with the given cluster catalogs. Cluster names must be
+// unique within their kind.
+func New(vmSpecs []VMClusterSpec, nfsSpecs []NFSClusterSpec, opts ...Option) (*Cloud, error) {
+	if len(vmSpecs) == 0 {
+		return nil, fmt.Errorf("cloud: at least one VM cluster required")
+	}
+	c := &Cloud{
+		vms:             make(map[string]*vmClusterState, len(vmSpecs)),
+		nfs:             make(map[string]*nfsClusterState, len(nfsSpecs)),
+		vmBandwidth:     DefaultVMBandwidth,
+		bootSeconds:     DefaultBootSeconds,
+		shutdownSeconds: DefaultShutdownSeconds,
+	}
+	for _, s := range vmSpecs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := c.vms[s.Name]; dup {
+			return nil, fmt.Errorf("cloud: duplicate VM cluster %q", s.Name)
+		}
+		c.vms[s.Name] = &vmClusterState{spec: s}
+		c.vmOrder = append(c.vmOrder, s.Name)
+	}
+	for _, s := range nfsSpecs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := c.nfs[s.Name]; dup {
+			return nil, fmt.Errorf("cloud: duplicate NFS cluster %q", s.Name)
+		}
+		c.nfs[s.Name] = &nfsClusterState{spec: s}
+		c.nfsOr = append(c.nfsOr, s.Name)
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.vmBandwidth <= 0 {
+		return nil, fmt.Errorf("cloud: non-positive VM bandwidth %v", c.vmBandwidth)
+	}
+	if c.bootSeconds < 0 || c.shutdownSeconds < 0 {
+		return nil, fmt.Errorf("cloud: negative lifecycle latency")
+	}
+	return c, nil
+}
+
+// VMBandwidth returns R, the bandwidth of every VM in bytes/s.
+func (c *Cloud) VMBandwidth() float64 { return c.vmBandwidth }
+
+// BootLatency returns the VM launch latency in seconds.
+func (c *Cloud) BootLatency() float64 { return c.bootSeconds }
+
+// VMClusters returns the VM cluster catalog in registration order.
+func (c *Cloud) VMClusters() []VMClusterSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]VMClusterSpec, 0, len(c.vmOrder))
+	for _, name := range c.vmOrder {
+		out = append(out, c.vms[name].spec)
+	}
+	return out
+}
+
+// NFSClusters returns the NFS cluster catalog in registration order.
+func (c *Cloud) NFSClusters() []NFSClusterSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NFSClusterSpec, 0, len(c.nfsOr))
+	for _, name := range c.nfsOr {
+		out = append(out, c.nfs[name].spec)
+	}
+	return out
+}
+
+// SetVMs scales cluster `name` to `target` allocated VMs at simulated time
+// now. Scale-ups start booting (VMs become active after BootLatency and are
+// billed from the request, like EC2); scale-downs release VMs immediately,
+// stopping their billing. It is the VM-scheduler entry point of Fig. 1.
+func (c *Cloud) SetVMs(now float64, name string, target int) error {
+	if target < 0 {
+		return fmt.Errorf("cloud: negative VM target %d", target)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.vms[name]
+	if !ok {
+		return fmt.Errorf("%w: VM cluster %q", ErrUnknownCluster, name)
+	}
+	if target > st.spec.MaxVMs {
+		return fmt.Errorf("%w: cluster %q: want %d VMs, capacity %d", ErrCapacity, name, target, st.spec.MaxVMs)
+	}
+	c.accrueLocked(now)
+	switch {
+	case target > st.allocated:
+		ready := now + c.bootSeconds
+		for i := st.allocated; i < target; i++ {
+			st.boots = append(st.boots, ready)
+		}
+	case target < st.allocated:
+		// Release booting VMs first (they contribute no capacity yet), then
+		// running ones. boots is sorted ascending; drop the latest first.
+		drop := st.allocated - target
+		for drop > 0 && len(st.boots) > 0 {
+			st.boots = st.boots[:len(st.boots)-1]
+			drop--
+		}
+	}
+	st.allocated = target
+	return nil
+}
+
+// AllocatedVMs returns the number of VMs currently rented (billed) in the
+// cluster, including ones still booting.
+func (c *Cloud) AllocatedVMs(name string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.vms[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: VM cluster %q", ErrUnknownCluster, name)
+	}
+	return st.allocated, nil
+}
+
+// ActiveVMs returns the number of VMs in the cluster that have finished
+// booting by time now and can serve traffic.
+func (c *Cloud) ActiveVMs(now float64, name string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.vms[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: VM cluster %q", ErrUnknownCluster, name)
+	}
+	return st.activeAt(now), nil
+}
+
+// TotalActiveVMs returns the number of serving VMs across all clusters.
+func (c *Cloud) TotalActiveVMs(now float64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int
+	for _, st := range c.vms {
+		total += st.activeAt(now)
+	}
+	return total
+}
+
+// ActiveBandwidth returns the aggregate serving bandwidth R × activeVMs in
+// bytes/s at time now.
+func (c *Cloud) ActiveBandwidth(now float64) float64 {
+	return float64(c.TotalActiveVMs(now)) * c.vmBandwidth
+}
+
+func (s *vmClusterState) activeAt(now float64) int {
+	sort.Float64s(s.boots)
+	booting := 0
+	for i := len(s.boots) - 1; i >= 0 && s.boots[i] > now; i-- {
+		booting++
+	}
+	// Retire completed boot records so the slice stays small.
+	done := len(s.boots) - booting
+	if done > 0 {
+		s.boots = append(s.boots[:0], s.boots[done:]...)
+	}
+	return s.allocated - booting
+}
+
+// FailVMs abruptly kills up to `count` VMs in the cluster at time now —
+// failure injection for resilience tests. Failed VMs stop billing and stop
+// serving immediately; the consumer's next SLA request (absolute targets)
+// naturally replaces them. It returns the number actually failed.
+func (c *Cloud) FailVMs(now float64, name string, count int) (int, error) {
+	if count < 0 {
+		return 0, fmt.Errorf("cloud: negative failure count %d", count)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.vms[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: VM cluster %q", ErrUnknownCluster, name)
+	}
+	c.accrueLocked(now)
+	failed := count
+	if failed > st.allocated {
+		failed = st.allocated
+	}
+	// Kill booting instances first (cheapest interpretation), then running.
+	drop := failed
+	for drop > 0 && len(st.boots) > 0 {
+		st.boots = st.boots[:len(st.boots)-1]
+		drop--
+	}
+	st.allocated -= failed
+	return failed, nil
+}
+
+// SetStorage sets the absolute number of GB stored on NFS cluster `name` at
+// time now. It is the NFS-scheduler entry point of Fig. 1.
+func (c *Cloud) SetStorage(now float64, name string, gb float64) error {
+	if gb < 0 {
+		return fmt.Errorf("cloud: negative storage %v GB", gb)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.nfs[name]
+	if !ok {
+		return fmt.Errorf("%w: NFS cluster %q", ErrUnknownCluster, name)
+	}
+	if gb > st.spec.CapacityGB {
+		return fmt.Errorf("%w: NFS cluster %q: want %v GB, capacity %v", ErrCapacity, name, gb, st.spec.CapacityGB)
+	}
+	c.accrueLocked(now)
+	st.storedGB = gb
+	return nil
+}
+
+// StoredGB returns the GB currently stored on the cluster.
+func (c *Cloud) StoredGB(name string) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.nfs[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: NFS cluster %q", ErrUnknownCluster, name)
+	}
+	return st.storedGB, nil
+}
+
+// Advance accrues billing up to simulated time now. Callers typically
+// invoke it once per provisioning interval and once at the end of a run.
+func (c *Cloud) Advance(now float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.accrueLocked(now)
+}
+
+// accrueLocked integrates rental costs from lastBilled to now.
+// Caller holds c.mu.
+func (c *Cloud) accrueLocked(now float64) {
+	if now <= c.lastBilled {
+		return
+	}
+	hours := (now - c.lastBilled) / 3600
+	for _, st := range c.vms {
+		c.vmCost += float64(st.allocated) * st.spec.PricePerHour * hours
+	}
+	for _, st := range c.nfs {
+		c.storageCost += st.storedGB * st.spec.PricePerGBHour * hours
+	}
+	c.lastBilled = now
+}
+
+// Costs returns the accrued VM rental and storage costs in dollars, as of
+// the last Advance/SetVMs/SetStorage call.
+func (c *Cloud) Costs() (vmCost, storageCost float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vmCost, c.storageCost
+}
+
+// ResetCosts zeroes the accrued costs (used when an experiment discards a
+// warm-up period).
+func (c *Cloud) ResetCosts() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vmCost, c.storageCost = 0, 0
+}

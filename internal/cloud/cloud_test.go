@@ -1,0 +1,313 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+
+	"cloudmedia/internal/mathx"
+)
+
+func newTestCloud(t *testing.T, opts ...Option) *Cloud {
+	t.Helper()
+	c, err := New(DefaultVMClusters(), DefaultNFSClusters(), opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestDefaultCatalogsMatchPaperTables(t *testing.T) {
+	vms := DefaultVMClusters()
+	if len(vms) != 3 {
+		t.Fatalf("Table II has 3 clusters, got %d", len(vms))
+	}
+	if vms[0].PricePerHour != 0.450 || vms[0].MaxVMs != 75 || vms[0].Utility != 0.6 {
+		t.Errorf("standard cluster mismatch: %+v", vms[0])
+	}
+	if vms[1].PricePerHour != 0.700 || vms[1].MaxVMs != 30 || vms[1].Utility != 0.8 {
+		t.Errorf("medium cluster mismatch: %+v", vms[1])
+	}
+	if vms[2].PricePerHour != 0.800 || vms[2].MaxVMs != 45 || vms[2].Utility != 1.0 {
+		t.Errorf("advanced cluster mismatch: %+v", vms[2])
+	}
+	nfs := DefaultNFSClusters()
+	if len(nfs) != 2 {
+		t.Fatalf("Table III has 2 clusters, got %d", len(nfs))
+	}
+	if nfs[0].PricePerGBHour != 1.11e-4 || nfs[0].CapacityGB != 20 {
+		t.Errorf("standard NFS mismatch: %+v", nfs[0])
+	}
+	if nfs[1].PricePerGBHour != 2.08e-4 || nfs[1].CapacityGB != 20 {
+		t.Errorf("high NFS mismatch: %+v", nfs[1])
+	}
+	// Marginal utility ordering drives both heuristics: standard VM wins.
+	if !(vms[0].MarginalUtility() > vms[2].MarginalUtility() && vms[2].MarginalUtility() > vms[1].MarginalUtility()) {
+		t.Errorf("unexpected marginal utility order: %v %v %v",
+			vms[0].MarginalUtility(), vms[1].MarginalUtility(), vms[2].MarginalUtility())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("no VM clusters: want error")
+	}
+	dup := []VMClusterSpec{
+		{Name: "a", Utility: 1, PricePerHour: 1, MaxVMs: 1},
+		{Name: "a", Utility: 1, PricePerHour: 1, MaxVMs: 1},
+	}
+	if _, err := New(dup, nil); err == nil {
+		t.Error("duplicate VM cluster: want error")
+	}
+	bad := []VMClusterSpec{{Name: "", Utility: 1, PricePerHour: 1, MaxVMs: 1}}
+	if _, err := New(bad, nil); err == nil {
+		t.Error("invalid VM spec: want error")
+	}
+	badNFS := []NFSClusterSpec{{Name: "x", Utility: 0, PricePerGBHour: 1, CapacityGB: 1}}
+	if _, err := New(DefaultVMClusters(), badNFS); err == nil {
+		t.Error("invalid NFS spec: want error")
+	}
+}
+
+func TestVMLifecycleBootLatency(t *testing.T) {
+	c := newTestCloud(t)
+	if err := c.SetVMs(0, "standard", 10); err != nil {
+		t.Fatalf("SetVMs: %v", err)
+	}
+	if got, _ := c.AllocatedVMs("standard"); got != 10 {
+		t.Errorf("allocated = %d, want 10", got)
+	}
+	// Before boot completes no VM serves traffic.
+	if got, _ := c.ActiveVMs(24.9, "standard"); got != 0 {
+		t.Errorf("active at 24.9 s = %d, want 0 (boot takes 25 s)", got)
+	}
+	// VMs launch in parallel: all 10 become active together.
+	if got, _ := c.ActiveVMs(25.1, "standard"); got != 10 {
+		t.Errorf("active at 25.1 s = %d, want 10", got)
+	}
+	if got := c.TotalActiveVMs(30); got != 10 {
+		t.Errorf("TotalActiveVMs = %d, want 10", got)
+	}
+	wantBW := 10 * DefaultVMBandwidth
+	if got := c.ActiveBandwidth(30); !mathx.ApproxEqual(got, wantBW, 1e-9) {
+		t.Errorf("ActiveBandwidth = %v, want %v", got, wantBW)
+	}
+}
+
+func TestVMScaleDownReleasesBootingFirst(t *testing.T) {
+	c := newTestCloud(t)
+	if err := c.SetVMs(0, "standard", 5); err != nil {
+		t.Fatalf("SetVMs: %v", err)
+	}
+	// At t=100 the 5 are active; request 5 more, then immediately scale to 7:
+	// the 3 released VMs must come from the booting batch.
+	if err := c.SetVMs(100, "standard", 10); err != nil {
+		t.Fatalf("SetVMs: %v", err)
+	}
+	if err := c.SetVMs(101, "standard", 7); err != nil {
+		t.Fatalf("SetVMs: %v", err)
+	}
+	if got, _ := c.ActiveVMs(110, "standard"); got != 5 {
+		t.Errorf("active at 110 = %d, want 5 (2 still booting)", got)
+	}
+	if got, _ := c.ActiveVMs(130, "standard"); got != 7 {
+		t.Errorf("active at 130 = %d, want 7", got)
+	}
+}
+
+func TestVMCapacityLimit(t *testing.T) {
+	c := newTestCloud(t)
+	if err := c.SetVMs(0, "medium", 31); !errors.Is(err, ErrCapacity) {
+		t.Errorf("over capacity: err = %v, want ErrCapacity", err)
+	}
+	if err := c.SetVMs(0, "nope", 1); !errors.Is(err, ErrUnknownCluster) {
+		t.Errorf("unknown cluster: err = %v, want ErrUnknownCluster", err)
+	}
+	if err := c.SetVMs(0, "medium", -1); err == nil {
+		t.Error("negative target: want error")
+	}
+}
+
+func TestBillingVMHours(t *testing.T) {
+	c := newTestCloud(t)
+	// 10 standard VMs for exactly 2 hours: 10 × $0.45 × 2 = $9.
+	if err := c.SetVMs(0, "standard", 10); err != nil {
+		t.Fatalf("SetVMs: %v", err)
+	}
+	c.Advance(7200)
+	vm, storage := c.Costs()
+	if !mathx.ApproxEqual(vm, 9, 1e-9) {
+		t.Errorf("vm cost = %v, want 9", vm)
+	}
+	if storage != 0 {
+		t.Errorf("storage cost = %v, want 0", storage)
+	}
+	// Scale to zero: no further accrual.
+	if err := c.SetVMs(7200, "standard", 0); err != nil {
+		t.Fatalf("SetVMs: %v", err)
+	}
+	c.Advance(14400)
+	vm2, _ := c.Costs()
+	if !mathx.ApproxEqual(vm2, 9, 1e-9) {
+		t.Errorf("vm cost after release = %v, want 9", vm2)
+	}
+}
+
+func TestBillingMixedClusters(t *testing.T) {
+	c := newTestCloud(t)
+	if err := c.SetVMs(0, "standard", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetVMs(0, "advanced", 2); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(3600)
+	vm, _ := c.Costs()
+	want := 4*0.45 + 2*0.80
+	if !mathx.ApproxEqual(vm, want, 1e-9) {
+		t.Errorf("vm cost = %v, want %v", vm, want)
+	}
+}
+
+func TestBillingStorage(t *testing.T) {
+	c := newTestCloud(t)
+	// 6 GB on high for 24 h: 6 × 2.08e-4 × 24 ≈ $0.03.
+	if err := c.SetStorage(0, "high", 6); err != nil {
+		t.Fatalf("SetStorage: %v", err)
+	}
+	c.Advance(24 * 3600)
+	_, storage := c.Costs()
+	if !mathx.ApproxEqual(storage, 6*2.08e-4*24, 1e-9) {
+		t.Errorf("storage cost = %v", storage)
+	}
+}
+
+func TestStorageCapacityAndErrors(t *testing.T) {
+	c := newTestCloud(t)
+	if err := c.SetStorage(0, "high", 25); !errors.Is(err, ErrCapacity) {
+		t.Errorf("over capacity: err = %v, want ErrCapacity", err)
+	}
+	if err := c.SetStorage(0, "nope", 1); !errors.Is(err, ErrUnknownCluster) {
+		t.Errorf("unknown cluster: err = %v", err)
+	}
+	if err := c.SetStorage(0, "high", -1); err == nil {
+		t.Error("negative GB: want error")
+	}
+	if err := c.SetStorage(0, "high", 12); err != nil {
+		t.Fatalf("SetStorage: %v", err)
+	}
+	if gb, _ := c.StoredGB("high"); gb != 12 {
+		t.Errorf("StoredGB = %v, want 12", gb)
+	}
+}
+
+func TestBillingMonotoneTime(t *testing.T) {
+	c := newTestCloud(t)
+	if err := c.SetVMs(0, "standard", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(3600)
+	c.Advance(1800) // going backwards must not un-bill
+	vm, _ := c.Costs()
+	if !mathx.ApproxEqual(vm, 0.45, 1e-9) {
+		t.Errorf("vm cost = %v, want 0.45", vm)
+	}
+}
+
+func TestResetCosts(t *testing.T) {
+	c := newTestCloud(t)
+	if err := c.SetVMs(0, "standard", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(3600)
+	c.ResetCosts()
+	vm, storage := c.Costs()
+	if vm != 0 || storage != 0 {
+		t.Errorf("costs after reset = %v, %v", vm, storage)
+	}
+}
+
+func TestCustomLatencyAndBandwidthOptions(t *testing.T) {
+	c, err := New(DefaultVMClusters(), nil, WithBootLatency(5), WithVMBandwidth(2e6))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if c.BootLatency() != 5 || c.VMBandwidth() != 2e6 {
+		t.Errorf("options not applied: boot=%v bw=%v", c.BootLatency(), c.VMBandwidth())
+	}
+	if _, err := New(DefaultVMClusters(), nil, WithVMBandwidth(-1)); err == nil {
+		t.Error("negative bandwidth: want error")
+	}
+	if _, err := New(DefaultVMClusters(), nil, WithBootLatency(-1)); err == nil {
+		t.Error("negative boot latency: want error")
+	}
+}
+
+func TestFailVMs(t *testing.T) {
+	c := newTestCloud(t)
+	if err := c.SetVMs(0, "standard", 10); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(3600) // one hour of 10 VMs
+	failed, err := c.FailVMs(3600, "standard", 4)
+	if err != nil {
+		t.Fatalf("FailVMs: %v", err)
+	}
+	if failed != 4 {
+		t.Errorf("failed = %d, want 4", failed)
+	}
+	if got, _ := c.AllocatedVMs("standard"); got != 6 {
+		t.Errorf("allocated = %d, want 6", got)
+	}
+	if got, _ := c.ActiveVMs(3601, "standard"); got != 6 {
+		t.Errorf("active = %d, want 6", got)
+	}
+	// Billing: hour 1 at 10 VMs, hour 2 at 6 VMs.
+	c.Advance(7200)
+	vm, _ := c.Costs()
+	want := 10*0.45 + 6*0.45
+	if !mathx.ApproxEqual(vm, want, 1e-9) {
+		t.Errorf("cost = %v, want %v", vm, want)
+	}
+}
+
+func TestFailVMsClampsAndValidates(t *testing.T) {
+	c := newTestCloud(t)
+	if err := c.SetVMs(0, "standard", 3); err != nil {
+		t.Fatal(err)
+	}
+	failed, err := c.FailVMs(1, "standard", 99)
+	if err != nil {
+		t.Fatalf("FailVMs: %v", err)
+	}
+	if failed != 3 {
+		t.Errorf("failed = %d, want all 3", failed)
+	}
+	if _, err := c.FailVMs(1, "ghost", 1); !errors.Is(err, ErrUnknownCluster) {
+		t.Errorf("unknown cluster: %v", err)
+	}
+	if _, err := c.FailVMs(1, "standard", -1); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestFailVMsKillsBootingFirst(t *testing.T) {
+	c := newTestCloud(t)
+	if err := c.SetVMs(0, "standard", 5); err != nil {
+		t.Fatal(err)
+	}
+	// 5 active at t=100; request 5 more (booting), then fail 3.
+	if err := c.SetVMs(100, "standard", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FailVMs(101, "standard", 3); err != nil {
+		t.Fatal(err)
+	}
+	// The 3 failures consumed booting instances: 5 originals stay active,
+	// 2 boots remain.
+	if got, _ := c.ActiveVMs(110, "standard"); got != 5 {
+		t.Errorf("active at 110 = %d, want 5", got)
+	}
+	if got, _ := c.ActiveVMs(130, "standard"); got != 7 {
+		t.Errorf("active at 130 = %d, want 7", got)
+	}
+}

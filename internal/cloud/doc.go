@@ -1,0 +1,20 @@
+// Package cloud simulates the IaaS infrastructure of Sec. III-A: virtual
+// clusters of VMs and NFS storage clusters, fronted by the broker / SLA
+// negotiator / request monitor / scheduler modules of Fig. 1, with
+// usage-time billing following the Amazon EC2/S3 charging model.
+//
+// The paper's evaluation exercises four properties of the physical testbed,
+// all of which are modelled explicitly:
+//
+//   - cluster catalogs — Tables II and III ship as DefaultVMClusters and
+//     DefaultNFSClusters;
+//   - per-VM bandwidth — every VM is allocated a fixed R (10 Mbps);
+//   - VM lifecycle latency — launching a VM takes ~25 s (shutdown is
+//     quicker), and launches proceed in parallel;
+//   - billing — VM rental is charged per allocated VM-hour and storage per
+//     GB-hour, integrated continuously over simulated time.
+//
+// Time is an explicit float64 of simulated seconds supplied by the caller;
+// the package never consults the wall clock, keeping experiments
+// deterministic and fast.
+package cloud

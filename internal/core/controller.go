@@ -1,0 +1,414 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/provision"
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/sim"
+)
+
+// Options configures the provisioning controller.
+type Options struct {
+	// IntervalSeconds is T, the provisioning period. Defaults to 3600 (the
+	// hourly rental granularity of Sec. V-B).
+	IntervalSeconds float64
+	// VMBudgetPerHour is B_M. The paper uses $100/hour.
+	VMBudgetPerHour float64
+	// StorageBudgetPerHour is B_S. The paper uses $1/hour.
+	StorageBudgetPerHour float64
+	// FallbackTransfer seeds transfer-matrix rows that saw no traffic in an
+	// interval. Usually the analytic prior (viewing.PaperDefault).
+	FallbackTransfer queueing.TransferMatrix
+	// MaxServersPerChunk bounds the queueing search; ≤0 uses the default.
+	MaxServersPerChunk int
+	// ApplyBootLatency delays capacity increases by the cloud's VM boot
+	// latency, modelling that freshly requested VMs serve only once booted.
+	ApplyBootLatency bool
+	// PeerSupplyTrust discounts the analytic peer contribution before
+	// computing the cloud residual: Δ = capacity − trust·Γ. The analysis
+	// assumes equilibrium chunk ownership; trusting it fully leaves no
+	// margin when the live overlay lags the model (channel churn, cold
+	// chunks). 0 means 1 (full trust).
+	PeerSupplyTrust float64
+	// ProvisionHeadroom multiplies every chunk's cloud demand before
+	// planning, the over-provisioning slack visible in the paper's Fig. 4
+	// (reserved ≈ 1.5–2× used). 0 means 1 (no headroom).
+	ProvisionHeadroom float64
+	// Predictor forecasts next-interval arrival rates from the observed
+	// history. nil uses LastInterval, the paper's rule.
+	Predictor Predictor
+	// HistoryLimit bounds the per-channel rate history kept for the
+	// predictor; 0 means 168 (a week of hourly intervals).
+	HistoryLimit int
+	// StorageChangeThreshold implements the Sec. V-B trigger: the NFS
+	// storage rental is recomputed only when total demand has moved by more
+	// than this fraction since the last storage plan (or on the first
+	// round). 0 recomputes every interval.
+	StorageChangeThreshold float64
+}
+
+func (o *Options) applyDefaults() {
+	if o.IntervalSeconds == 0 {
+		o.IntervalSeconds = 3600
+	}
+	if o.VMBudgetPerHour == 0 {
+		o.VMBudgetPerHour = 100
+	}
+	if o.StorageBudgetPerHour == 0 {
+		o.StorageBudgetPerHour = 1
+	}
+	if o.PeerSupplyTrust == 0 {
+		o.PeerSupplyTrust = 1
+	}
+	if o.ProvisionHeadroom == 0 {
+		o.ProvisionHeadroom = 1
+	}
+	if o.Predictor == nil {
+		o.Predictor = LastInterval{}
+	}
+	if o.HistoryLimit == 0 {
+		o.HistoryLimit = 168
+	}
+}
+
+// IntervalRecord captures one provisioning round for later analysis; the
+// experiment harness turns these into the paper's figures.
+type IntervalRecord struct {
+	Time             float64   // when the round ran, seconds
+	ArrivalRates     []float64 // per-channel Λ estimates
+	DemandPerChannel []float64 // per-channel Σ Δ, bytes/s
+	TotalDemand      float64   // Σ over channels, bytes/s
+	TotalPeerSupply  float64   // Σ Γ, bytes/s
+	VMPlan           provision.VMPlan
+	StoragePlan      provision.StoragePlan
+	// DemandScale < 1 records that the budget was infeasible and demand was
+	// scaled down to fit (the paper's "increase your budget" signal).
+	DemandScale float64
+}
+
+// Controller wires the measurement feed, the analysis, the heuristics, the
+// broker, and the running system together.
+type Controller struct {
+	sim    *sim.Simulator
+	broker *cloud.Broker
+	cl     *cloud.Cloud
+	opts   Options
+
+	records     []IntervalRecord
+	lastCaps    map[[2]int]float64 // last applied per-chunk capacity targets
+	rateHistory [][]float64        // per-channel observed arrival rates, oldest first
+
+	lastStoragePlan   provision.StoragePlan
+	lastStorageDemand float64
+	storagePlanned    bool
+}
+
+// NewController builds a controller for a simulator and a cloud reached
+// through its broker.
+func NewController(s *sim.Simulator, cl *cloud.Cloud, broker *cloud.Broker, opts Options) (*Controller, error) {
+	if s == nil || cl == nil || broker == nil {
+		return nil, fmt.Errorf("core: nil simulator, cloud, or broker")
+	}
+	opts.applyDefaults()
+	if opts.IntervalSeconds <= 0 {
+		return nil, fmt.Errorf("core: non-positive interval %v", opts.IntervalSeconds)
+	}
+	if opts.FallbackTransfer != nil {
+		if err := opts.FallbackTransfer.Validate(); err != nil {
+			return nil, fmt.Errorf("core: fallback transfer: %w", err)
+		}
+		if opts.FallbackTransfer.Size() != s.ChannelConfig().Chunks {
+			return nil, fmt.Errorf("core: fallback transfer size %d != chunks %d",
+				opts.FallbackTransfer.Size(), s.ChannelConfig().Chunks)
+		}
+	}
+	if v, ok := opts.Predictor.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Controller{
+		sim:         s,
+		broker:      broker,
+		cl:          cl,
+		opts:        opts,
+		lastCaps:    make(map[[2]int]float64),
+		rateHistory: make([][]float64, s.Channels()),
+	}, nil
+}
+
+// Records returns the per-interval history (shared slice internals are not
+// exposed: a copy is returned).
+func (c *Controller) Records() []IntervalRecord {
+	out := make([]IntervalRecord, len(c.records))
+	copy(out, c.records)
+	return out
+}
+
+// Start schedules the periodic provisioning rounds, beginning one interval
+// from now (statistics need a full interval to accumulate). Bootstrap
+// provisioning for interval 0 should be applied first via Provision.
+func (c *Controller) Start() error {
+	return c.sim.ScheduleRepeating(c.opts.IntervalSeconds, c.opts.IntervalSeconds, func(now float64) {
+		c.runInterval(now)
+	})
+}
+
+// runInterval executes one provisioning round using the statistics the
+// tracker accumulated since the previous round.
+func (c *Controller) runInterval(now float64) {
+	inputs := make([]ChannelInput, c.sim.Channels())
+	for ch := range inputs {
+		est, err := c.sim.Estimator(ch)
+		if err != nil {
+			continue // unreachable: channel index from range
+		}
+		rate, err := est.ArrivalRate(c.opts.IntervalSeconds)
+		if err != nil {
+			rate = 0
+		}
+		rate = c.forecast(ch, rate)
+		matrix, err := est.Matrix(c.opts.FallbackTransfer)
+		if err != nil || matrix.Size() == 0 {
+			matrix = c.opts.FallbackTransfer
+		}
+		uplink, err := c.sim.MeanUplink(ch)
+		if err != nil {
+			uplink = 0
+		}
+		inputs[ch] = ChannelInput{ArrivalRate: rate, Transfer: matrix, MeanUplink: uplink}
+		est.Reset()
+	}
+	c.Provision(now, inputs)
+}
+
+// forecast appends the observation to the channel's history and returns
+// the predictor's rate for the next interval.
+func (c *Controller) forecast(channel int, observed float64) float64 {
+	h := append(c.rateHistory[channel], observed)
+	if len(h) > c.opts.HistoryLimit {
+		h = h[len(h)-c.opts.HistoryLimit:]
+	}
+	c.rateHistory[channel] = h
+	return c.opts.Predictor.Predict(h)
+}
+
+// Provision derives demand from the given per-channel inputs and applies
+// plans to the cloud and the running system. It is also the bootstrap
+// entry point: experiments call it at t=0 with analytic estimates.
+func (c *Controller) Provision(now float64, inputs []ChannelInput) {
+	cfg := c.sim.ChannelConfig()
+	p2pMode := c.sim.Mode() == sim.P2P
+
+	rec := IntervalRecord{
+		Time:             now,
+		ArrivalRates:     make([]float64, len(inputs)),
+		DemandPerChannel: make([]float64, len(inputs)),
+		DemandScale:      1,
+	}
+	demands := make([]ChannelDemand, len(inputs))
+	for ch, in := range inputs {
+		rec.ArrivalRates[ch] = in.ArrivalRate
+		if in.Transfer == nil {
+			in.Transfer = c.opts.FallbackTransfer
+		}
+		d, err := DeriveDemand(cfg, in, p2pMode, c.opts.MaxServersPerChunk)
+		if err != nil {
+			// A channel whose analysis fails (e.g. degenerate estimated
+			// matrix) keeps zero demand this interval rather than aborting
+			// the whole round.
+			demands[ch] = ChannelDemand{
+				CloudDemand: make([]float64, cfg.Chunks),
+				PeerSupply:  make([]float64, cfg.Chunks),
+			}
+			continue
+		}
+		// Apply peer-supply trust and provisioning headroom against the
+		// full equilibrium capacity (Δ = capacity − trust·Γ, then slack).
+		for i := range d.CloudDemand {
+			delta := d.Equilibrium.Capacity[i] - c.opts.PeerSupplyTrust*d.PeerSupply[i]
+			if delta < 0 {
+				delta = 0
+			}
+			d.CloudDemand[i] = delta * c.opts.ProvisionHeadroom
+		}
+		demands[ch] = d
+		for _, delta := range d.CloudDemand {
+			rec.DemandPerChannel[ch] += delta
+			rec.TotalDemand += delta
+		}
+		for _, g := range d.PeerSupply {
+			rec.TotalPeerSupply += g
+		}
+	}
+
+	catalog := c.broker.Negotiate()
+	vmSpecs := make([]cloud.VMClusterSpec, 0, len(catalog.VMClusters))
+	for _, a := range catalog.VMClusters {
+		vmSpecs = append(vmSpecs, a.Spec)
+	}
+	nfsSpecs := make([]cloud.NFSClusterSpec, 0, len(catalog.NFSClusters))
+	for _, a := range catalog.NFSClusters {
+		nfsSpecs = append(nfsSpecs, a.Spec)
+	}
+
+	flat := FlattenDemands(demands)
+	vmPlan, scale, err := planWithScaling(flat, catalog.VMBandwidth, vmSpecs, c.opts.VMBudgetPerHour)
+	if err != nil {
+		// Even fully scaled-down planning failed (no clusters, etc.):
+		// record an empty round.
+		c.records = append(c.records, rec)
+		return
+	}
+	rec.VMPlan = vmPlan
+	rec.DemandScale = scale
+
+	if len(nfsSpecs) > 0 && c.storageStale(rec.TotalDemand) {
+		if sp, err := provision.PlanStorage(flat, cfg.ChunkBytes(), nfsSpecs, c.opts.StorageBudgetPerHour); err == nil {
+			c.lastStoragePlan = sp
+			c.lastStorageDemand = rec.TotalDemand
+			c.storagePlanned = true
+		}
+	}
+	rec.StoragePlan = c.lastStoragePlan
+
+	c.apply(now, vmPlan, rec.StoragePlan, catalog.VMBandwidth, demands)
+	c.records = append(c.records, rec)
+}
+
+// storageStale reports whether the storage rental should be recomputed for
+// the given total demand (Sec. V-B: "if the demand for chunks has changed
+// significantly since last interval").
+func (c *Controller) storageStale(totalDemand float64) bool {
+	if !c.storagePlanned {
+		return true
+	}
+	if c.opts.StorageChangeThreshold <= 0 {
+		return true
+	}
+	base := c.lastStorageDemand
+	if base == 0 {
+		return totalDemand > 0
+	}
+	change := totalDemand/base - 1
+	if change < 0 {
+		change = -change
+	}
+	return change > c.opts.StorageChangeThreshold
+}
+
+// planWithScaling runs the VM heuristic, shrinking demand until the plan
+// fits the budget and cluster capacity. The first retry jumps straight to
+// an upper bound on the feasible scale (cost is at least totalVMs × the
+// cheapest price, and VMs are bounded by total cluster capacity), then
+// backs off geometrically. Returns the plan and the final scale.
+func planWithScaling(flat []provision.ChunkDemand, vmBandwidth float64, specs []cloud.VMClusterSpec, budget float64) (provision.VMPlan, float64, error) {
+	plan, err := provision.PlanVMs(flat, vmBandwidth, specs, budget)
+	if err == nil {
+		return plan, 1, nil
+	}
+	if !errors.Is(err, provision.ErrInfeasible) {
+		return provision.VMPlan{}, 1, err
+	}
+
+	var totalNeed float64
+	for _, d := range flat {
+		totalNeed += d.Demand / vmBandwidth
+	}
+	if totalNeed <= 0 {
+		return provision.VMPlan{}, 1, err
+	}
+	var capTotal float64
+	minPrice := math.Inf(1)
+	for _, s := range specs {
+		capTotal += float64(s.MaxVMs)
+		if s.PricePerHour < minPrice {
+			minPrice = s.PricePerHour
+		}
+	}
+	scale := 1.0
+	if bound := capTotal / totalNeed; bound < scale {
+		scale = bound
+	}
+	if minPrice > 0 {
+		if bound := budget / (totalNeed * minPrice); bound < scale {
+			scale = bound
+		}
+	}
+	scale *= 0.98
+
+	for attempt := 0; attempt < 30 && scale > 0; attempt++ {
+		scaled := make([]provision.ChunkDemand, len(flat))
+		for i, d := range flat {
+			scaled[i] = provision.ChunkDemand{Channel: d.Channel, Chunk: d.Chunk, Demand: d.Demand * scale}
+		}
+		plan, err := provision.PlanVMs(scaled, vmBandwidth, specs, budget)
+		if err == nil {
+			return plan, scale, nil
+		}
+		if !errors.Is(err, provision.ErrInfeasible) {
+			return provision.VMPlan{}, scale, err
+		}
+		scale *= 0.9
+	}
+	return provision.VMPlan{}, scale, fmt.Errorf("%w: demand unservable even at %.2f%% scale", provision.ErrInfeasible, scale*100)
+}
+
+// apply submits the SLA reconfiguration and updates the per-chunk serving
+// capacities in the running system.
+func (c *Controller) apply(now float64, vmPlan provision.VMPlan, storagePlan provision.StoragePlan, vmBandwidth float64, demands []ChannelDemand) {
+	req := cloud.Request{Time: now, VMTargets: map[string]int{}, StorageGB: map[string]float64{}}
+	for _, spec := range c.cl.VMClusters() {
+		req.VMTargets[spec.Name] = 0
+	}
+	for name, n := range vmPlan.RentalVMs() {
+		req.VMTargets[name] = n
+	}
+	if storagePlan.GBPerCluster != nil {
+		for _, spec := range c.cl.NFSClusters() {
+			req.StorageGB[spec.Name] = storagePlan.GBPerCluster[spec.Name]
+		}
+	} else {
+		req.StorageGB = nil
+	}
+	if err := c.broker.Submit(req); err != nil {
+		// Capacity races are not fatal: the system keeps last interval's
+		// allocation and tries again next interval.
+		return
+	}
+
+	caps := vmPlan.CapacityPerChunk(vmBandwidth)
+	delay := 0.0
+	if c.opts.ApplyBootLatency {
+		delay = c.cl.BootLatency()
+	}
+	for ch, d := range demands {
+		for i := range d.CloudDemand {
+			key := [2]int{ch, i}
+			target := caps[key]
+			if target > c.lastCaps[key] {
+				// Increases wait for the new VMs to boot.
+				c.setCapacityAt(now, delay, ch, i, target)
+			} else {
+				// Decreases take effect immediately (shutdown is fast).
+				_ = c.sim.SetCloudCapacity(ch, i, target)
+			}
+			c.lastCaps[key] = target
+		}
+	}
+}
+
+// setCapacityAt applies a capacity change after `delay` seconds.
+func (c *Controller) setCapacityAt(now, delay float64, ch, chunk int, target float64) {
+	if delay <= 0 {
+		_ = c.sim.SetCloudCapacity(ch, chunk, target)
+		return
+	}
+	_ = c.sim.ScheduleAt(now+delay, func(float64) {
+		_ = c.sim.SetCloudCapacity(ch, chunk, target)
+	})
+}

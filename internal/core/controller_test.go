@@ -1,0 +1,370 @@
+package core
+
+import (
+	"testing"
+
+	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/sim"
+	"cloudmedia/internal/viewing"
+	"cloudmedia/internal/workload"
+)
+
+// testSystem builds a small but complete CloudMedia stack: simulator,
+// cloud, broker, controller.
+func testSystem(t *testing.T, mode sim.Mode) (*sim.Simulator, *cloud.Cloud, *Controller) {
+	t.Helper()
+	chCfg := queueing.Config{
+		Chunks:          5,
+		PlaybackRate:    50e3,
+		ChunkSeconds:    60,
+		VMBandwidth:     cloud.DefaultVMBandwidth,
+		EntryFirstChunk: 0.7,
+	}
+	transfer, err := viewing.SequentialWithJumps(chCfg.Chunks, 0.9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.Default()
+	wl.Channels = 3
+	wl.BaseArrivalRate = 0.3
+	wl.BaseLevel = 1
+	wl.FlashCrowds = nil
+	wl.JumpMeanSeconds = 300
+	simCfg := sim.Config{
+		Mode:             mode,
+		Channel:          chCfg,
+		Workload:         wl,
+		Transfer:         transfer,
+		RebalanceSeconds: 10,
+		Seed:             7,
+	}
+	s, err := sim.New(simCfg)
+	if err != nil {
+		t.Fatalf("sim.New: %v", err)
+	}
+	cl, err := cloud.New(cloud.DefaultVMClusters(), cloud.DefaultNFSClusters())
+	if err != nil {
+		t.Fatalf("cloud.New: %v", err)
+	}
+	broker, err := cloud.NewBroker(cl)
+	if err != nil {
+		t.Fatalf("NewBroker: %v", err)
+	}
+	ctl, err := NewController(s, cl, broker, Options{
+		IntervalSeconds:  600, // 10-minute rounds keep the test quick
+		FallbackTransfer: transfer,
+		ApplyBootLatency: true,
+	})
+	if err != nil {
+		t.Fatalf("NewController: %v", err)
+	}
+	return s, cl, ctl
+}
+
+// bootstrapInputs builds analytic t=0 inputs from the workload parameters.
+func bootstrapInputs(t *testing.T, s *sim.Simulator, wl *workload.Params, transfer queueing.TransferMatrix) []ChannelInput {
+	t.Helper()
+	inputs := make([]ChannelInput, s.Channels())
+	for c := range inputs {
+		rate, err := wl.ChannelRate(c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs[c] = ChannelInput{
+			ArrivalRate: rate,
+			Transfer:    transfer,
+			MeanUplink:  wl.PeerUplink.Mean(),
+		}
+	}
+	return inputs
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	s, cl, _ := testSystem(t, sim.ClientServer)
+	broker, err := cloud.NewBroker(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewController(nil, cl, broker, Options{}); err == nil {
+		t.Error("nil sim: want error")
+	}
+	if _, err := NewController(s, nil, broker, Options{}); err == nil {
+		t.Error("nil cloud: want error")
+	}
+	bad := queueing.NewTransferMatrix(2)
+	if _, err := NewController(s, cl, broker, Options{FallbackTransfer: bad}); err == nil {
+		t.Error("fallback size mismatch: want error")
+	}
+}
+
+func TestControllerEndToEndClientServer(t *testing.T) {
+	s, cl, ctl := testSystem(t, sim.ClientServer)
+	wl := workload.Default()
+	wl.Channels = 3
+	wl.BaseArrivalRate = 0.3
+	wl.BaseLevel = 1
+	wl.FlashCrowds = nil
+	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctl.Provision(0, bootstrapInputs(t, s, &wl, transfer))
+	if err := ctl.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	s.RunUntil(3 * 600)
+	cl.Advance(s.Now())
+
+	recs := ctl.Records()
+	if len(recs) < 3 {
+		t.Fatalf("records = %d, want ≥3 (bootstrap + 2 rounds)", len(recs))
+	}
+	// Demand must be positive once traffic flows.
+	if recs[len(recs)-1].TotalDemand <= 0 {
+		t.Error("no demand derived from live statistics")
+	}
+	// VMs must actually have been rented and billed.
+	vmCost, _ := cl.Costs()
+	if vmCost <= 0 {
+		t.Error("no VM cost accrued")
+	}
+	// Provisioned capacity must reach the simulator.
+	if s.TotalCloudCapacity() <= 0 {
+		t.Error("no capacity applied to the simulator")
+	}
+	// And the users should be streaming smoothly.
+	q := s.SampleQuality()
+	if q.Overall < 0.8 {
+		t.Errorf("quality %v with hourly provisioning, want ≥0.8", q.Overall)
+	}
+}
+
+func TestControllerP2PCheaperThanClientServer(t *testing.T) {
+	// Needs a real crowd: peer uplinks (~0.3 Mbps each) only displace
+	// 10 Mbps VMs when many viewers hold chunks.
+	run := func(mode sim.Mode) float64 {
+		chCfg := queueing.Config{
+			Chunks:          5,
+			PlaybackRate:    50e3,
+			ChunkSeconds:    60,
+			VMBandwidth:     cloud.DefaultVMBandwidth,
+			EntryFirstChunk: 0.7,
+		}
+		transfer, err := viewing.SequentialWithJumps(chCfg.Chunks, 0.9, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl := workload.Default()
+		wl.Channels = 3
+		wl.BaseArrivalRate = 2.5 // ≈750 concurrent users
+		wl.BaseLevel = 1
+		wl.FlashCrowds = nil
+		wl.JumpMeanSeconds = 300
+		s, err := sim.New(sim.Config{
+			Mode: mode, Channel: chCfg, Workload: wl, Transfer: transfer,
+			RebalanceSeconds: 10, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := cloud.New(cloud.DefaultVMClusters(), cloud.DefaultNFSClusters())
+		if err != nil {
+			t.Fatal(err)
+		}
+		broker, err := cloud.NewBroker(cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl, err := NewController(s, cl, broker, Options{
+			IntervalSeconds:  600,
+			FallbackTransfer: transfer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl.Provision(0, bootstrapInputs(t, s, &wl, transfer))
+		if err := ctl.Start(); err != nil {
+			t.Fatal(err)
+		}
+		s.RunUntil(3 * 600)
+		cl.Advance(s.Now())
+		vmCost, _ := cl.Costs()
+		return vmCost
+	}
+	cs := run(sim.ClientServer)
+	p2p := run(sim.P2P)
+	if p2p >= cs {
+		t.Errorf("P2P VM cost %v not below client-server %v (the paper's headline)", p2p, cs)
+	}
+}
+
+func TestControllerRecordsDemandScale(t *testing.T) {
+	s, _, _ := testSystem(t, sim.ClientServer)
+	// Rebuild a controller with a tiny VM budget to force scaling.
+	cl2, err := cloud.New(cloud.DefaultVMClusters(), cloud.DefaultNFSClusters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker2, err := cloud.NewBroker(cl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(s, cl2, broker2, Options{
+		IntervalSeconds:  600,
+		VMBudgetPerHour:  0.5, // ≈1 VM: far below demand
+		FallbackTransfer: transfer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]ChannelInput, s.Channels())
+	for c := range inputs {
+		inputs[c] = ChannelInput{ArrivalRate: 0.2, Transfer: transfer}
+	}
+	ctl.Provision(0, inputs)
+	recs := ctl.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].DemandScale >= 1 {
+		t.Errorf("DemandScale = %v, want < 1 under a starvation budget", recs[0].DemandScale)
+	}
+	if recs[0].VMPlan.CostPerHour > 0.5+1e-9 {
+		t.Errorf("plan cost %v exceeds budget", recs[0].VMPlan.CostPerHour)
+	}
+}
+
+func TestControllerZeroTrafficKeepsZeroDemand(t *testing.T) {
+	s, cl, ctl := testSystem(t, sim.ClientServer)
+	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]ChannelInput, s.Channels())
+	for c := range inputs {
+		inputs[c] = ChannelInput{ArrivalRate: 0, Transfer: transfer}
+	}
+	ctl.Provision(0, inputs)
+	recs := ctl.Records()
+	if recs[0].TotalDemand != 0 {
+		t.Errorf("TotalDemand = %v, want 0", recs[0].TotalDemand)
+	}
+	cl.Advance(3600)
+	vmCost, _ := cl.Costs()
+	if vmCost != 0 {
+		t.Errorf("vm cost %v for an idle system", vmCost)
+	}
+}
+
+func TestStorageRecomputeThreshold(t *testing.T) {
+	s, cl, _ := testSystem(t, sim.ClientServer)
+	broker, err := cloud.NewBroker(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(s, cl, broker, Options{
+		IntervalSeconds:        600,
+		FallbackTransfer:       transfer,
+		StorageChangeThreshold: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := func(rate float64) []ChannelInput {
+		in := make([]ChannelInput, s.Channels())
+		for c := range in {
+			in[c] = ChannelInput{ArrivalRate: rate, Transfer: transfer}
+		}
+		return in
+	}
+	// First round always plans storage.
+	ctl.Provision(0, inputs(0.2))
+	first := ctl.Records()[0].StoragePlan
+	if len(first.Placements) == 0 {
+		t.Fatal("no initial storage plan")
+	}
+	// A small demand wiggle (<25%) keeps the previous plan object.
+	ctl.Provision(600, inputs(0.21))
+	second := ctl.Records()[1].StoragePlan
+	if second.Utility != first.Utility {
+		t.Errorf("storage replanned for a small change: %v vs %v", second.Utility, first.Utility)
+	}
+	// A large demand jump forces a recompute.
+	ctl.Provision(1200, inputs(2.0))
+	third := ctl.Records()[2].StoragePlan
+	if third.Utility == first.Utility {
+		t.Error("storage not replanned after a large demand change")
+	}
+}
+
+func TestControllerHonorsBootLatencyOnIncrease(t *testing.T) {
+	s, cl, ctl := testSystem(t, sim.ClientServer)
+	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]ChannelInput, s.Channels())
+	for c := range inputs {
+		inputs[c] = ChannelInput{ArrivalRate: 0.2, Transfer: transfer}
+	}
+	ctl.Provision(0, inputs)
+	// Immediately after provisioning, capacity has not landed (VMs boot for
+	// ~25 s); after the boot latency it has.
+	if got := s.TotalCloudCapacity(); got != 0 {
+		t.Errorf("capacity %v before boot completes, want 0", got)
+	}
+	s.RunUntil(cl.BootLatency() + 1)
+	if got := s.TotalCloudCapacity(); got <= 0 {
+		t.Error("capacity missing after boot latency")
+	}
+}
+
+func TestControllerRecoversFromVMFailures(t *testing.T) {
+	s, cl, ctl := testSystem(t, sim.ClientServer)
+	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]ChannelInput, s.Channels())
+	for c := range inputs {
+		inputs[c] = ChannelInput{ArrivalRate: 0.2, Transfer: transfer}
+	}
+	ctl.Provision(0, inputs)
+	if err := ctl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(300)
+	before, err := cl.AllocatedVMs("standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == 0 {
+		t.Skip("no standard VMs allocated in this scenario")
+	}
+	// Kill everything mid-interval; the next round's absolute SLA targets
+	// must restore the fleet.
+	if _, err := cl.FailVMs(s.Now(), "standard", before); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := cl.AllocatedVMs("standard"); got != 0 {
+		t.Fatalf("failure did not clear allocation: %d", got)
+	}
+	s.RunUntil(2 * 600) // past the next provisioning round
+	after, err := cl.AllocatedVMs("standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == 0 {
+		t.Error("controller did not restore the failed VMs on the next round")
+	}
+}

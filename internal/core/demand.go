@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"cloudmedia/internal/p2p"
+	"cloudmedia/internal/provision"
+	"cloudmedia/internal/queueing"
+)
+
+// ChannelInput bundles one channel's per-interval statistics: everything
+// the demand derivation needs.
+type ChannelInput struct {
+	ArrivalRate float64                 // Λ(c), users/s
+	Transfer    queueing.TransferMatrix // P(c), estimated or prior
+	MeanUplink  float64                 // u, bytes/s (ignored in client-server mode)
+}
+
+// ChannelDemand is the derived demand for one channel.
+type ChannelDemand struct {
+	Equilibrium queueing.Equilibrium
+	// CloudDemand[i] is Δ(c,i) in bytes/s: full capacity in client-server
+	// mode, the post-peer residual in P2P mode.
+	CloudDemand []float64
+	// PeerSupply[i] is Γ(c,i) (zero in client-server mode).
+	PeerSupply []float64
+}
+
+// DeriveDemand runs the Sec. IV analysis for one channel. p2pMode selects
+// whether peer supply is subtracted. maxServers ≤ 0 uses the package
+// default.
+func DeriveDemand(cfg queueing.Config, in ChannelInput, p2pMode bool, maxServers int) (ChannelDemand, error) {
+	if in.ArrivalRate < 0 {
+		return ChannelDemand{}, fmt.Errorf("core: negative arrival rate %v", in.ArrivalRate)
+	}
+	eq, err := queueing.Solve(cfg, in.Transfer, in.ArrivalRate, maxServers)
+	if err != nil {
+		return ChannelDemand{}, fmt.Errorf("core: demand analysis: %w", err)
+	}
+	out := ChannelDemand{
+		Equilibrium: eq,
+		CloudDemand: make([]float64, cfg.Chunks),
+		PeerSupply:  make([]float64, cfg.Chunks),
+	}
+	if !p2pMode || in.MeanUplink <= 0 {
+		copy(out.CloudDemand, eq.Capacity)
+		return out, nil
+	}
+	res, err := p2p.Solve(p2p.Analysis{
+		Equilibrium: eq,
+		Transfer:    in.Transfer,
+		PeerUpload:  in.MeanUplink,
+	})
+	if err != nil {
+		return ChannelDemand{}, fmt.Errorf("core: peer supply analysis: %w", err)
+	}
+	copy(out.CloudDemand, res.CloudDemand)
+	copy(out.PeerSupply, res.PeerSupply)
+	return out, nil
+}
+
+// FlattenDemands converts per-channel demands into the flat chunk-demand
+// list the provisioning heuristics consume.
+func FlattenDemands(demands []ChannelDemand) []provision.ChunkDemand {
+	var out []provision.ChunkDemand
+	for c, d := range demands {
+		for i, delta := range d.CloudDemand {
+			out = append(out, provision.ChunkDemand{Channel: c, Chunk: i, Demand: delta})
+		}
+	}
+	return out
+}

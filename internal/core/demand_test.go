@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"cloudmedia/internal/mathx"
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/viewing"
+)
+
+func chanCfg() queueing.Config {
+	return queueing.Config{
+		Chunks:          8,
+		PlaybackRate:    50e3,
+		ChunkSeconds:    300,
+		VMBandwidth:     1.25e6,
+		EntryFirstChunk: 0.7,
+	}
+}
+
+func TestDeriveDemandClientServer(t *testing.T) {
+	cfg := chanCfg()
+	p, err := viewing.PaperDefault(cfg.Chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DeriveDemand(cfg, ChannelInput{ArrivalRate: 0.2, Transfer: p}, false, 0)
+	if err != nil {
+		t.Fatalf("DeriveDemand: %v", err)
+	}
+	// Client-server: cloud demand equals the full equilibrium capacity.
+	for i := range d.CloudDemand {
+		if !mathx.ApproxEqual(d.CloudDemand[i], d.Equilibrium.Capacity[i], 1e-9) {
+			t.Errorf("chunk %d: Δ=%v, capacity=%v", i, d.CloudDemand[i], d.Equilibrium.Capacity[i])
+		}
+		if d.PeerSupply[i] != 0 {
+			t.Errorf("chunk %d: peer supply %v in C/S mode", i, d.PeerSupply[i])
+		}
+	}
+}
+
+func TestDeriveDemandP2PReducesCloud(t *testing.T) {
+	cfg := chanCfg()
+	p, err := viewing.PaperDefault(cfg.Chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ChannelInput{ArrivalRate: 0.2, Transfer: p, MeanUplink: 60e3}
+	cs, err := DeriveDemand(cfg, in, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := DeriveDemand(cfg, in, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csTotal := mathx.Sum(cs.CloudDemand)
+	ppTotal := mathx.Sum(pp.CloudDemand)
+	if ppTotal >= csTotal {
+		t.Errorf("P2P demand %v not below C/S %v", ppTotal, csTotal)
+	}
+	if mathx.Sum(pp.PeerSupply) <= 0 {
+		t.Error("no peer supply derived")
+	}
+	// Δ + Γ = full capacity (per chunk, within clamping).
+	for i := range pp.CloudDemand {
+		full := cs.CloudDemand[i]
+		if pp.CloudDemand[i]+pp.PeerSupply[i] < full-1e-6 {
+			t.Errorf("chunk %d: Δ+Γ=%v below full %v", i, pp.CloudDemand[i]+pp.PeerSupply[i], full)
+		}
+	}
+}
+
+func TestDeriveDemandZeroUplinkFallsBackToFull(t *testing.T) {
+	cfg := chanCfg()
+	p, err := viewing.PaperDefault(cfg.Chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ChannelInput{ArrivalRate: 0.2, Transfer: p, MeanUplink: 0}
+	d, err := DeriveDemand(cfg, in, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.ApproxEqual(mathx.Sum(d.CloudDemand), d.Equilibrium.TotalCapacity(), 1e-9) {
+		t.Error("zero uplink should mean full cloud demand")
+	}
+}
+
+func TestDeriveDemandErrors(t *testing.T) {
+	cfg := chanCfg()
+	p, err := viewing.PaperDefault(cfg.Chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeriveDemand(cfg, ChannelInput{ArrivalRate: -1, Transfer: p}, false, 0); err == nil {
+		t.Error("negative rate: want error")
+	}
+	closed := queueing.TransferMatrix{{0, 1}, {1, 0}}
+	small := cfg
+	small.Chunks = 2
+	if _, err := DeriveDemand(small, ChannelInput{ArrivalRate: 1, Transfer: closed}, false, 0); err == nil {
+		t.Error("closed matrix: want error")
+	}
+}
+
+func TestFlattenDemands(t *testing.T) {
+	demands := []ChannelDemand{
+		{CloudDemand: []float64{1, 2}},
+		{CloudDemand: []float64{3}},
+	}
+	flat := FlattenDemands(demands)
+	if len(flat) != 3 {
+		t.Fatalf("len = %d", len(flat))
+	}
+	if flat[2].Channel != 1 || flat[2].Chunk != 0 || flat[2].Demand != 3 {
+		t.Errorf("flat[2] = %+v", flat[2])
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/core"
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/sim"
+	"cloudmedia/internal/viewing"
+	"cloudmedia/internal/workload"
+)
+
+// Scenario bundles every knob an experiment run needs.
+type Scenario struct {
+	Mode            sim.Mode
+	Channel         queueing.Config
+	Workload        workload.Params
+	Hours           float64 // simulated duration
+	IntervalSeconds float64 // controller period T
+	VMBudget        float64 // B_M, $/hour
+	StorageBudget   float64 // B_S, $/hour
+	Seed            int64
+	SampleSeconds   float64 // measurement sampling period
+	UplinkRatio     float64 // if > 0, rescale peer uplinks to ratio × r (Fig. 11)
+	// Predictor overrides the controller's arrival-rate forecaster; nil
+	// uses the paper's last-interval rule.
+	Predictor core.Predictor
+	// Scheduling overrides the P2P uplink allocation policy; zero uses
+	// rarest-first, the paper's scheme.
+	Scheduling sim.PeerScheduling
+}
+
+// DefaultScenario returns the reduced-scale counterpart of the paper's
+// setup: Zipf channels, diurnal arrivals with two flash crowds, hourly
+// provisioning, Table II/III clusters, B_M = $100/h, B_S = $1/h.
+//
+// Three deliberate reductions keep runs laptop-sized (recorded in
+// EXPERIMENTS.md): 10 channels of 8×75 s chunks instead of 20 channels of
+// 20×300 s (same 1:25 r/R ratio, proportionally shorter videos), and an
+// arrival rate targeting ~250 concurrent viewers instead of ~2500. The
+// chunk-queue count (80) is sized against the unchanged Table II cluster
+// capacity (150 VMs) the same way the paper's 400 queues sat against its
+// 150 VMs: client-server demand lands near the paper's ≈$48/h average
+// without saturating the clusters, leaving the P2P savings visible. Pass
+// scale > 1 to move toward paper-scale crowds.
+func DefaultScenario(mode sim.Mode, scale float64) Scenario {
+	if scale <= 0 {
+		scale = 1
+	}
+	wl := workload.Default()
+	wl.Channels = 6
+	wl.ZipfExponent = 0.8
+	wl.BaseArrivalRate = 0.6 * scale // ≈300·scale concurrent at mean session ≈7 min
+	wl.JumpMeanSeconds = 225         // 3 chunks, preserving the paper's jump:chunk ratio
+	return Scenario{
+		Mode: mode,
+		Channel: queueing.Config{
+			Chunks:          8,
+			PlaybackRate:    50e3,
+			ChunkSeconds:    75,
+			VMBandwidth:     cloud.DefaultVMBandwidth,
+			EntryFirstChunk: 0.7,
+			// Provision at fifth-of-a-VM granularity (2 Mbps slots): the
+			// fractional VM shares of Eqn. (7) in action. See the
+			// queueing.Config.SlotsPerVM doc comment.
+			SlotsPerVM: 5,
+		},
+		Workload:        wl,
+		Hours:           24,
+		IntervalSeconds: 3600,
+		VMBudget:        100,
+		StorageBudget:   1,
+		Seed:            42,
+		SampleSeconds:   900,
+	}
+}
+
+// System is one assembled CloudMedia stack.
+type System struct {
+	Scenario   Scenario
+	Sim        *sim.Simulator
+	Cloud      *cloud.Cloud
+	Broker     *cloud.Broker
+	Controller *core.Controller
+	Transfer   queueing.TransferMatrix
+}
+
+// Build assembles the stack and applies bootstrap provisioning from the
+// analytic t=0 estimates, exactly as Sec. V-B describes ("based on the
+// application's empirical user scale and viewing pattern information").
+func Build(sc Scenario) (*System, error) {
+	if sc.Hours <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive duration %v h", sc.Hours)
+	}
+	if sc.SampleSeconds <= 0 {
+		sc.SampleSeconds = 900
+	}
+	if sc.UplinkRatio > 0 {
+		up, err := workload.UplinkForRatio(sc.Channel.PlaybackRate, sc.UplinkRatio)
+		if err != nil {
+			return nil, err
+		}
+		sc.Workload.PeerUplink = up
+	}
+	// Jump probability per chunk ≈ T₀ / mean jump interval.
+	jump := sc.Channel.ChunkSeconds / sc.Workload.JumpMeanSeconds
+	if jump > 1 {
+		jump = 1
+	}
+	transfer, err := viewing.SequentialWithJumps(sc.Channel.Chunks, 0.9, jump)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(sim.Config{
+		Mode:       sc.Mode,
+		Channel:    sc.Channel,
+		Workload:   sc.Workload,
+		Transfer:   transfer,
+		Scheduling: sc.Scheduling,
+		Seed:       sc.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cloud.New(cloud.DefaultVMClusters(), cloud.DefaultNFSClusters())
+	if err != nil {
+		return nil, err
+	}
+	broker, err := cloud.NewBroker(cl)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := core.NewController(s, cl, broker, core.Options{
+		IntervalSeconds:      sc.IntervalSeconds,
+		VMBudgetPerHour:      sc.VMBudget,
+		StorageBudgetPerHour: sc.StorageBudget,
+		FallbackTransfer:     transfer,
+		ApplyBootLatency:     true,
+		// The live overlay lags the equilibrium ownership model, so trust
+		// 70% of the analytic peer supply and keep 20% provisioning slack
+		// — the reserved ≈ 1.5–2× used margin visible in the paper's Fig. 4.
+		PeerSupplyTrust:   0.7,
+		ProvisionHeadroom: 1.2,
+		Predictor:         sc.Predictor,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sys := &System{Scenario: sc, Sim: s, Cloud: cl, Broker: broker, Controller: ctl, Transfer: transfer}
+	inputs := make([]core.ChannelInput, s.Channels())
+	for c := range inputs {
+		rate, err := sc.Workload.ChannelRate(c, 0)
+		if err != nil {
+			return nil, err
+		}
+		inputs[c] = core.ChannelInput{
+			ArrivalRate: rate,
+			Transfer:    transfer,
+			MeanUplink:  sc.Workload.PeerUplink.Mean(),
+		}
+	}
+	ctl.Provision(0, inputs)
+	if err := ctl.Start(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

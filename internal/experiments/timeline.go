@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"cloudmedia/internal/core"
+)
+
+// Snapshot is one periodic measurement of the running system.
+type Snapshot struct {
+	Time                   float64
+	Quality                float64
+	PerChannelQuality      []float64
+	PerChannelUsers        []int
+	PerChannelReservedMbps []float64
+	TotalUsers             int
+}
+
+// Hourly is one hour's bandwidth and cost accounting.
+type Hourly struct {
+	Hour          float64
+	ReservedMbps  float64 // cloud capacity provisioned at the sample instant
+	UsedMbps      float64 // average cloud bandwidth actually served this hour
+	VMCostPerHour float64 // dollars accrued this hour for VM rental
+}
+
+// Timeline is the full measurement record of one run; every figure is a
+// projection of it.
+type Timeline struct {
+	Scenario  Scenario
+	Snapshots []Snapshot
+	Hourlies  []Hourly
+	Records   []core.IntervalRecord
+
+	VMCostTotal      float64
+	StorageCostTotal float64
+	MeanQuality      float64
+}
+
+// bytesPerSecToMbps converts bytes/s to megabits/s, the paper's unit.
+func bytesPerSecToMbps(b float64) float64 { return b * 8 / 1e6 }
+
+// RunTimeline builds the system for the scenario, runs it for
+// Scenario.Hours of simulated time, and returns the measurement record.
+func RunTimeline(sc Scenario) (*Timeline, error) {
+	sys, err := Build(sc)
+	if err != nil {
+		return nil, err
+	}
+	tl := &Timeline{Scenario: sc}
+	s := sys.Sim
+
+	if err := s.ScheduleRepeating(sc.SampleSeconds, sc.SampleSeconds, func(now float64) {
+		q := s.SampleQuality()
+		snap := Snapshot{
+			Time:                   now,
+			Quality:                q.Overall,
+			PerChannelQuality:      q.PerChannel,
+			PerChannelUsers:        q.UsersPerChannel,
+			PerChannelReservedMbps: make([]float64, s.Channels()),
+			TotalUsers:             s.TotalUsers(),
+		}
+		for c := 0; c < s.Channels(); c++ {
+			cap, err := s.CloudCapacity(c)
+			if err == nil {
+				snap.PerChannelReservedMbps[c] = bytesPerSecToMbps(cap)
+			}
+		}
+		tl.Snapshots = append(tl.Snapshots, snap)
+	}); err != nil {
+		return nil, err
+	}
+
+	var prevBytes, prevCost float64
+	if err := s.ScheduleRepeating(3600, 3600, func(now float64) {
+		sys.Cloud.Advance(now)
+		vmCost, _ := sys.Cloud.Costs()
+		served := s.CloudBytesServed()
+		tl.Hourlies = append(tl.Hourlies, Hourly{
+			Hour:          now / 3600,
+			ReservedMbps:  bytesPerSecToMbps(s.TotalCloudCapacity()),
+			UsedMbps:      bytesPerSecToMbps((served - prevBytes) / 3600),
+			VMCostPerHour: vmCost - prevCost,
+		})
+		prevBytes = served
+		prevCost = vmCost
+	}); err != nil {
+		return nil, err
+	}
+
+	s.RunUntil(sc.Hours * 3600)
+	sys.Cloud.Advance(s.Now())
+	tl.VMCostTotal, tl.StorageCostTotal = sys.Cloud.Costs()
+	tl.Records = sys.Controller.Records()
+
+	var qSum float64
+	for _, snap := range tl.Snapshots {
+		qSum += snap.Quality
+	}
+	if len(tl.Snapshots) > 0 {
+		tl.MeanQuality = qSum / float64(len(tl.Snapshots))
+	}
+	return tl, nil
+}
+
+// MeanHourlyVMCost returns the average of the hourly VM rental costs.
+func (tl *Timeline) MeanHourlyVMCost() float64 {
+	if len(tl.Hourlies) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, h := range tl.Hourlies {
+		sum += h.VMCostPerHour
+	}
+	return sum / float64(len(tl.Hourlies))
+}
+
+// MeanReservedMbps returns the average provisioned cloud bandwidth.
+func (tl *Timeline) MeanReservedMbps() float64 {
+	if len(tl.Hourlies) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, h := range tl.Hourlies {
+		sum += h.ReservedMbps
+	}
+	return sum / float64(len(tl.Hourlies))
+}
+
+// ReservedCoversUsedFraction returns the fraction of hours in which the
+// provisioned bandwidth was at least the used bandwidth — Fig. 4's
+// "provisioned is larger than used in the majority of time".
+func (tl *Timeline) ReservedCoversUsedFraction() float64 {
+	if len(tl.Hourlies) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, h := range tl.Hourlies {
+		if h.ReservedMbps >= h.UsedMbps {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(tl.Hourlies))
+}

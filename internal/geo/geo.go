@@ -1,0 +1,220 @@
+// Package geo implements the extension the paper lists as ongoing work
+// ("expanding to cloud systems spanning different geographic locations"):
+// a multi-region CloudMedia deployment in which each region runs its own
+// user population, cloud infrastructure (with regional catalogs and
+// prices), and provisioning controller, while the provider reads one
+// aggregate bill and quality report.
+//
+// Regions are independent failure and pricing domains: arrivals are split
+// by configured population shares, and each regional controller runs the
+// full Sec. V-B loop against its local broker. The package reuses the same
+// building blocks as a single-region deployment — nothing in the analysis
+// changes, which is exactly the paper's implied claim.
+package geo
+
+import (
+	"fmt"
+
+	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/core"
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/sim"
+	"cloudmedia/internal/workload"
+)
+
+// Region describes one geographic location.
+type Region struct {
+	Name string
+	// Share is the fraction of global arrivals homed to this region.
+	// Shares must be positive and sum to 1 (within tolerance).
+	Share float64
+	// VMClusters and NFSClusters are the regional catalogs; regional price
+	// differences are the interesting knob. Empty slices use Tables II/III.
+	VMClusters  []cloud.VMClusterSpec
+	NFSClusters []cloud.NFSClusterSpec
+}
+
+// Config assembles a multi-region deployment.
+type Config struct {
+	Regions  []Region
+	Mode     sim.Mode
+	Channel  queueing.Config
+	Workload workload.Params // global trace; regional rate = global × share
+
+	IntervalSeconds      float64
+	VMBudgetPerHour      float64 // per-region budget
+	StorageBudgetPerHour float64
+	Transfer             queueing.TransferMatrix
+	Seed                 int64
+}
+
+// Validate checks deployment invariants.
+func (c Config) Validate() error {
+	if len(c.Regions) == 0 {
+		return fmt.Errorf("geo: no regions")
+	}
+	var total float64
+	seen := make(map[string]bool, len(c.Regions))
+	for i, r := range c.Regions {
+		if r.Name == "" {
+			return fmt.Errorf("geo: region %d has empty name", i)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("geo: duplicate region %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Share <= 0 {
+			return fmt.Errorf("geo: region %q: non-positive share %v", r.Name, r.Share)
+		}
+		total += r.Share
+	}
+	if total < 0.999 || total > 1.001 {
+		return fmt.Errorf("geo: region shares sum to %v, want 1", total)
+	}
+	if err := c.Channel.Validate(); err != nil {
+		return err
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Transfer == nil {
+		return fmt.Errorf("geo: nil transfer matrix")
+	}
+	return c.Transfer.Validate()
+}
+
+// RegionSystem is one region's running stack.
+type RegionSystem struct {
+	Region     Region
+	Sim        *sim.Simulator
+	Cloud      *cloud.Cloud
+	Broker     *cloud.Broker
+	Controller *core.Controller
+}
+
+// Deployment is the full multi-region system.
+type Deployment struct {
+	cfg     Config
+	regions []*RegionSystem
+}
+
+// New builds every regional stack, bootstraps provisioning from the
+// analytic t=0 estimates, and starts the hourly controllers.
+func New(cfg Config) (*Deployment, error) {
+	if cfg.IntervalSeconds == 0 {
+		cfg.IntervalSeconds = 3600
+	}
+	if cfg.VMBudgetPerHour == 0 {
+		cfg.VMBudgetPerHour = 100
+	}
+	if cfg.StorageBudgetPerHour == 0 {
+		cfg.StorageBudgetPerHour = 1
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Deployment{cfg: cfg}
+	for i, region := range cfg.Regions {
+		wl := cfg.Workload
+		wl.BaseArrivalRate = cfg.Workload.BaseArrivalRate * region.Share
+		s, err := sim.New(sim.Config{
+			Mode:     cfg.Mode,
+			Channel:  cfg.Channel,
+			Workload: wl,
+			Transfer: cfg.Transfer,
+			Seed:     cfg.Seed + int64(i)*7919, // distinct stream per region
+		})
+		if err != nil {
+			return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)
+		}
+		vmSpecs := region.VMClusters
+		if len(vmSpecs) == 0 {
+			vmSpecs = cloud.DefaultVMClusters()
+		}
+		nfsSpecs := region.NFSClusters
+		if len(nfsSpecs) == 0 {
+			nfsSpecs = cloud.DefaultNFSClusters()
+		}
+		cl, err := cloud.New(vmSpecs, nfsSpecs)
+		if err != nil {
+			return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)
+		}
+		broker, err := cloud.NewBroker(cl)
+		if err != nil {
+			return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)
+		}
+		ctl, err := core.NewController(s, cl, broker, core.Options{
+			IntervalSeconds:      cfg.IntervalSeconds,
+			VMBudgetPerHour:      cfg.VMBudgetPerHour,
+			StorageBudgetPerHour: cfg.StorageBudgetPerHour,
+			FallbackTransfer:     cfg.Transfer,
+			ApplyBootLatency:     true,
+			PeerSupplyTrust:      0.7,
+			ProvisionHeadroom:    1.2,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)
+		}
+
+		inputs := make([]core.ChannelInput, s.Channels())
+		for c := range inputs {
+			rate, err := wl.ChannelRate(c, 0)
+			if err != nil {
+				return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)
+			}
+			inputs[c] = core.ChannelInput{
+				ArrivalRate: rate,
+				Transfer:    cfg.Transfer,
+				MeanUplink:  wl.PeerUplink.Mean(),
+			}
+		}
+		ctl.Provision(0, inputs)
+		if err := ctl.Start(); err != nil {
+			return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)
+		}
+		d.regions = append(d.regions, &RegionSystem{
+			Region: region, Sim: s, Cloud: cl, Broker: broker, Controller: ctl,
+		})
+	}
+	return d, nil
+}
+
+// Regions returns the regional stacks in configuration order.
+func (d *Deployment) Regions() []*RegionSystem { return d.regions }
+
+// RunUntil advances every region to simulated time t (regions evolve
+// independently; cross-region traffic is out of scope, as in the paper's
+// sketch).
+func (d *Deployment) RunUntil(t float64) {
+	for _, r := range d.regions {
+		r.Sim.RunUntil(t)
+		r.Cloud.Advance(t)
+	}
+}
+
+// RegionReport is one region's aggregate outcome.
+type RegionReport struct {
+	Name        string
+	Users       int
+	Quality     float64
+	VMCost      float64
+	StorageCost float64
+}
+
+// Report summarizes every region plus the global totals.
+func (d *Deployment) Report() (regions []RegionReport, totalVM, totalStorage float64) {
+	for _, r := range d.regions {
+		vm, storage := r.Cloud.Costs()
+		q := r.Sim.SampleQuality()
+		regions = append(regions, RegionReport{
+			Name:        r.Region.Name,
+			Users:       r.Sim.TotalUsers(),
+			Quality:     q.Overall,
+			VMCost:      vm,
+			StorageCost: storage,
+		})
+		totalVM += vm
+		totalStorage += storage
+	}
+	return regions, totalVM, totalStorage
+}

@@ -1,0 +1,163 @@
+package geo
+
+import (
+	"testing"
+
+	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/sim"
+	"cloudmedia/internal/viewing"
+	"cloudmedia/internal/workload"
+)
+
+func testConfig(t *testing.T, regions []Region) Config {
+	t.Helper()
+	ch := queueing.Config{
+		Chunks:          5,
+		PlaybackRate:    50e3,
+		ChunkSeconds:    60,
+		VMBandwidth:     cloud.DefaultVMBandwidth,
+		EntryFirstChunk: 0.7,
+		SlotsPerVM:      5,
+	}
+	transfer, err := viewing.SequentialWithJumps(ch.Chunks, 0.9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := workload.Default()
+	wl.Channels = 2
+	wl.BaseArrivalRate = 0.6
+	wl.BaseLevel = 1
+	wl.FlashCrowds = nil
+	return Config{
+		Regions:         regions,
+		Mode:            sim.ClientServer,
+		Channel:         ch,
+		Workload:        wl,
+		Transfer:        transfer,
+		IntervalSeconds: 600,
+		Seed:            5,
+	}
+}
+
+func twoRegions() []Region {
+	return []Region{
+		{Name: "us-east", Share: 0.7},
+		{Name: "eu-west", Share: 0.3},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := testConfig(t, twoRegions())
+
+	noRegions := base
+	noRegions.Regions = nil
+	if _, err := New(noRegions); err == nil {
+		t.Error("no regions accepted")
+	}
+
+	badShare := base
+	badShare.Regions = []Region{{Name: "a", Share: 0.5}, {Name: "b", Share: 0.2}}
+	if _, err := New(badShare); err == nil {
+		t.Error("shares not summing to 1 accepted")
+	}
+
+	dup := base
+	dup.Regions = []Region{{Name: "a", Share: 0.5}, {Name: "a", Share: 0.5}}
+	if _, err := New(dup); err == nil {
+		t.Error("duplicate region accepted")
+	}
+
+	unnamed := base
+	unnamed.Regions = []Region{{Name: "", Share: 1}}
+	if _, err := New(unnamed); err == nil {
+		t.Error("unnamed region accepted")
+	}
+
+	noTransfer := base
+	noTransfer.Transfer = nil
+	if _, err := New(noTransfer); err == nil {
+		t.Error("nil transfer accepted")
+	}
+}
+
+func TestDeploymentSplitsPopulationByShare(t *testing.T) {
+	d, err := New(testConfig(t, twoRegions()))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	d.RunUntil(3 * 600)
+	regions, totalVM, _ := d.Report()
+	if len(regions) != 2 {
+		t.Fatalf("regions = %d", len(regions))
+	}
+	if regions[0].Users <= regions[1].Users {
+		t.Errorf("us-east (70%% share) has %d users vs eu-west %d", regions[0].Users, regions[1].Users)
+	}
+	if totalVM <= 0 {
+		t.Error("no VM cost accrued")
+	}
+	for _, r := range regions {
+		if r.Quality < 0.7 {
+			t.Errorf("region %s quality %v", r.Name, r.Quality)
+		}
+	}
+}
+
+func TestRegionalPricingChangesBill(t *testing.T) {
+	run := func(priceFactor float64) float64 {
+		specs := cloud.DefaultVMClusters()
+		for i := range specs {
+			specs[i].PricePerHour *= priceFactor
+		}
+		regions := []Region{{Name: "only", Share: 1, VMClusters: specs}}
+		d, err := New(testConfig(t, regions))
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		d.RunUntil(2 * 600)
+		_, totalVM, _ := d.Report()
+		return totalVM
+	}
+	cheap := run(0.5)
+	expensive := run(1.0)
+	if cheap >= expensive {
+		t.Errorf("half-price region bill %v not below full price %v", cheap, expensive)
+	}
+}
+
+func TestRegionsAreIndependentSeedStreams(t *testing.T) {
+	d, err := New(testConfig(t, []Region{
+		{Name: "a", Share: 0.5},
+		{Name: "b", Share: 0.5},
+	}))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	d.RunUntil(1200)
+	regions, _, _ := d.Report()
+	// Equal shares but distinct seed streams: byte-identical populations at
+	// every instant would indicate correlated randomness.
+	a, errA := d.Regions()[0].Sim.ChannelCloudBytes(0)
+	b, errB := d.Regions()[1].Sim.ChannelCloudBytes(0)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if a == b && regions[0].Users == regions[1].Users {
+		t.Error("regions appear to share a random stream")
+	}
+}
+
+func TestDeploymentDefaultsApplied(t *testing.T) {
+	cfg := testConfig(t, twoRegions())
+	cfg.IntervalSeconds = 0
+	cfg.VMBudgetPerHour = 0
+	cfg.StorageBudgetPerHour = 0
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if len(d.Regions()) != 2 {
+		t.Error("regions not built")
+	}
+}

@@ -1,0 +1,221 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfWeights(t *testing.T) {
+	w, err := ZipfWeights(5, 1)
+	if err != nil {
+		t.Fatalf("ZipfWeights: %v", err)
+	}
+	if len(w) != 5 {
+		t.Fatalf("len = %d, want 5", len(w))
+	}
+	if !ApproxEqual(Sum(w), 1, 1e-12) {
+		t.Errorf("weights sum to %v, want 1", Sum(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] > w[i-1] {
+			t.Errorf("weights not decreasing at %d: %v > %v", i, w[i], w[i-1])
+		}
+	}
+	// For s=1: w1/w2 = 2.
+	if !ApproxEqual(w[0]/w[1], 2, 1e-12) {
+		t.Errorf("w0/w1 = %v, want 2", w[0]/w[1])
+	}
+}
+
+func TestZipfWeightsUniformAtZeroExponent(t *testing.T) {
+	w, err := ZipfWeights(4, 0)
+	if err != nil {
+		t.Fatalf("ZipfWeights: %v", err)
+	}
+	for _, x := range w {
+		if !ApproxEqual(x, 0.25, 1e-12) {
+			t.Errorf("weight %v, want 0.25", x)
+		}
+	}
+}
+
+func TestZipfWeightsErrors(t *testing.T) {
+	if _, err := ZipfWeights(0, 1); err == nil {
+		t.Error("n=0: want error")
+	}
+	if _, err := ZipfWeights(3, -1); err == nil {
+		t.Error("negative s: want error")
+	}
+}
+
+func TestBoundedParetoValidation(t *testing.T) {
+	if _, err := NewBoundedPareto(0, 1, 3); err == nil {
+		t.Error("lo=0: want error")
+	}
+	if _, err := NewBoundedPareto(2, 1, 3); err == nil {
+		t.Error("hi<lo: want error")
+	}
+	if _, err := NewBoundedPareto(1, 2, 0); err == nil {
+		t.Error("shape=0: want error")
+	}
+}
+
+func TestBoundedParetoSamplesInRange(t *testing.T) {
+	p, err := NewBoundedPareto(180e3, 10e6, 3) // the paper's peer uplink distribution
+	if err != nil {
+		t.Fatalf("NewBoundedPareto: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		x := p.Sample(rng)
+		if x < p.Lo || x > p.Hi {
+			t.Fatalf("sample %v outside [%v, %v]", x, p.Lo, p.Hi)
+		}
+	}
+}
+
+func TestBoundedParetoEmpiricalMeanMatchesAnalytic(t *testing.T) {
+	p, err := NewBoundedPareto(1, 100, 3)
+	if err != nil {
+		t.Fatalf("NewBoundedPareto: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(p.Sample(rng))
+	}
+	if !ApproxEqual(s.Mean(), p.Mean(), 0.02) {
+		t.Errorf("empirical mean %v vs analytic %v", s.Mean(), p.Mean())
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var s Summary
+	for i := 0; i < 100000; i++ {
+		s.Add(Exponential(rng, 15))
+	}
+	if !ApproxEqual(s.Mean(), 15, 0.05) {
+		t.Errorf("empirical mean %v, want ≈15", s.Mean())
+	}
+	if Exponential(rng, 0) != 0 {
+		t.Error("zero mean should give 0")
+	}
+}
+
+func TestPoissonCountMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, mean := range []float64{0.5, 5, 60, 800} {
+		var s Summary
+		for i := 0; i < 20000; i++ {
+			s.Add(float64(PoissonCount(rng, mean)))
+		}
+		if !ApproxEqual(s.Mean(), mean, 0.08) {
+			t.Errorf("Poisson(%v): empirical mean %v", mean, s.Mean())
+		}
+	}
+	if PoissonCount(rng, 0) != 0 {
+		t.Error("zero mean should give 0")
+	}
+}
+
+func TestNextPoissonArrival(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if !math.IsInf(NextPoissonArrival(rng, 0, 0), 1) {
+		t.Error("zero rate should give +Inf")
+	}
+	var s Summary
+	for i := 0; i < 50000; i++ {
+		s.Add(NextPoissonArrival(rng, 100, 2) - 100)
+	}
+	if !ApproxEqual(s.Mean(), 0.5, 0.05) {
+		t.Errorf("inter-arrival mean %v, want ≈0.5", s.Mean())
+	}
+}
+
+func TestNextNHPPArrivalRespectsRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Rate 4 on [0,10): expected ~40 arrivals.
+	rate := func(t float64) float64 { return 4 }
+	var count int
+	now := 0.0
+	for {
+		next := NextNHPPArrival(rng, now, 10, 8, rate)
+		if math.IsInf(next, 1) {
+			break
+		}
+		if next <= now || next >= 10 {
+			t.Fatalf("arrival %v outside (now, horizon)", next)
+		}
+		now = next
+		count++
+	}
+	if count < 20 || count > 70 {
+		t.Errorf("count = %d, want ≈40", count)
+	}
+}
+
+func TestNextNHPPArrivalZeroEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if !math.IsInf(NextNHPPArrival(rng, 0, 10, 0, func(float64) float64 { return 1 }), 1) {
+		t.Error("zero envelope should give +Inf")
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	counts := make([]int, 3)
+	w := []float64{1, 2, 7}
+	for i := 0; i < 100000; i++ {
+		idx := WeightedChoice(rng, w)
+		if idx < 0 || idx > 2 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	if f := float64(counts[2]) / 100000; !ApproxEqual(f, 0.7, 0.05) {
+		t.Errorf("heaviest weight frequency %v, want ≈0.7", f)
+	}
+	if WeightedChoice(rng, []float64{0, 0}) != -1 {
+		t.Error("all-zero weights should return -1")
+	}
+	if WeightedChoice(rng, nil) != -1 {
+		t.Error("nil weights should return -1")
+	}
+}
+
+func TestWeightedChoiceSkipsNegativeAndZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	w := []float64{0, -3, 5, 0}
+	for i := 0; i < 1000; i++ {
+		if idx := WeightedChoice(rng, w); idx != 2 {
+			t.Fatalf("index %d, want 2 (only positive weight)", idx)
+		}
+	}
+}
+
+// Property: ZipfWeights always sums to 1 and is non-increasing.
+func TestZipfWeightsProperty(t *testing.T) {
+	f := func(nRaw uint8, sRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		s := float64(sRaw%30) / 10
+		w, err := ZipfWeights(n, s)
+		if err != nil {
+			return false
+		}
+		if !ApproxEqual(Sum(w), 1, 1e-9) {
+			return false
+		}
+		for i := 1; i < len(w); i++ {
+			if w[i] > w[i-1]+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

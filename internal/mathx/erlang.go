@@ -1,0 +1,198 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrUnstable is returned when an M/M/m queue has offered load a = λ/µ ≥ m,
+// i.e. no equilibrium exists.
+var ErrUnstable = errors.New("mathx: queue unstable (offered load >= servers)")
+
+// ErlangB returns the Erlang-B blocking probability B(m, a) for m servers
+// and offered load a = λ/µ, computed with the standard numerically stable
+// recurrence B(0)=1, B(k) = a·B(k−1) / (k + a·B(k−1)).
+func ErlangB(m int, a float64) float64 {
+	b := 1.0
+	for k := 1; k <= m; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b
+}
+
+// ErlangC returns the Erlang-C delay probability C(m, a): the probability
+// that an arriving job must wait in an M/M/m queue with m servers and
+// offered load a = λ/µ. Requires a < m for a meaningful (finite-queue)
+// answer; callers should check stability first.
+func ErlangC(m int, a float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	mm := float64(m)
+	if a >= mm {
+		return 1
+	}
+	b := ErlangB(m, a)
+	return mm * b / (mm - a*(1-b))
+}
+
+// MMm describes a stable M/M/m queue in equilibrium. Construct with NewMMm.
+type MMm struct {
+	Lambda  float64 // arrival rate λ (jobs per unit time)
+	Mu      float64 // per-server service rate µ
+	Servers int     // m
+
+	offered float64 // a = λ/µ
+	delayP  float64 // Erlang-C C(m, a)
+}
+
+// NewMMm validates parameters and returns the equilibrium description of an
+// M/M/m queue. It returns ErrUnstable if λ/µ ≥ m.
+func NewMMm(lambda, mu float64, m int) (MMm, error) {
+	switch {
+	case lambda < 0:
+		return MMm{}, fmt.Errorf("mathx: negative arrival rate %v", lambda)
+	case mu <= 0:
+		return MMm{}, fmt.Errorf("mathx: non-positive service rate %v", mu)
+	case m <= 0:
+		return MMm{}, fmt.Errorf("mathx: non-positive server count %d", m)
+	}
+	a := lambda / mu
+	if a >= float64(m) {
+		return MMm{}, ErrUnstable
+	}
+	return MMm{
+		Lambda:  lambda,
+		Mu:      mu,
+		Servers: m,
+		offered: a,
+		delayP:  ErlangC(m, a),
+	}, nil
+}
+
+// OfferedLoad returns a = λ/µ.
+func (q MMm) OfferedLoad() float64 { return q.offered }
+
+// Utilization returns ρ = λ/(m·µ) ∈ [0, 1).
+func (q MMm) Utilization() float64 { return q.offered / float64(q.Servers) }
+
+// DelayProbability returns the Erlang-C probability that an arrival waits.
+func (q MMm) DelayProbability() float64 { return q.delayP }
+
+// MeanQueueLength returns E[L_q], the expected number of jobs waiting
+// (excluding jobs in service).
+func (q MMm) MeanQueueLength() float64 {
+	if q.Lambda == 0 {
+		return 0
+	}
+	return q.delayP * q.offered / (float64(q.Servers) - q.offered)
+}
+
+// MeanJobs returns E[n], the expected number of jobs in the system (waiting
+// plus in service). This is Eqn. (3) of the paper in closed form:
+// E[n] = a + C(m,a)·a/(m−a).
+func (q MMm) MeanJobs() float64 {
+	return q.offered + q.MeanQueueLength()
+}
+
+// MeanWait returns E[W_q], the expected waiting time before service starts.
+func (q MMm) MeanWait() float64 {
+	if q.Lambda == 0 {
+		return 0
+	}
+	return q.MeanQueueLength() / q.Lambda
+}
+
+// MeanSojourn returns E[T], the expected total time in system (waiting plus
+// service). By Little's law E[T] = E[n]/λ.
+func (q MMm) MeanSojourn() float64 {
+	if q.Lambda == 0 {
+		return 1 / q.Mu
+	}
+	return q.MeanJobs() / q.Lambda
+}
+
+// StateProbability returns p(k), the equilibrium probability of exactly k
+// jobs in the system (Eqn. (2) of the paper).
+func (q MMm) StateProbability(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	p0 := q.emptyProbability()
+	a := q.offered
+	m := q.Servers
+	if k <= m {
+		// p0 · a^k / k!  computed incrementally to avoid overflow.
+		p := p0
+		for i := 1; i <= k; i++ {
+			p *= a / float64(i)
+		}
+		return p
+	}
+	// p(m) · (a/m)^(k−m)
+	pm := p0
+	for i := 1; i <= m; i++ {
+		pm *= a / float64(i)
+	}
+	return pm * math.Pow(a/float64(m), float64(k-m))
+}
+
+// emptyProbability returns p(0) using the standard M/M/m normalization.
+func (q MMm) emptyProbability() float64 {
+	a := q.offered
+	m := q.Servers
+	sum := 0.0
+	term := 1.0 // a^k/k! for k = 0
+	for k := 0; k < m; k++ {
+		sum += term
+		term *= a / float64(k+1)
+	}
+	// term is now a^m/m!; add the waiting-tail mass a^m/m! · m/(m−a).
+	sum += term * float64(m) / (float64(m) - a)
+	return 1 / sum
+}
+
+// MinServersForSojourn returns the smallest server count m such that the
+// M/M/m queue with rates (λ, µ) is stable and has mean sojourn time at most
+// target. This is the paper's iterative sizing rule from Sec. IV-B:
+// start at m=1 and grow m until E[n] ≤ λ·T₀ (equivalently E[T] ≤ T₀ by
+// Little's law). maxServers bounds the search; if the target is unreachable
+// within the bound an error is returned.
+func MinServersForSojourn(lambda, mu, target float64, maxServers int) (int, error) {
+	switch {
+	case lambda < 0:
+		return 0, fmt.Errorf("mathx: negative arrival rate %v", lambda)
+	case mu <= 0:
+		return 0, fmt.Errorf("mathx: non-positive service rate %v", mu)
+	case target <= 0:
+		return 0, fmt.Errorf("mathx: non-positive sojourn target %v", target)
+	case maxServers <= 0:
+		return 0, fmt.Errorf("mathx: non-positive server bound %d", maxServers)
+	}
+	if lambda == 0 {
+		// A single server serves the (nonexistent) load; sojourn is 1/µ.
+		if 1/mu <= target {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("mathx: service time 1/µ=%v exceeds target %v", 1/mu, target)
+	}
+	if 1/mu > target {
+		// Even with zero waiting the service time alone misses the target.
+		return 0, fmt.Errorf("mathx: service time 1/µ=%v exceeds target %v", 1/mu, target)
+	}
+	start := int(math.Floor(lambda/mu)) + 1 // smallest stable m
+	if start < 1 {
+		start = 1
+	}
+	for m := start; m <= maxServers; m++ {
+		q, err := NewMMm(lambda, mu, m)
+		if err != nil {
+			continue
+		}
+		if q.MeanSojourn() <= target {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("mathx: no m ≤ %d meets sojourn target %v (λ=%v µ=%v)", maxServers, target, lambda, mu)
+}

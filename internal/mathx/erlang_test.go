@@ -1,0 +1,213 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestErlangBKnownValues(t *testing.T) {
+	// Classic reference values for the Erlang-B formula.
+	tests := []struct {
+		m    int
+		a    float64
+		want float64
+	}{
+		{1, 1, 0.5},
+		{2, 1, 0.2},
+		{5, 3, 0.110054},
+		{10, 5, 0.018385},
+	}
+	for _, tc := range tests {
+		got := ErlangB(tc.m, tc.a)
+		if !ApproxEqual(got, tc.want, 1e-4) {
+			t.Errorf("ErlangB(%d, %v) = %v, want %v", tc.m, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestErlangCSingleServerMatchesMM1(t *testing.T) {
+	// For m = 1, Erlang-C reduces to the M/M/1 delay probability ρ.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		if got := ErlangC(1, rho); !ApproxEqual(got, rho, 1e-12) {
+			t.Errorf("ErlangC(1, %v) = %v, want %v", rho, got, rho)
+		}
+	}
+}
+
+func TestErlangCBounds(t *testing.T) {
+	if got := ErlangC(5, 0); got != 0 {
+		t.Errorf("ErlangC(5, 0) = %v, want 0", got)
+	}
+	if got := ErlangC(3, 3); got != 1 {
+		t.Errorf("ErlangC at saturation = %v, want 1", got)
+	}
+	if got := ErlangC(3, 5); got != 1 {
+		t.Errorf("ErlangC overloaded = %v, want 1", got)
+	}
+}
+
+func TestNewMMmValidation(t *testing.T) {
+	if _, err := NewMMm(-1, 1, 1); err == nil {
+		t.Error("negative λ: want error")
+	}
+	if _, err := NewMMm(1, 0, 1); err == nil {
+		t.Error("zero µ: want error")
+	}
+	if _, err := NewMMm(1, 1, 0); err == nil {
+		t.Error("zero m: want error")
+	}
+	if _, err := NewMMm(2, 1, 2); !errors.Is(err, ErrUnstable) {
+		t.Errorf("saturated queue: err = %v, want ErrUnstable", err)
+	}
+}
+
+func TestMM1MatchesClosedForm(t *testing.T) {
+	// M/M/1: E[n] = ρ/(1−ρ), E[T] = 1/(µ−λ).
+	lambda, mu := 0.6, 1.0
+	q, err := NewMMm(lambda, mu, 1)
+	if err != nil {
+		t.Fatalf("NewMMm: %v", err)
+	}
+	rho := lambda / mu
+	if got, want := q.MeanJobs(), rho/(1-rho); !ApproxEqual(got, want, 1e-10) {
+		t.Errorf("MeanJobs = %v, want %v", got, want)
+	}
+	if got, want := q.MeanSojourn(), 1/(mu-lambda); !ApproxEqual(got, want, 1e-10) {
+		t.Errorf("MeanSojourn = %v, want %v", got, want)
+	}
+}
+
+func TestMMmLittlesLaw(t *testing.T) {
+	q, err := NewMMm(7, 1.5, 6)
+	if err != nil {
+		t.Fatalf("NewMMm: %v", err)
+	}
+	if got, want := q.MeanJobs(), q.Lambda*q.MeanSojourn(); !ApproxEqual(got, want, 1e-10) {
+		t.Errorf("Little's law violated: E[n]=%v λE[T]=%v", got, want)
+	}
+}
+
+func TestMMmStateProbabilitiesSumToOne(t *testing.T) {
+	q, err := NewMMm(4, 1, 6)
+	if err != nil {
+		t.Fatalf("NewMMm: %v", err)
+	}
+	var sum float64
+	for k := 0; k < 300; k++ {
+		sum += q.StateProbability(k)
+	}
+	if !ApproxEqual(sum, 1, 1e-9) {
+		t.Errorf("state probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestMMmMeanJobsMatchesStateSum(t *testing.T) {
+	// E[n] from the closed form must agree with Σ k·p(k) — this is exactly
+	// the paper's Eqn. (3) versus our Erlang-C shortcut.
+	q, err := NewMMm(5, 1.2, 7)
+	if err != nil {
+		t.Fatalf("NewMMm: %v", err)
+	}
+	var byState float64
+	for k := 0; k < 500; k++ {
+		byState += float64(k) * q.StateProbability(k)
+	}
+	if got := q.MeanJobs(); !ApproxEqual(got, byState, 1e-6) {
+		t.Errorf("MeanJobs=%v, Σk·p(k)=%v", got, byState)
+	}
+}
+
+func TestMinServersForSojourn(t *testing.T) {
+	// λ=10/s, µ=1/s: need at least 11 servers for stability.
+	m, err := MinServersForSojourn(10, 1, 1.5, 1000)
+	if err != nil {
+		t.Fatalf("MinServersForSojourn: %v", err)
+	}
+	if m < 11 {
+		t.Errorf("m = %d, want at least 11 (stability)", m)
+	}
+	q, err := NewMMm(10, 1, m)
+	if err != nil {
+		t.Fatalf("NewMMm(%d): %v", m, err)
+	}
+	if q.MeanSojourn() > 1.5 {
+		t.Errorf("sojourn %v exceeds target at m=%d", q.MeanSojourn(), m)
+	}
+	if m > 11 {
+		// Minimality: one fewer server must miss the target (or be unstable).
+		prev, err := NewMMm(10, 1, m-1)
+		if err == nil && prev.MeanSojourn() <= 1.5 {
+			t.Errorf("m=%d not minimal: m-1 already meets target", m)
+		}
+	}
+}
+
+func TestMinServersForSojournZeroLoad(t *testing.T) {
+	m, err := MinServersForSojourn(0, 1, 2, 10)
+	if err != nil {
+		t.Fatalf("MinServersForSojourn: %v", err)
+	}
+	if m != 1 {
+		t.Errorf("m = %d, want 1 for zero load", m)
+	}
+}
+
+func TestMinServersForSojournUnreachable(t *testing.T) {
+	// Service time 1/µ = 10 alone exceeds target 1: no m works.
+	if _, err := MinServersForSojourn(1, 0.1, 1, 100); err == nil {
+		t.Error("want error when service time exceeds target")
+	}
+	// Bound too small to stabilize the queue.
+	if _, err := MinServersForSojourn(1000, 1, 2000, 5); err == nil {
+		t.Error("want error when maxServers below stability threshold")
+	}
+}
+
+// TestMinServersProperty: the returned m is always stable, meets the
+// target, and is minimal.
+func TestMinServersProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lambda := 0.5 + r.Float64()*30
+		mu := 0.5 + r.Float64()*3
+		target := 1/mu + r.Float64()*5 // always reachable
+		m, err := MinServersForSojourn(lambda, mu, target, 100000)
+		if err != nil {
+			return false
+		}
+		q, err := NewMMm(lambda, mu, m)
+		if err != nil || q.MeanSojourn() > target+1e-9 {
+			return false
+		}
+		if m == 1 {
+			return true
+		}
+		prev, err := NewMMm(lambda, mu, m-1)
+		if err != nil {
+			return true // m−1 unstable → minimal
+		}
+		return prev.MeanSojourn() > target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSojournMonotoneInServers(t *testing.T) {
+	prev := math.Inf(1)
+	for m := 4; m <= 20; m++ {
+		q, err := NewMMm(3.5, 1, m)
+		if err != nil {
+			t.Fatalf("NewMMm(%d): %v", m, err)
+		}
+		if s := q.MeanSojourn(); s > prev+1e-12 {
+			t.Errorf("sojourn not monotone: m=%d gives %v > %v", m, s, prev)
+		} else {
+			prev = s
+		}
+	}
+}

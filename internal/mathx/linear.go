@@ -1,0 +1,106 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned by SolveLinear when the coefficient matrix is
+// singular (or numerically so close to singular that elimination fails).
+var ErrSingular = errors.New("mathx: singular matrix")
+
+// SolveLinear solves the dense linear system A·x = b using Gaussian
+// elimination with partial pivoting and returns x.
+//
+// A must be square with len(A) == len(b); A and b are not modified.
+// The chunk-transfer systems in this codebase have dimension J ≈ 20, so a
+// direct O(n³) solve is both exact and cheap.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, errors.New("mathx: empty system")
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("mathx: dimension mismatch: %d rows, %d rhs entries", n, len(b))
+	}
+
+	// Work on copies so the caller's data stays intact.
+	m := make([][]float64, n)
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("mathx: row %d has %d columns, want %d", i, len(row), n)
+		}
+		m[i] = make([]float64, n)
+		copy(m[i], row)
+	}
+	rhs := make([]float64, n)
+	copy(rhs, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest magnitude in this column.
+		pivot := col
+		maxAbs := math.Abs(m[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(m[r][col]); abs > maxAbs {
+				maxAbs = abs
+				pivot = r
+			}
+		}
+		if maxAbs < 1e-13 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			m[col], m[pivot] = m[pivot], m[col]
+			rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		}
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			m[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := rhs[i]
+		for c := i + 1; c < n; c++ {
+			sum -= m[i][c] * x[c]
+		}
+		x[i] = sum / m[i][i]
+	}
+	return x, nil
+}
+
+// MatVec returns A·x for a dense matrix A.
+func MatVec(a [][]float64, x []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, row := range a {
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Residual returns the max-norm of A·x − b, used by tests and by callers
+// that want to sanity-check a solve.
+func Residual(a [][]float64, x, b []float64) float64 {
+	ax := MatVec(a, x)
+	var worst float64
+	for i := range ax {
+		if d := math.Abs(ax[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

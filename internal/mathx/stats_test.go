@@ -1,0 +1,119 @@
+package mathx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Error("zero-value Summary should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Errorf("Count = %d, want 8", s.Count())
+	}
+	if !ApproxEqual(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if !ApproxEqual(s.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v, want %v", s.Variance(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(42)
+	if s.Mean() != 42 || s.Min() != 42 || s.Max() != 42 {
+		t.Errorf("single obs: mean=%v min=%v max=%v", s.Mean(), s.Min(), s.Max())
+	}
+	if s.Variance() != 0 {
+		t.Errorf("Variance = %v, want 0 for single obs", s.Variance())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct{ p, want float64 }{
+		{0, 10}, {0.5, 30}, {1, 50}, {0.25, 20}, {0.125, 15},
+	}
+	for _, tc := range tests {
+		if got := Percentile(xs, tc.p); !ApproxEqual(got, tc.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty slice should give 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanSum(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); !ApproxEqual(got, 2, 1e-12) {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Sum([]float64{1.5, 2.5}); got != 4 {
+		t.Errorf("Sum = %v, want 4", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1e9, 1e9+1, 1e-6) {
+		t.Error("relative comparison should match")
+	}
+	if ApproxEqual(1, 2, 1e-6) {
+		t.Error("1 and 2 should not match")
+	}
+	if !ApproxEqual(0, 1e-9, 1e-6) {
+		t.Error("absolute comparison near zero should match")
+	}
+}
+
+// Property: Summary mean/variance agree with two-pass formulas.
+func TestSummaryMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(100)
+		xs := make([]float64, n)
+		var s Summary
+		for i := range xs {
+			xs[i] = r.Float64()*200 - 100
+			s.Add(xs[i])
+		}
+		mean := Mean(xs)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(n-1)
+		return ApproxEqual(s.Mean(), mean, 1e-9) && ApproxEqual(s.Variance(), variance, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package metrics provides the time-series recording and tabular reporting
+// used by the experiment harness: every figure in the paper is a set of
+// (time, value) series or an (x, y) scatter, rendered as aligned text
+// columns or CSV.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cloudmedia/internal/mathx"
+)
+
+// TimeSeries is an append-only sequence of (time, value) samples.
+type TimeSeries struct {
+	Name   string
+	times  []float64
+	values []float64
+}
+
+// NewTimeSeries returns an empty named series.
+func NewTimeSeries(name string) *TimeSeries {
+	return &TimeSeries{Name: name}
+}
+
+// Add appends one sample. Times should be non-decreasing; Add enforces this
+// to catch misuse of the simulated clock.
+func (ts *TimeSeries) Add(t, v float64) error {
+	if n := len(ts.times); n > 0 && t < ts.times[n-1] {
+		return fmt.Errorf("metrics: time %v before last sample %v in %q", t, ts.times[n-1], ts.Name)
+	}
+	ts.times = append(ts.times, t)
+	ts.values = append(ts.values, v)
+	return nil
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.values) }
+
+// At returns the i-th sample.
+func (ts *TimeSeries) At(i int) (t, v float64) { return ts.times[i], ts.values[i] }
+
+// Values returns a copy of the sample values.
+func (ts *TimeSeries) Values() []float64 {
+	out := make([]float64, len(ts.values))
+	copy(out, ts.values)
+	return out
+}
+
+// Times returns a copy of the sample times.
+func (ts *TimeSeries) Times() []float64 {
+	out := make([]float64, len(ts.times))
+	copy(out, ts.times)
+	return out
+}
+
+// Mean returns the mean sample value (0 when empty).
+func (ts *TimeSeries) Mean() float64 { return mathx.Mean(ts.values) }
+
+// Max returns the largest sample value (0 when empty).
+func (ts *TimeSeries) Max() float64 {
+	var m float64
+	for i, v := range ts.values {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest sample value (0 when empty).
+func (ts *TimeSeries) Min() float64 {
+	var m float64
+	for i, v := range ts.values {
+		if i == 0 || v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Table is a simple column-oriented result table for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "## %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as CSV (header row first).
+func (t *Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeriesTable aligns several time series that share sampling times into a
+// table with one time column. Series shorter than the longest are padded
+// with empty cells.
+func SeriesTable(title, timeHeader string, series ...*TimeSeries) *Table {
+	headers := make([]string, 0, len(series)+1)
+	headers = append(headers, timeHeader)
+	longest := 0
+	for _, s := range series {
+		headers = append(headers, s.Name)
+		if s.Len() > longest {
+			longest = s.Len()
+		}
+	}
+	tbl := NewTable(title, headers...)
+	for i := 0; i < longest; i++ {
+		row := make([]any, 0, len(series)+1)
+		var tm float64
+		for _, s := range series {
+			if s.Len() > i {
+				tm, _ = s.At(i)
+				break
+			}
+		}
+		row = append(row, tm)
+		for _, s := range series {
+			if s.Len() > i {
+				_, v := s.At(i)
+				row = append(row, v)
+			} else {
+				row = append(row, "")
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl
+}

@@ -1,0 +1,59 @@
+package provision
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrInfeasible signals that the configured budget (or total cluster
+// capacity) cannot accommodate the demand; per the paper, the VoD provider
+// should increase the corresponding budget.
+var ErrInfeasible = errors.New("provision: budget or capacity infeasible")
+
+// ChunkDemand is the provisioning unit: one chunk of one channel and its
+// required cloud upload capacity E[Δ] in bytes/s, as produced by the
+// queueing (client-server) or p2p (peer-assisted) analysis.
+type ChunkDemand struct {
+	Channel int     // channel index c
+	Chunk   int     // chunk index i within the channel
+	Demand  float64 // Δ(c,i), bytes/s
+}
+
+// validateDemands checks demand invariants shared by both heuristics.
+func validateDemands(demands []ChunkDemand) error {
+	seen := make(map[[2]int]bool, len(demands))
+	for _, d := range demands {
+		if d.Channel < 0 || d.Chunk < 0 {
+			return fmt.Errorf("provision: negative chunk identity (%d,%d)", d.Channel, d.Chunk)
+		}
+		if d.Demand < 0 {
+			return fmt.Errorf("provision: negative demand %v for chunk (%d,%d)", d.Demand, d.Channel, d.Chunk)
+		}
+		key := [2]int{d.Channel, d.Chunk}
+		if seen[key] {
+			return fmt.Errorf("provision: duplicate chunk (%d,%d)", d.Channel, d.Chunk)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// sortByDemand returns the demands ordered by descending Δ, breaking ties
+// by (channel, chunk) so the greedy pass is deterministic and consecutive
+// chunks stay adjacent — that adjacency is what lets fractional VM shares
+// of one channel pack onto shared VMs.
+func sortByDemand(demands []ChunkDemand) []ChunkDemand {
+	out := make([]ChunkDemand, len(demands))
+	copy(out, demands)
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Demand != out[b].Demand {
+			return out[a].Demand > out[b].Demand
+		}
+		if out[a].Channel != out[b].Channel {
+			return out[a].Channel < out[b].Channel
+		}
+		return out[a].Chunk < out[b].Chunk
+	})
+	return out
+}

@@ -1,0 +1,20 @@
+// Package provision implements the two rental optimization problems of
+// Sec. V-A and the paper's greedy heuristics for them.
+//
+// Storage rental (Eqn. 6) decides which NFS cluster each chunk is placed
+// on, maximizing Σ u_f·Δ_i·x_if subject to single placement, cluster
+// capacities, and the storage budget B_S. The heuristic sorts chunks by
+// demand Δ (descending) and clusters by marginal utility per cost u_f/p_f
+// (descending), then places greedily.
+//
+// VM configuration (Eqn. 7) decides how many VMs z_iv to rent per virtual
+// cluster for each chunk, maximizing Σ ũ_v·z_iv subject to covering each
+// chunk's demand Δ_i/R, cluster VM counts N_v, and the VM budget B_M. The
+// heuristic sorts clusters by ũ_v/p̃_v and fills greedily; allocations may
+// be fractional, with fractional parts of consecutive chunks in a channel
+// sharing a VM (the paper's packing rule).
+//
+// If a budget or all capacity runs out before every chunk is handled, the
+// problem is infeasible and the heuristics return ErrInfeasible — the
+// paper's signal that the provider must raise its budget.
+package provision

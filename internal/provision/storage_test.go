@@ -1,0 +1,159 @@
+package provision
+
+import (
+	"errors"
+	"testing"
+
+	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/mathx"
+)
+
+const paperChunkBytes = 15e6 // rT₀ = 50 KB/s × 300 s
+
+func demandsFor(values ...float64) []ChunkDemand {
+	out := make([]ChunkDemand, len(values))
+	for i, v := range values {
+		out[i] = ChunkDemand{Channel: 0, Chunk: i, Demand: v}
+	}
+	return out
+}
+
+func TestPlanStoragePrefersHighMarginalUtility(t *testing.T) {
+	clusters := cloud.DefaultNFSClusters()
+	// standard: 0.8/1.11e-4 ≈ 7207; high: 1.0/2.08e-4 ≈ 4808 → standard wins.
+	plan, err := PlanStorage(demandsFor(10e6, 5e6), paperChunkBytes, clusters, 1)
+	if err != nil {
+		t.Fatalf("PlanStorage: %v", err)
+	}
+	for _, pl := range plan.Placements {
+		if pl.Cluster != "standard" {
+			t.Errorf("chunk %d placed on %q, want standard (best u/p)", pl.Chunk, pl.Cluster)
+		}
+	}
+	if plan.GBPerCluster["standard"] <= 0 {
+		t.Error("no storage accounted on standard")
+	}
+	wantUtility := 0.8 * (10e6 + 5e6)
+	if !mathx.ApproxEqual(plan.Utility, wantUtility, 1e-9) {
+		t.Errorf("Utility = %v, want %v", plan.Utility, wantUtility)
+	}
+}
+
+func TestPlanStorageOverflowsToSecondCluster(t *testing.T) {
+	clusters := []cloud.NFSClusterSpec{
+		{Name: "tiny", Utility: 1, PricePerGBHour: 1e-4, CapacityGB: 0.02}, // fits one 15 MB chunk
+		{Name: "big", Utility: 0.5, PricePerGBHour: 1e-4, CapacityGB: 1000},
+	}
+	plan, err := PlanStorage(demandsFor(10, 5, 1), paperChunkBytes, clusters, 10)
+	if err != nil {
+		t.Fatalf("PlanStorage: %v", err)
+	}
+	// Highest demand chunk gets the better cluster; the rest overflow.
+	byChunk := map[int]string{}
+	for _, pl := range plan.Placements {
+		byChunk[pl.Chunk] = pl.Cluster
+	}
+	if byChunk[0] != "tiny" {
+		t.Errorf("hottest chunk on %q, want tiny", byChunk[0])
+	}
+	if byChunk[1] != "big" || byChunk[2] != "big" {
+		t.Errorf("overflow placement: %v", byChunk)
+	}
+}
+
+func TestPlanStorageBudgetInfeasible(t *testing.T) {
+	clusters := cloud.DefaultNFSClusters()
+	// 20 chunks × 15 MB ≈ 0.3 GB; budget of zero cannot store anything.
+	demands := make([]ChunkDemand, 20)
+	for i := range demands {
+		demands[i] = ChunkDemand{Channel: 0, Chunk: i, Demand: 1e6}
+	}
+	_, err := PlanStorage(demands, paperChunkBytes, clusters, 0)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPlanStorageCapacityInfeasible(t *testing.T) {
+	clusters := []cloud.NFSClusterSpec{
+		{Name: "only", Utility: 1, PricePerGBHour: 1e-4, CapacityGB: 0.02},
+	}
+	_, err := PlanStorage(demandsFor(1, 1), paperChunkBytes, clusters, 100)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPlanStorageBudgetSkipsToAffordableCluster(t *testing.T) {
+	// Best cluster is unaffordable; the heuristic must still place chunks
+	// on the cheaper one rather than fail.
+	clusters := []cloud.NFSClusterSpec{
+		{Name: "gold", Utility: 10, PricePerGBHour: 100, CapacityGB: 100},
+		{Name: "cheap", Utility: 1, PricePerGBHour: 1e-6, CapacityGB: 100},
+	}
+	plan, err := PlanStorage(demandsFor(5), paperChunkBytes, clusters, 0.01)
+	if err != nil {
+		t.Fatalf("PlanStorage: %v", err)
+	}
+	if plan.Placements[0].Cluster != "cheap" {
+		t.Errorf("placed on %q, want cheap", plan.Placements[0].Cluster)
+	}
+}
+
+func TestPlanStoragePaperCost(t *testing.T) {
+	// Sec. VI-C: storing 20 channels (100 min each) costs ≈ $0.018/day.
+	// 20 channels × 20 chunks × 15 MB = 6 GB on the standard cluster:
+	// 6 × 1.11e-4 × 24 ≈ $0.016/day. Verify the same order of magnitude.
+	var demands []ChunkDemand
+	for c := 0; c < 20; c++ {
+		for i := 0; i < 20; i++ {
+			demands = append(demands, ChunkDemand{Channel: c, Chunk: i, Demand: float64(1000 - c)})
+		}
+	}
+	plan, err := PlanStorage(demands, paperChunkBytes, cloud.DefaultNFSClusters(), 1)
+	if err != nil {
+		t.Fatalf("PlanStorage: %v", err)
+	}
+	perDay := plan.CostPerHour * 24
+	if perDay < 0.005 || perDay > 0.05 {
+		t.Errorf("daily storage cost $%.4f outside the paper's ≈$0.018 ballpark", perDay)
+	}
+}
+
+func TestPlanStorageValidation(t *testing.T) {
+	clusters := cloud.DefaultNFSClusters()
+	if _, err := PlanStorage(demandsFor(1), 0, clusters, 1); err == nil {
+		t.Error("zero chunk size: want error")
+	}
+	if _, err := PlanStorage(demandsFor(1), 1, nil, 1); err == nil {
+		t.Error("no clusters: want error")
+	}
+	if _, err := PlanStorage(demandsFor(1), 1, clusters, -1); err == nil {
+		t.Error("negative budget: want error")
+	}
+	if _, err := PlanStorage([]ChunkDemand{{Channel: 0, Chunk: 0, Demand: -1}}, 1, clusters, 1); err == nil {
+		t.Error("negative demand: want error")
+	}
+	dup := []ChunkDemand{{Channel: 0, Chunk: 0, Demand: 1}, {Channel: 0, Chunk: 0, Demand: 2}}
+	if _, err := PlanStorage(dup, 1, clusters, 1); err == nil {
+		t.Error("duplicate chunk: want error")
+	}
+}
+
+func TestPlanStorageUtilityPerChannel(t *testing.T) {
+	demands := []ChunkDemand{
+		{Channel: 0, Chunk: 0, Demand: 4e6},
+		{Channel: 1, Chunk: 0, Demand: 2e6},
+	}
+	plan, err := PlanStorage(demands, paperChunkBytes, cloud.DefaultNFSClusters(), 1)
+	if err != nil {
+		t.Fatalf("PlanStorage: %v", err)
+	}
+	if plan.UtilityPerChannel[0] <= plan.UtilityPerChannel[1] {
+		t.Errorf("channel utilities %v should order by demand", plan.UtilityPerChannel)
+	}
+	total := plan.UtilityPerChannel[0] + plan.UtilityPerChannel[1]
+	if !mathx.ApproxEqual(total, plan.Utility, 1e-9) {
+		t.Errorf("per-channel utilities %v do not sum to %v", total, plan.Utility)
+	}
+}

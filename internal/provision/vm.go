@@ -1,0 +1,140 @@
+package provision
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cloudmedia/internal/cloud"
+)
+
+// VMAllocation records the (possibly fractional) number of VMs from one
+// virtual cluster assigned to serve one chunk: z(c,i,v) of Eqn. (7).
+type VMAllocation struct {
+	Channel int
+	Chunk   int
+	Cluster string
+	VMs     float64
+}
+
+// VMPlan is the outcome of the VM-configuration heuristic.
+type VMPlan struct {
+	// Allocations lists every z > 0 entry, in greedy order.
+	Allocations []VMAllocation
+	// VMsPerCluster sums fractional allocations per cluster.
+	VMsPerCluster map[string]float64
+	// CostPerHour is Σ p̃_v · z, dollars per hour (the budget constraint).
+	CostPerHour float64
+	// Utility is the objective value Σ ũ_v · z.
+	Utility float64
+	// UtilityPerChannel splits the objective by channel — Fig. 9's series.
+	UtilityPerChannel map[int]float64
+}
+
+// RentalVMs returns the integer VM count to actually rent from each
+// cluster: fractional shares pack onto shared VMs (consecutive chunks of a
+// channel preferentially share, which the greedy order's stable tie-break
+// arranges), so the rental is the ceiling of the cluster total.
+func (p VMPlan) RentalVMs() map[string]int {
+	out := make(map[string]int, len(p.VMsPerCluster))
+	for name, v := range p.VMsPerCluster {
+		out[name] = int(math.Ceil(v - 1e-9))
+	}
+	return out
+}
+
+// TotalVMs returns the fractional VM total across clusters.
+func (p VMPlan) TotalVMs() float64 {
+	var t float64
+	for _, v := range p.VMsPerCluster {
+		t += v
+	}
+	return t
+}
+
+// PlanVMs runs the VM-configuration heuristic of Sec. V-A2. vmBandwidth is
+// R in bytes/s; budgetPerHour is B_M. Each chunk needs Δ/R VMs; demand is
+// filled from clusters in descending ũ_v/p̃_v order, splitting across
+// clusters when the best one runs out of VMs.
+func PlanVMs(demands []ChunkDemand, vmBandwidth float64, clusters []cloud.VMClusterSpec, budgetPerHour float64) (VMPlan, error) {
+	if err := validateDemands(demands); err != nil {
+		return VMPlan{}, err
+	}
+	if vmBandwidth <= 0 {
+		return VMPlan{}, fmt.Errorf("provision: non-positive VM bandwidth %v", vmBandwidth)
+	}
+	if len(clusters) == 0 {
+		return VMPlan{}, fmt.Errorf("provision: no VM clusters")
+	}
+	if budgetPerHour < 0 {
+		return VMPlan{}, fmt.Errorf("provision: negative VM budget %v", budgetPerHour)
+	}
+	for _, s := range clusters {
+		if err := s.Validate(); err != nil {
+			return VMPlan{}, err
+		}
+	}
+
+	order := make([]cloud.VMClusterSpec, len(clusters))
+	copy(order, clusters)
+	sort.SliceStable(order, func(a, b int) bool {
+		return order[a].MarginalUtility() > order[b].MarginalUtility()
+	})
+
+	plan := VMPlan{
+		VMsPerCluster:     make(map[string]float64, len(clusters)),
+		UtilityPerChannel: make(map[int]float64),
+	}
+	free := make(map[string]float64, len(order))
+	for _, s := range order {
+		free[s.Name] = float64(s.MaxVMs)
+	}
+
+	for _, d := range sortByDemand(demands) {
+		need := d.Demand / vmBandwidth
+		if need == 0 {
+			continue
+		}
+		for _, s := range order {
+			if need <= 1e-12 {
+				break
+			}
+			avail := free[s.Name]
+			if avail <= 1e-12 {
+				continue
+			}
+			take := math.Min(need, avail)
+			// Respect the budget: shrink the take if it would overshoot.
+			if maxAffordable := (budgetPerHour - plan.CostPerHour) / s.PricePerHour; take > maxAffordable {
+				take = maxAffordable
+			}
+			if take <= 1e-12 {
+				continue
+			}
+			free[s.Name] -= take
+			plan.VMsPerCluster[s.Name] += take
+			plan.CostPerHour += take * s.PricePerHour
+			plan.Utility += s.Utility * take
+			plan.UtilityPerChannel[d.Channel] += s.Utility * take
+			plan.Allocations = append(plan.Allocations, VMAllocation{
+				Channel: d.Channel, Chunk: d.Chunk, Cluster: s.Name, VMs: take,
+			})
+			need -= take
+		}
+		if need > 1e-9 {
+			return VMPlan{}, fmt.Errorf(
+				"%w: chunk (%d,%d) still needs %.3f VMs with budget $%.2f/h", ErrInfeasible, d.Channel, d.Chunk, need, budgetPerHour)
+		}
+	}
+	return plan, nil
+}
+
+// CapacityPerChunk converts a VM plan back into the per-chunk upload
+// capacity (bytes/s) the cloud will provide, keyed by (channel, chunk).
+func (p VMPlan) CapacityPerChunk(vmBandwidth float64) map[[2]int]float64 {
+	out := make(map[[2]int]float64, len(p.Allocations))
+	for _, a := range p.Allocations {
+		out[[2]int{a.Channel, a.Chunk}] += a.VMs * vmBandwidth
+	}
+	return out
+}

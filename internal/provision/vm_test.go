@@ -1,0 +1,204 @@
+package provision
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/mathx"
+)
+
+const paperR = cloud.DefaultVMBandwidth // 10 Mbps in bytes/s
+
+func TestPlanVMsPrefersBestMarginalUtility(t *testing.T) {
+	clusters := cloud.DefaultVMClusters()
+	// standard: 0.6/0.45 ≈ 1.33 beats advanced 1.25 and medium 1.14.
+	demands := demandsFor(2 * paperR) // needs 2 VMs
+	plan, err := PlanVMs(demands, paperR, clusters, 100)
+	if err != nil {
+		t.Fatalf("PlanVMs: %v", err)
+	}
+	if len(plan.Allocations) != 1 || plan.Allocations[0].Cluster != "standard" {
+		t.Errorf("allocations = %+v, want single standard entry", plan.Allocations)
+	}
+	if !mathx.ApproxEqual(plan.VMsPerCluster["standard"], 2, 1e-9) {
+		t.Errorf("standard VMs = %v, want 2", plan.VMsPerCluster["standard"])
+	}
+	if !mathx.ApproxEqual(plan.CostPerHour, 0.9, 1e-9) {
+		t.Errorf("cost = %v, want 0.9", plan.CostPerHour)
+	}
+	if !mathx.ApproxEqual(plan.Utility, 1.2, 1e-9) {
+		t.Errorf("utility = %v, want 1.2", plan.Utility)
+	}
+}
+
+func TestPlanVMsSpillsToNextCluster(t *testing.T) {
+	clusters := cloud.DefaultVMClusters()
+	// 80 VMs needed; standard holds 75, the rest go to advanced (next best).
+	demands := demandsFor(80 * paperR)
+	plan, err := PlanVMs(demands, paperR, clusters, 1000)
+	if err != nil {
+		t.Fatalf("PlanVMs: %v", err)
+	}
+	if !mathx.ApproxEqual(plan.VMsPerCluster["standard"], 75, 1e-9) {
+		t.Errorf("standard = %v, want 75", plan.VMsPerCluster["standard"])
+	}
+	if !mathx.ApproxEqual(plan.VMsPerCluster["advanced"], 5, 1e-9) {
+		t.Errorf("advanced = %v, want 5", plan.VMsPerCluster["advanced"])
+	}
+	if plan.VMsPerCluster["medium"] != 0 {
+		t.Errorf("medium = %v, want 0", plan.VMsPerCluster["medium"])
+	}
+}
+
+func TestPlanVMsFractionalAndRental(t *testing.T) {
+	clusters := cloud.DefaultVMClusters()
+	// Two chunks each needing half a VM: fractional z sums to 1,
+	// rental packs them onto a single shared VM.
+	demands := []ChunkDemand{
+		{Channel: 0, Chunk: 0, Demand: paperR / 2},
+		{Channel: 0, Chunk: 1, Demand: paperR / 2},
+	}
+	plan, err := PlanVMs(demands, paperR, clusters, 100)
+	if err != nil {
+		t.Fatalf("PlanVMs: %v", err)
+	}
+	if !mathx.ApproxEqual(plan.TotalVMs(), 1, 1e-9) {
+		t.Errorf("TotalVMs = %v, want 1", plan.TotalVMs())
+	}
+	rent := plan.RentalVMs()
+	if rent["standard"] != 1 {
+		t.Errorf("rental = %v, want one shared standard VM", rent)
+	}
+}
+
+func TestPlanVMsBudgetInfeasible(t *testing.T) {
+	clusters := cloud.DefaultVMClusters()
+	demands := demandsFor(10 * paperR) // 10 VMs ≈ $4.5/h minimum
+	_, err := PlanVMs(demands, paperR, clusters, 1)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPlanVMsCapacityInfeasible(t *testing.T) {
+	clusters := []cloud.VMClusterSpec{{Name: "only", Utility: 1, PricePerHour: 0.1, MaxVMs: 3}}
+	_, err := PlanVMs(demandsFor(5*paperR), paperR, clusters, 1000)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPlanVMsBudgetBindsPartially(t *testing.T) {
+	// Budget covers part of the demand on the best cluster; the remainder
+	// must still be unaffordable anywhere → infeasible (demand coverage is
+	// a hard constraint in Eqn. 7).
+	clusters := cloud.DefaultVMClusters()
+	_, err := PlanVMs(demandsFor(4*paperR), paperR, clusters, 0.9) // 4 VMs cost ≥ $1.8
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPlanVMsHighDemandChunksServedFirst(t *testing.T) {
+	// With capacity for only the hottest chunk, the heuristic must fail on
+	// the cold one, not the hot one (greedy order by demand).
+	clusters := []cloud.VMClusterSpec{{Name: "only", Utility: 1, PricePerHour: 0.1, MaxVMs: 4}}
+	demands := []ChunkDemand{
+		{Channel: 0, Chunk: 0, Demand: 1 * paperR},
+		{Channel: 0, Chunk: 1, Demand: 4 * paperR},
+	}
+	_, err := PlanVMs(demands, paperR, clusters, 1000)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	// Hot chunk alone fits.
+	plan, err := PlanVMs(demands[1:], paperR, clusters, 1000)
+	if err != nil {
+		t.Fatalf("PlanVMs: %v", err)
+	}
+	if !mathx.ApproxEqual(plan.VMsPerCluster["only"], 4, 1e-9) {
+		t.Errorf("hot chunk allocation = %v", plan.VMsPerCluster["only"])
+	}
+}
+
+func TestPlanVMsZeroDemandSkipped(t *testing.T) {
+	plan, err := PlanVMs(demandsFor(0, 0), paperR, cloud.DefaultVMClusters(), 10)
+	if err != nil {
+		t.Fatalf("PlanVMs: %v", err)
+	}
+	if len(plan.Allocations) != 0 || plan.CostPerHour != 0 {
+		t.Errorf("zero demand should produce empty plan: %+v", plan)
+	}
+}
+
+func TestPlanVMsValidation(t *testing.T) {
+	clusters := cloud.DefaultVMClusters()
+	if _, err := PlanVMs(demandsFor(1), 0, clusters, 1); err == nil {
+		t.Error("zero bandwidth: want error")
+	}
+	if _, err := PlanVMs(demandsFor(1), paperR, nil, 1); err == nil {
+		t.Error("no clusters: want error")
+	}
+	if _, err := PlanVMs(demandsFor(1), paperR, clusters, -1); err == nil {
+		t.Error("negative budget: want error")
+	}
+}
+
+func TestCapacityPerChunkRoundTrips(t *testing.T) {
+	demands := []ChunkDemand{
+		{Channel: 0, Chunk: 0, Demand: 1.5 * paperR},
+		{Channel: 1, Chunk: 3, Demand: 0.25 * paperR},
+	}
+	plan, err := PlanVMs(demands, paperR, cloud.DefaultVMClusters(), 100)
+	if err != nil {
+		t.Fatalf("PlanVMs: %v", err)
+	}
+	caps := plan.CapacityPerChunk(paperR)
+	for _, d := range demands {
+		got := caps[[2]int{d.Channel, d.Chunk}]
+		if !mathx.ApproxEqual(got, d.Demand, 1e-9) {
+			t.Errorf("chunk (%d,%d) capacity %v, want %v", d.Channel, d.Chunk, got, d.Demand)
+		}
+	}
+}
+
+// Property: whenever PlanVMs succeeds, every chunk's demand is exactly
+// covered, no cluster exceeds capacity, and cost stays within budget.
+func TestPlanVMsInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		clusters := cloud.DefaultVMClusters()
+		n := 1 + r.Intn(30)
+		demands := make([]ChunkDemand, n)
+		for i := range demands {
+			demands[i] = ChunkDemand{Channel: i % 4, Chunk: i, Demand: r.Float64() * 4 * paperR}
+		}
+		budget := r.Float64() * 120
+		plan, err := PlanVMs(demands, paperR, clusters, budget)
+		if err != nil {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if plan.CostPerHour > budget+1e-6 {
+			return false
+		}
+		for _, s := range clusters {
+			if plan.VMsPerCluster[s.Name] > float64(s.MaxVMs)+1e-9 {
+				return false
+			}
+		}
+		caps := plan.CapacityPerChunk(paperR)
+		for _, d := range demands {
+			if !mathx.ApproxEqual(caps[[2]int{d.Channel, d.Chunk}], d.Demand, 1e-6) && d.Demand > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

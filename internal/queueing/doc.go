@@ -1,0 +1,18 @@
+// Package queueing implements the paper's Jackson open queueing-network
+// model of a multi-chunk VoD channel (Sec. IV).
+//
+// Each chunk i of a channel is an M/M/m(i) queue: a user downloading the
+// chunk is a job, the m(i) "servers" are units of upload capacity of
+// bandwidth R each (one VM's allocation), and the service rate per server is
+// µ = R/(r·T₀) chunks per second. Users move between chunk queues according
+// to a transfer probability matrix P, enter the channel as a Poisson stream
+// of rate Λ (a fraction α starting at chunk 1, the rest uniformly), and
+// leave with probability 1 − Σ_j P[i][j] after finishing chunk i.
+//
+// The package solves the traffic equations (Eqn. 1), evaluates the
+// equilibrium state distribution (Eqn. 2) and expected queue populations
+// (Eqn. 3), and sizes the per-chunk server counts so that the expected
+// sojourn time of every chunk queue is at most the chunk playback time T₀ —
+// the smooth-playback condition of Sec. IV-B. The resulting per-chunk upload
+// capacity s(i) = R·m(i) is the client-server cloud demand Δ(i).
+package queueing

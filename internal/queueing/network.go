@@ -1,0 +1,228 @@
+package queueing
+
+import (
+	"fmt"
+
+	"cloudmedia/internal/mathx"
+)
+
+// DefaultMaxServers bounds the per-chunk server search. The paper's testbed
+// tops out at 150 VMs; we leave generous headroom for larger scenarios.
+const DefaultMaxServers = 100000
+
+// Config carries the channel parameters shared by the whole analysis.
+// Bandwidths are in bytes per second to match the paper (r = 50 Kbytes/s).
+type Config struct {
+	Chunks          int     // J: number of chunks the video is divided into
+	PlaybackRate    float64 // r: streaming playback rate, bytes/s
+	ChunkSeconds    float64 // T₀: playback time of one chunk, seconds
+	VMBandwidth     float64 // R: bandwidth allocated to each VM, bytes/s (R > r)
+	EntryFirstChunk float64 // α: fraction of arrivals starting at chunk 1
+
+	// SlotsPerVM sets the capacity granularity of the queueing "servers":
+	// each server has bandwidth R/SlotsPerVM. 0 or 1 reproduces the paper's
+	// literal mapping µ = R/(rT₀) (one server = one whole VM). Larger
+	// values model the fractional VM shares that Eqn. (7)'s z variables
+	// permit: a chunk can be provisioned a fraction of a VM's bandwidth.
+	// Without this, every warm chunk is floored at a whole VM (10 Mbps),
+	// which with the paper's own parameters would put the total reserve an
+	// order of magnitude above actual usage — contradicting Fig. 4's
+	// reserved ≈ 1.5–2× used. See DESIGN.md.
+	SlotsPerVM int
+}
+
+// Validate checks the configuration invariants from Sec. III-B/C.
+func (c Config) Validate() error {
+	switch {
+	case c.Chunks <= 0:
+		return fmt.Errorf("queueing: non-positive chunk count %d", c.Chunks)
+	case c.PlaybackRate <= 0:
+		return fmt.Errorf("queueing: non-positive playback rate %v", c.PlaybackRate)
+	case c.ChunkSeconds <= 0:
+		return fmt.Errorf("queueing: non-positive chunk duration %v", c.ChunkSeconds)
+	case c.VMBandwidth <= c.PlaybackRate:
+		return fmt.Errorf("queueing: VM bandwidth R=%v must exceed playback rate r=%v", c.VMBandwidth, c.PlaybackRate)
+	case c.EntryFirstChunk < 0 || c.EntryFirstChunk > 1:
+		return fmt.Errorf("queueing: entry fraction α=%v outside [0,1]", c.EntryFirstChunk)
+	case c.Chunks == 1 && c.EntryFirstChunk != 1:
+		return fmt.Errorf("queueing: single-chunk channel requires α=1, got %v", c.EntryFirstChunk)
+	case c.SlotsPerVM < 0:
+		return fmt.Errorf("queueing: negative slots per VM %d", c.SlotsPerVM)
+	case c.SlotsPerVM > 0 && c.VMBandwidth/float64(c.SlotsPerVM) <= c.PlaybackRate:
+		return fmt.Errorf("queueing: slot bandwidth R/%d=%v must exceed playback rate %v",
+			c.SlotsPerVM, c.VMBandwidth/float64(c.SlotsPerVM), c.PlaybackRate)
+	}
+	return nil
+}
+
+// slots returns the effective slot count (≥1).
+func (c Config) slots() int {
+	if c.SlotsPerVM <= 0 {
+		return 1
+	}
+	return c.SlotsPerVM
+}
+
+// SlotBandwidth returns the bandwidth of one queueing server, R/SlotsPerVM.
+func (c Config) SlotBandwidth() float64 { return c.VMBandwidth / float64(c.slots()) }
+
+// ChunkBytes returns the size of one chunk, r·T₀ bytes.
+func (c Config) ChunkBytes() float64 { return c.PlaybackRate * c.ChunkSeconds }
+
+// ServiceRate returns µ = (R/slots)/(r·T₀), the rate at which one queueing
+// server (one VM-bandwidth slot) completes chunk downloads. With the
+// default SlotsPerVM of 1 this is the paper's µ = R/(rT₀).
+func (c Config) ServiceRate() float64 { return c.SlotBandwidth() / c.ChunkBytes() }
+
+// ExternalArrivals splits the channel arrival rate Λ across chunk queues:
+// α·Λ enters at chunk 1 and the remaining (1−α)·Λ is spread uniformly over
+// chunks 2..J (Sec. IV-A).
+func (c Config) ExternalArrivals(lambda float64) []float64 {
+	ext := make([]float64, c.Chunks)
+	if c.Chunks == 1 {
+		ext[0] = lambda
+		return ext
+	}
+	ext[0] = c.EntryFirstChunk * lambda
+	rest := (1 - c.EntryFirstChunk) * lambda / float64(c.Chunks-1)
+	for i := 1; i < c.Chunks; i++ {
+		ext[i] = rest
+	}
+	return ext
+}
+
+// SolveTraffic solves the Jackson traffic equations (Eqn. 1):
+//
+//	λ_i = ext_i + Σ_j λ_j · P[j][i]
+//
+// i.e. (I − Pᵀ)·λ = ext, returning the per-queue aggregate arrival rates.
+func SolveTraffic(p TransferMatrix, ext []float64) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	j := p.Size()
+	if len(ext) != j {
+		return nil, fmt.Errorf("queueing: %d external rates for %d queues", len(ext), j)
+	}
+	for i, e := range ext {
+		if e < 0 {
+			return nil, fmt.Errorf("queueing: negative external rate %v at queue %d", e, i)
+		}
+	}
+	a := make([][]float64, j)
+	for i := range a {
+		a[i] = make([]float64, j)
+		for k := 0; k < j; k++ {
+			a[i][k] = -p[k][i] // Pᵀ
+		}
+		a[i][i] += 1
+	}
+	lambda, err := mathx.SolveLinear(a, ext)
+	if err != nil {
+		return nil, fmt.Errorf("queueing: traffic equations: %w", err)
+	}
+	for i, l := range lambda {
+		if l < 0 {
+			if l > -1e-9 {
+				lambda[i] = 0
+				continue
+			}
+			return nil, fmt.Errorf("queueing: negative arrival rate %v at queue %d (non-substochastic routing?)", l, i)
+		}
+	}
+	return lambda, nil
+}
+
+// Equilibrium is the solved steady state of one channel: the demand side of
+// the paper's analysis.
+type Equilibrium struct {
+	Config Config
+	// ArrivalRates λ_i for each chunk queue, jobs/s.
+	ArrivalRates []float64
+	// Servers m_i: minimal per-chunk server counts for smooth playback, in
+	// slot units (one slot = R/SlotsPerVM of bandwidth).
+	Servers []int
+	// MeanUsers E[n_i]: expected number of users in each chunk queue
+	// (waiting + downloading) at the sized server counts.
+	MeanUsers []float64
+	// ViewerLoad is λ_i·T₀: the expected number of viewers concurrently
+	// engaged with chunk i when every queue meets the design sojourn T₀
+	// (Little's law). This — not the instantaneous download-queue
+	// population — is the "peers in Q_i" count that the P2P ownership
+	// analysis of Sec. IV-C propagates.
+	ViewerLoad []float64
+	// Capacity s_i = R·m_i: total upload bandwidth to serve chunk i, bytes/s.
+	Capacity []float64
+}
+
+// TotalCapacity returns Σ_i s_i, the aggregate upload bandwidth the channel
+// needs for smooth playback, bytes/s.
+func (e Equilibrium) TotalCapacity() float64 { return mathx.Sum(e.Capacity) }
+
+// TotalServers returns Σ_i m_i.
+func (e Equilibrium) TotalServers() int {
+	var n int
+	for _, m := range e.Servers {
+		n += m
+	}
+	return n
+}
+
+// ExpectedPopulation returns Σ_i E[n_i], the expected number of concurrent
+// users in the channel.
+func (e Equilibrium) ExpectedPopulation() float64 { return mathx.Sum(e.MeanUsers) }
+
+// Solve computes the channel equilibrium for external arrival rate Λ and
+// transfer matrix P: it solves the traffic equations, then sizes each chunk
+// queue to the smallest m_i whose expected sojourn time is at most T₀
+// (Sec. IV-B). maxServers ≤ 0 selects DefaultMaxServers.
+func Solve(cfg Config, p TransferMatrix, lambda float64, maxServers int) (Equilibrium, error) {
+	if err := cfg.Validate(); err != nil {
+		return Equilibrium{}, err
+	}
+	if lambda < 0 {
+		return Equilibrium{}, fmt.Errorf("queueing: negative channel arrival rate %v", lambda)
+	}
+	if p.Size() != cfg.Chunks {
+		return Equilibrium{}, fmt.Errorf("queueing: matrix size %d != chunks %d", p.Size(), cfg.Chunks)
+	}
+	if lambda > 0 && !p.HasDeparture() {
+		return Equilibrium{}, fmt.Errorf("queueing: transfer matrix admits no departures; no equilibrium exists")
+	}
+	if maxServers <= 0 {
+		maxServers = DefaultMaxServers
+	}
+
+	rates, err := SolveTraffic(p, cfg.ExternalArrivals(lambda))
+	if err != nil {
+		return Equilibrium{}, err
+	}
+
+	mu := cfg.ServiceRate()
+	eq := Equilibrium{
+		Config:       cfg,
+		ArrivalRates: rates,
+		Servers:      make([]int, cfg.Chunks),
+		MeanUsers:    make([]float64, cfg.Chunks),
+		ViewerLoad:   make([]float64, cfg.Chunks),
+		Capacity:     make([]float64, cfg.Chunks),
+	}
+	for i, li := range rates {
+		if li == 0 {
+			continue // idle chunk: no capacity needed
+		}
+		eq.ViewerLoad[i] = li * cfg.ChunkSeconds
+		m, err := mathx.MinServersForSojourn(li, mu, cfg.ChunkSeconds, maxServers)
+		if err != nil {
+			return Equilibrium{}, fmt.Errorf("queueing: sizing chunk %d: %w", i, err)
+		}
+		q, err := mathx.NewMMm(li, mu, m)
+		if err != nil {
+			return Equilibrium{}, fmt.Errorf("queueing: chunk %d: %w", i, err)
+		}
+		eq.Servers[i] = m
+		eq.MeanUsers[i] = q.MeanJobs()
+		eq.Capacity[i] = cfg.SlotBandwidth() * float64(m)
+	}
+	return eq, nil
+}

@@ -1,0 +1,83 @@
+package queueing
+
+import (
+	"fmt"
+)
+
+// TransferMatrix is the chunk transfer probability matrix P of one channel:
+// P[i][j] is the probability that a user who has finished downloading chunk
+// i moves on to download chunk j. Row sums may be below 1; the deficit
+// 1 − Σ_j P[i][j] is the probability of leaving the channel after chunk i.
+type TransferMatrix [][]float64
+
+// NewTransferMatrix returns a zeroed J×J matrix.
+func NewTransferMatrix(j int) TransferMatrix {
+	m := make(TransferMatrix, j)
+	for i := range m {
+		m[i] = make([]float64, j)
+	}
+	return m
+}
+
+// Size returns the number of chunks J.
+func (p TransferMatrix) Size() int { return len(p) }
+
+// Validate checks that the matrix is square, entries are probabilities, and
+// every row sums to at most 1 (within a small tolerance).
+func (p TransferMatrix) Validate() error {
+	j := len(p)
+	if j == 0 {
+		return fmt.Errorf("queueing: empty transfer matrix")
+	}
+	for i, row := range p {
+		if len(row) != j {
+			return fmt.Errorf("queueing: row %d has %d entries, want %d", i, len(row), j)
+		}
+		var sum float64
+		for k, v := range row {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("queueing: P[%d][%d]=%v outside [0,1]", i, k, v)
+			}
+			sum += v
+		}
+		if sum > 1+1e-9 {
+			return fmt.Errorf("queueing: row %d sums to %v > 1", i, sum)
+		}
+	}
+	return nil
+}
+
+// DepartureProbability returns 1 − Σ_j P[i][j], the probability of leaving
+// the channel after chunk i (clamped at 0 against rounding).
+func (p TransferMatrix) DepartureProbability(i int) float64 {
+	var sum float64
+	for _, v := range p[i] {
+		sum += v
+	}
+	if d := 1 - sum; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Clone returns a deep copy.
+func (p TransferMatrix) Clone() TransferMatrix {
+	out := make(TransferMatrix, len(p))
+	for i, row := range p {
+		out[i] = make([]float64, len(row))
+		copy(out[i], row)
+	}
+	return out
+}
+
+// HasDeparture reports whether at least one row allows leaving the channel.
+// A matrix with no departures cannot reach equilibrium under external
+// arrivals: users would accumulate without bound.
+func (p TransferMatrix) HasDeparture() bool {
+	for i := range p {
+		if p.DepartureProbability(i) > 1e-12 {
+			return true
+		}
+	}
+	return false
+}

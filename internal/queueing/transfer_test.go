@@ -1,0 +1,75 @@
+package queueing
+
+import (
+	"testing"
+)
+
+func TestNewTransferMatrix(t *testing.T) {
+	p := NewTransferMatrix(3)
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", p.Size())
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("zero matrix should validate: %v", err)
+	}
+	if p.DepartureProbability(0) != 1 {
+		t.Errorf("empty row departure = %v, want 1", p.DepartureProbability(0))
+	}
+}
+
+func TestTransferMatrixValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    TransferMatrix
+		ok   bool
+	}{
+		{"empty", TransferMatrix{}, false},
+		{"ragged", TransferMatrix{{0.5, 0.5}, {1}}, false},
+		{"negative entry", TransferMatrix{{-0.1, 0}, {0, 0}}, false},
+		{"entry above one", TransferMatrix{{1.1, 0}, {0, 0}}, false},
+		{"row above one", TransferMatrix{{0.6, 0.6}, {0, 0}}, false},
+		{"valid substochastic", TransferMatrix{{0, 0.9}, {0.1, 0}}, true},
+		{"valid stochastic row", TransferMatrix{{0.5, 0.5}, {0, 0}}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if (err == nil) != tc.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestDepartureProbability(t *testing.T) {
+	p := TransferMatrix{{0.3, 0.4}, {0, 1}}
+	if got := p.DepartureProbability(0); !approx(got, 0.3) {
+		t.Errorf("row 0 departure = %v, want 0.3", got)
+	}
+	if got := p.DepartureProbability(1); got != 0 {
+		t.Errorf("row 1 departure = %v, want 0", got)
+	}
+}
+
+func TestHasDeparture(t *testing.T) {
+	if (TransferMatrix{{0, 1}, {1, 0}}).HasDeparture() {
+		t.Error("closed matrix should report no departures")
+	}
+	if !(TransferMatrix{{0, 0.9}, {0, 0}}).HasDeparture() {
+		t.Error("substochastic matrix should report departures")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := TransferMatrix{{0.5, 0.5}, {0.2, 0}}
+	q := p.Clone()
+	q[0][0] = 0.9
+	if p[0][0] != 0.5 {
+		t.Error("Clone shares storage with the original")
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a cancellable scheduled callback.
+type Event struct {
+	at       float64
+	seq      uint64
+	index    int // heap index, -1 once popped
+	canceled bool
+	fn       func()
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// eventHeap orders events by (time, sequence) for deterministic replay.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e, _ := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a minimal deterministic discrete-event scheduler.
+type Engine struct {
+	now   float64
+	seq   uint64
+	queue eventHeap
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule queues fn to run at simulated time `at` and returns a handle for
+// cancellation. Scheduling in the past is an error: it would silently
+// reorder causality.
+func (e *Engine) Schedule(at float64, fn func()) (*Event, error) {
+	if at < e.now {
+		return nil, fmt.Errorf("sim: schedule at %v before now %v", at, e.now)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sim: nil event function")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// RunUntil processes events in timestamp order until the queue is empty or
+// the next event is after `until`, then advances the clock to `until`.
+func (e *Engine) RunUntil(until float64) {
+	for len(e.queue) > 0 && e.queue[0].at <= until {
+		ev, _ := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	if until > e.now {
+		e.now = until
+	}
+}
+
+// Pending returns the number of queued (possibly cancelled) events; used by
+// tests to detect leaks.
+func (e *Engine) Pending() int { return len(e.queue) }

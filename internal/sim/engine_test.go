@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	add := func(at float64, id int) {
+		if _, err := e.Schedule(at, func() { order = append(order, id) }); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	add(5, 1)
+	add(1, 2)
+	add(3, 3)
+	e.RunUntil(10)
+	if len(order) != 3 || order[0] != 2 || order[1] != 3 || order[2] != 1 {
+		t.Errorf("order = %v, want [2 3 1]", order)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %v, want 10", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		id := i
+		if _, err := e.Schedule(1, func() { order = append(order, id) }); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+	}
+	e.RunUntil(2)
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineRunUntilStopsAtBoundary(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	if _, err := e.Schedule(10, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(5)
+	if fired {
+		t.Error("event after boundary fired")
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now = %v, want 5", e.Now())
+	}
+	e.RunUntil(10)
+	if !fired {
+		t.Error("event at boundary did not fire")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev, err := e.Schedule(1, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel()
+	e.RunUntil(2)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling nil or twice is safe.
+	var nilEv *Event
+	nilEv.Cancel()
+	ev.Cancel()
+}
+
+func TestEngineSchedulePastRejected(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(10)
+	if _, err := e.Schedule(5, func() {}); err == nil {
+		t.Error("scheduling in the past: want error")
+	}
+	if _, err := e.Schedule(11, nil); err == nil {
+		t.Error("nil fn: want error")
+	}
+}
+
+func TestEngineEventsScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	var chain func()
+	chain = func() {
+		times = append(times, e.Now())
+		if e.Now() < 3 {
+			if _, err := e.Schedule(e.Now()+1, chain); err != nil {
+				t.Errorf("Schedule: %v", err)
+			}
+		}
+	}
+	if _, err := e.Schedule(1, chain); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(100)
+	if len(times) != 3 || times[0] != 1 || times[2] != 3 {
+		t.Errorf("times = %v, want [1 2 3]", times)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", e.Pending())
+	}
+}

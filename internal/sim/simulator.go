@@ -1,0 +1,525 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/viewing"
+	"cloudmedia/internal/workload"
+)
+
+// Mode selects the VoD implementation under test (Sec. III-B).
+type Mode int
+
+const (
+	// ClientServer serves every chunk straight from the cloud.
+	ClientServer Mode = iota + 1
+	// P2P organizes viewers into a mesh that exchanges chunks rarest-first,
+	// with the cloud compensating for insufficient peer uplink.
+	P2P
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ClientServer:
+		return "client-server"
+	case P2P:
+		return "p2p"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// PeerScheduling selects how the P2P overlay allocates peer uplink across
+// chunks at each rebalance.
+type PeerScheduling int
+
+const (
+	// RarestFirst serves the scarcest chunks first — the paper's scheme
+	// (Sec. IV-C): "requests for the rarest chunk are served first".
+	RarestFirst PeerScheduling = iota + 1
+	// Proportional splits the uplink budget across chunks in proportion to
+	// their demand, ignoring rareness — the ablation baseline.
+	Proportional
+)
+
+// String implements fmt.Stringer.
+func (p PeerScheduling) String() string {
+	switch p {
+	case RarestFirst:
+		return "rarest-first"
+	case Proportional:
+		return "proportional"
+	default:
+		return fmt.Sprintf("PeerScheduling(%d)", int(p))
+	}
+}
+
+// Config assembles a simulation scenario.
+type Config struct {
+	Mode     Mode
+	Channel  queueing.Config         // per-channel parameters (uniform channels, as in the paper)
+	Workload workload.Params         // arrival trace parameters
+	Transfer queueing.TransferMatrix // ground-truth viewing behaviour
+
+	// Scheduling selects the P2P uplink allocation policy. Defaults to
+	// RarestFirst, the paper's scheme.
+	Scheduling PeerScheduling
+
+	// RebalanceSeconds is the peer bandwidth reallocation period in P2P
+	// mode. Defaults to 30 s.
+	RebalanceSeconds float64
+	// QualityWindowSeconds is the trailing window of the smooth-playback
+	// metric. Defaults to 300 s (the paper's 5 minutes).
+	QualityWindowSeconds float64
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.RebalanceSeconds == 0 {
+		c.RebalanceSeconds = 30
+	}
+	if c.QualityWindowSeconds == 0 {
+		c.QualityWindowSeconds = 300
+	}
+	if c.Scheduling == 0 {
+		c.Scheduling = RarestFirst
+	}
+}
+
+// Validate checks the scenario invariants.
+func (c Config) Validate() error {
+	if c.Mode != ClientServer && c.Mode != P2P {
+		return fmt.Errorf("sim: invalid mode %d", int(c.Mode))
+	}
+	if err := c.Channel.Validate(); err != nil {
+		return err
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if err := c.Transfer.Validate(); err != nil {
+		return err
+	}
+	if c.Transfer.Size() != c.Channel.Chunks {
+		return fmt.Errorf("sim: transfer matrix size %d != chunks %d", c.Transfer.Size(), c.Channel.Chunks)
+	}
+	if c.RebalanceSeconds < 0 || c.QualityWindowSeconds < 0 {
+		return fmt.Errorf("sim: negative timing parameter")
+	}
+	if c.Scheduling != RarestFirst && c.Scheduling != Proportional {
+		return fmt.Errorf("sim: invalid peer scheduling %d", int(c.Scheduling))
+	}
+	return nil
+}
+
+// channelState holds one video channel's runtime state: its download pools,
+// live viewers, chunk ownership (the tracker's bitmap aggregate), and the
+// per-interval measurement feed.
+type channelState struct {
+	index int
+	sim   *Simulator
+
+	pools  []*pool
+	users  map[*user]struct{}
+	owners []int // per-chunk count of viewers holding the chunk
+
+	totalUplink      float64
+	estimator        *viewing.Estimator
+	cloudBytesServed float64
+	arrivalEvent     *Event
+}
+
+func (ch *channelState) addUser(u *user) {
+	ch.users[u] = struct{}{}
+	ch.totalUplink += u.uplink
+	ch.estimator.RecordArrival()
+}
+
+func (ch *channelState) removeUser(u *user) {
+	delete(ch.users, u)
+	ch.totalUplink -= u.uplink
+	if ch.totalUplink < 0 {
+		ch.totalUplink = 0
+	}
+}
+
+// Simulator drives one scenario. It is single-threaded: all interaction
+// must happen from scheduled callbacks or between RunUntil calls.
+type Simulator struct {
+	cfg    Config
+	engine *Engine
+	rng    *rand.Rand
+
+	channels         []*channelState
+	cloudBytesServed float64
+	userSeq          int
+}
+
+// New builds a simulator, wires per-channel arrival processes, and (in P2P
+// mode) starts the periodic peer-bandwidth rebalancer.
+func New(cfg Config) (*Simulator, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:    cfg,
+		engine: NewEngine(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.channels = make([]*channelState, cfg.Workload.Channels)
+	for c := range s.channels {
+		est, err := viewing.NewEstimator(cfg.Channel.Chunks)
+		if err != nil {
+			return nil, err
+		}
+		ch := &channelState{
+			index:     c,
+			sim:       s,
+			users:     make(map[*user]struct{}),
+			owners:    make([]int, cfg.Channel.Chunks),
+			estimator: est,
+		}
+		ch.pools = make([]*pool, cfg.Channel.Chunks)
+		for i := range ch.pools {
+			ch.pools[i] = &pool{sim: s, channel: c, chunk: i}
+		}
+		s.channels[c] = ch
+		if err := s.scheduleArrival(ch); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Mode == P2P {
+		if err := s.ScheduleRepeating(cfg.RebalanceSeconds, cfg.RebalanceSeconds, func(float64) {
+			for _, ch := range s.channels {
+				s.rebalancePeers(ch)
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Now returns the simulated clock in seconds.
+func (s *Simulator) Now() float64 { return s.engine.Now() }
+
+// RunUntil advances the simulation to time t (seconds).
+func (s *Simulator) RunUntil(t float64) { s.engine.RunUntil(t) }
+
+// ScheduleAt runs fn at simulated time t.
+func (s *Simulator) ScheduleAt(t float64, fn func(now float64)) error {
+	_, err := s.engine.Schedule(t, func() { fn(s.engine.Now()) })
+	return err
+}
+
+// ScheduleRepeating runs fn at start, start+interval, start+2·interval, …
+func (s *Simulator) ScheduleRepeating(start, interval float64, fn func(now float64)) error {
+	if interval <= 0 {
+		return fmt.Errorf("sim: non-positive repeat interval %v", interval)
+	}
+	var tick func()
+	at := start
+	tick = func() {
+		fn(s.engine.Now())
+		at += interval
+		_, _ = s.engine.Schedule(at, tick) // at > now by construction
+	}
+	_, err := s.engine.Schedule(start, tick)
+	return err
+}
+
+// scheduleArrival arms the next NHPP arrival for a channel.
+func (s *Simulator) scheduleArrival(ch *channelState) error {
+	now := s.engine.Now()
+	// Sample within a one-day horizon; if the thinning run finds nothing
+	// (possible only at negligible rates), re-arm at the horizon.
+	horizon := now + 24*3600
+	next, err := s.cfg.Workload.NextArrival(s.rng, ch.index, now, horizon)
+	if err != nil {
+		return err
+	}
+	fire := next
+	arrived := true
+	if math.IsInf(next, 1) {
+		fire = horizon
+		arrived = false
+	}
+	ev, err := s.engine.Schedule(fire, func() {
+		if arrived {
+			s.spawnUser(ch)
+		}
+		_ = s.scheduleArrival(ch)
+	})
+	if err != nil {
+		return err
+	}
+	ch.arrivalEvent = ev
+	return nil
+}
+
+// spawnUser creates a viewer at the configured entry distribution: chunk 1
+// with probability α, uniform over the others otherwise.
+func (s *Simulator) spawnUser(ch *channelState) {
+	s.userSeq++
+	u := &user{
+		id:      s.userSeq,
+		channel: ch,
+		sim:     s,
+		uplink:  s.cfg.Workload.SampleUplink(s.rng),
+		owned:   make([]bool, s.cfg.Channel.Chunks),
+	}
+	start := 0
+	if s.cfg.Channel.Chunks > 1 && s.rng.Float64() >= s.cfg.Channel.EntryFirstChunk {
+		start = 1 + s.rng.Intn(s.cfg.Channel.Chunks-1)
+	}
+	u.join(start)
+}
+
+// rebalancePeers reallocates the channel's aggregate peer uplink across
+// chunks — the simulator-side counterpart of Eqn. (5). Each chunk can draw
+// at most (owners × mean uplink) and at most the remaining unallocated
+// budget; demand is the active download count times R (every download can
+// absorb up to one VM's bandwidth), so the cloud share only compensates
+// the shortfall, mirroring Δ = Rm − Γ. The visit order is the scheduling
+// policy: rarest-first (the paper) or demand-proportional (ablation).
+func (s *Simulator) rebalancePeers(ch *channelState) {
+	n := len(ch.users)
+	if n == 0 {
+		for _, p := range ch.pools {
+			if p.peerCap != 0 {
+				p.setCapacity(-1, 0)
+			}
+		}
+		return
+	}
+	meanUplink := ch.totalUplink / float64(n)
+	target := s.cfg.Channel.VMBandwidth
+
+	if s.cfg.Scheduling == Proportional {
+		s.rebalanceProportional(ch, meanUplink, target)
+		return
+	}
+
+	budget := ch.totalUplink
+	order := make([]int, len(ch.pools))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return ch.owners[order[a]] < ch.owners[order[b]]
+	})
+	for _, i := range order {
+		p := ch.pools[i]
+		var take float64
+		if ch.owners[i] > 0 && budget > 0 {
+			demand := float64(len(p.active)) * target
+			avail := float64(ch.owners[i]) * meanUplink
+			if avail > budget {
+				avail = budget
+			}
+			take = demand
+			if take > avail {
+				take = avail
+			}
+		}
+		if take != p.peerCap {
+			p.setCapacity(-1, take)
+		}
+		budget -= take
+	}
+}
+
+// rebalanceProportional splits the uplink budget across chunks with owners
+// in proportion to demand, with no rareness priority.
+func (s *Simulator) rebalanceProportional(ch *channelState, meanUplink, target float64) {
+	var totalDemand float64
+	for i, p := range ch.pools {
+		if ch.owners[i] > 0 {
+			totalDemand += float64(len(p.active)) * target
+		}
+	}
+	budget := ch.totalUplink
+	for i, p := range ch.pools {
+		var take float64
+		if ch.owners[i] > 0 && totalDemand > 0 {
+			demand := float64(len(p.active)) * target
+			share := budget * demand / totalDemand
+			avail := float64(ch.owners[i]) * meanUplink
+			take = demand
+			if take > share {
+				take = share
+			}
+			if take > avail {
+				take = avail
+			}
+		}
+		if take != p.peerCap {
+			p.setCapacity(-1, take)
+		}
+	}
+}
+
+// SetCloudCapacity sets the cloud-provisioned upload capacity Δ for one
+// chunk's pool, in bytes/s — the knob the controller turns after each
+// provisioning round.
+func (s *Simulator) SetCloudCapacity(channel, chunk int, bytesPerSecond float64) error {
+	if channel < 0 || channel >= len(s.channels) {
+		return fmt.Errorf("sim: channel %d outside [0,%d)", channel, len(s.channels))
+	}
+	if chunk < 0 || chunk >= s.cfg.Channel.Chunks {
+		return fmt.Errorf("sim: chunk %d outside [0,%d)", chunk, s.cfg.Channel.Chunks)
+	}
+	if bytesPerSecond < 0 {
+		return fmt.Errorf("sim: negative capacity %v", bytesPerSecond)
+	}
+	s.channels[channel].pools[chunk].setCapacity(bytesPerSecond, -1)
+	return nil
+}
+
+// CloudCapacity returns the total cloud capacity currently provisioned to a
+// channel, bytes/s.
+func (s *Simulator) CloudCapacity(channel int) (float64, error) {
+	if channel < 0 || channel >= len(s.channels) {
+		return 0, fmt.Errorf("sim: channel %d outside [0,%d)", channel, len(s.channels))
+	}
+	var total float64
+	for _, p := range s.channels[channel].pools {
+		total += p.cloudCap
+	}
+	return total, nil
+}
+
+// TotalCloudCapacity returns the cloud capacity provisioned across all
+// channels, bytes/s.
+func (s *Simulator) TotalCloudCapacity() float64 {
+	var total float64
+	for c := range s.channels {
+		v, _ := s.CloudCapacity(c)
+		total += v
+	}
+	return total
+}
+
+// CloudBytesServed returns the cumulative bytes actually served from cloud
+// capacity since the start of the run (the "used" curve of Fig. 4). Pools
+// are settled to the current clock first.
+func (s *Simulator) CloudBytesServed() float64 {
+	now := s.engine.Now()
+	for _, ch := range s.channels {
+		for _, p := range ch.pools {
+			p.settle(now)
+		}
+	}
+	return s.cloudBytesServed
+}
+
+// ChannelCloudBytes returns the cumulative cloud bytes served to a channel.
+func (s *Simulator) ChannelCloudBytes(channel int) (float64, error) {
+	if channel < 0 || channel >= len(s.channels) {
+		return 0, fmt.Errorf("sim: channel %d outside [0,%d)", channel, len(s.channels))
+	}
+	now := s.engine.Now()
+	for _, p := range s.channels[channel].pools {
+		p.settle(now)
+	}
+	return s.channels[channel].cloudBytesServed, nil
+}
+
+// Users returns the current viewer count of a channel.
+func (s *Simulator) Users(channel int) (int, error) {
+	if channel < 0 || channel >= len(s.channels) {
+		return 0, fmt.Errorf("sim: channel %d outside [0,%d)", channel, len(s.channels))
+	}
+	return len(s.channels[channel].users), nil
+}
+
+// TotalUsers returns the viewer count across all channels.
+func (s *Simulator) TotalUsers() int {
+	var n int
+	for _, ch := range s.channels {
+		n += len(ch.users)
+	}
+	return n
+}
+
+// MeanUplink returns the average upload bandwidth of a channel's current
+// viewers (0 when empty) — the u the controller feeds into Eqn. (5).
+func (s *Simulator) MeanUplink(channel int) (float64, error) {
+	if channel < 0 || channel >= len(s.channels) {
+		return 0, fmt.Errorf("sim: channel %d outside [0,%d)", channel, len(s.channels))
+	}
+	ch := s.channels[channel]
+	if len(ch.users) == 0 {
+		return 0, nil
+	}
+	return ch.totalUplink / float64(len(ch.users)), nil
+}
+
+// Estimator exposes a channel's measurement feed for the controller, which
+// reads it at the end of each interval and then Resets it.
+func (s *Simulator) Estimator(channel int) (*viewing.Estimator, error) {
+	if channel < 0 || channel >= len(s.channels) {
+		return nil, fmt.Errorf("sim: channel %d outside [0,%d)", channel, len(s.channels))
+	}
+	return s.channels[channel].estimator, nil
+}
+
+// QualitySample is a snapshot of the smooth-playback metric.
+type QualitySample struct {
+	Time            float64
+	Overall         float64   // fraction of viewers smooth over the window
+	PerChannel      []float64 // per-channel fraction (1 for empty channels)
+	UsersPerChannel []int
+}
+
+// SampleQuality measures streaming quality right now: the fraction of
+// viewers with no stall inside the trailing window (Fig. 5's metric).
+func (s *Simulator) SampleQuality() QualitySample {
+	now := s.engine.Now()
+	win := s.cfg.QualityWindowSeconds
+	sample := QualitySample{
+		Time:            now,
+		PerChannel:      make([]float64, len(s.channels)),
+		UsersPerChannel: make([]int, len(s.channels)),
+	}
+	var smooth, total int
+	for c, ch := range s.channels {
+		chSmooth := 0
+		for u := range ch.users {
+			if u.smoothAt(now, win) {
+				chSmooth++
+			}
+		}
+		n := len(ch.users)
+		sample.UsersPerChannel[c] = n
+		if n == 0 {
+			sample.PerChannel[c] = 1
+		} else {
+			sample.PerChannel[c] = float64(chSmooth) / float64(n)
+		}
+		smooth += chSmooth
+		total += n
+	}
+	if total == 0 {
+		sample.Overall = 1
+	} else {
+		sample.Overall = float64(smooth) / float64(total)
+	}
+	return sample
+}
+
+// Mode returns the scenario's streaming mode.
+func (s *Simulator) Mode() Mode { return s.cfg.Mode }
+
+// ChannelConfig returns the per-channel parameters.
+func (s *Simulator) ChannelConfig() queueing.Config { return s.cfg.Channel }
+
+// Channels returns the number of channels.
+func (s *Simulator) Channels() int { return len(s.channels) }

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math"
+
+	"cloudmedia/internal/viewing"
+)
+
+// userState tracks where a viewer is in the playback pipeline.
+type userState int
+
+const (
+	// stateFetching: waiting for the first chunk after joining or seeking;
+	// nothing is playing yet (startup/seek latency, not a stall).
+	stateFetching userState = iota + 1
+	// statePlaying: playing a chunk while the next one downloads behind it.
+	statePlaying
+	// stateStalled: playback hit the end of the current chunk before the
+	// next one arrived — the smooth-playback violation the paper measures.
+	stateStalled
+)
+
+// user is one VoD viewer.
+type user struct {
+	id      int
+	channel *channelState
+	sim     *Simulator
+
+	uplink     float64
+	owned      []bool
+	ownedCount int
+
+	state        userState
+	playingChunk int
+	nextChunk    int // successor chosen at playback start; -1 = departure
+	nextReady    bool
+	dl           *download
+
+	playEnd *Event
+	jumpEv  *Event
+
+	joinedAt     float64
+	lastStallEnd float64
+	fetchStart   float64 // when the current stateFetching wait began
+}
+
+// join initializes the viewer and starts fetching the entry chunk.
+func (u *user) join(startChunk int) {
+	now := u.sim.engine.Now()
+	u.joinedAt = now
+	u.lastStallEnd = math.Inf(-1)
+	u.state = stateFetching
+	u.fetchStart = now
+	u.nextChunk = -1
+	u.channel.addUser(u)
+	u.scheduleJump()
+	u.startFetch(startChunk)
+}
+
+// startFetch begins downloading the chunk, or short-circuits if the user's
+// buffer already holds it (chunks stay cached until departure).
+func (u *user) startFetch(chunk int) {
+	if u.owned[chunk] {
+		u.onChunkReady(chunk)
+		return
+	}
+	d := &download{user: u}
+	u.dl = d
+	u.channel.pools[chunk].add(d)
+}
+
+// onDownloadComplete is called by the pool when a transfer finishes.
+func (u *user) onDownloadComplete(chunk int) {
+	u.dl = nil
+	if !u.owned[chunk] {
+		u.owned[chunk] = true
+		u.ownedCount++
+		u.channel.owners[chunk]++
+	}
+	u.onChunkReady(chunk)
+}
+
+// onChunkReady reacts to a chunk becoming playable.
+func (u *user) onChunkReady(chunk int) {
+	switch u.state {
+	case stateFetching:
+		u.beginPlayback(chunk)
+	case statePlaying:
+		if chunk == u.nextChunk {
+			u.nextReady = true
+		}
+	case stateStalled:
+		if chunk == u.nextChunk {
+			u.lastStallEnd = u.sim.engine.Now()
+			u.beginPlayback(chunk)
+		}
+	}
+}
+
+// beginPlayback starts playing a chunk, chooses the successor per the
+// transfer matrix, records the transition for the tracker, and pipelines
+// the successor's download behind the playback.
+func (u *user) beginPlayback(chunk int) {
+	now := u.sim.engine.Now()
+	u.state = statePlaying
+	u.playingChunk = chunk
+	u.nextChunk = u.sampleNext(chunk)
+	u.nextReady = false
+
+	if u.nextChunk >= 0 {
+		_ = u.channel.estimator.RecordTransition(chunk, u.nextChunk)
+		if u.owned[u.nextChunk] {
+			u.nextReady = true
+		} else {
+			u.startFetch(u.nextChunk)
+		}
+	} else {
+		_ = u.channel.estimator.RecordTransition(chunk, viewing.Departed)
+	}
+
+	ev, err := u.sim.engine.Schedule(now+u.sim.cfg.Channel.ChunkSeconds, u.onPlayEnd)
+	if err == nil {
+		u.playEnd = ev
+	}
+}
+
+// onPlayEnd fires when the current chunk's playback time elapses.
+func (u *user) onPlayEnd() {
+	u.playEnd = nil
+	if u.nextChunk < 0 {
+		u.leave()
+		return
+	}
+	if u.nextReady {
+		u.beginPlayback(u.nextChunk)
+		return
+	}
+	// Deadline missed: the user stalls until the in-flight download lands.
+	u.state = stateStalled
+}
+
+// sampleNext draws the successor chunk from the transfer matrix row, or -1
+// for departure.
+func (u *user) sampleNext(chunk int) int {
+	row := u.sim.cfg.Transfer[chunk]
+	x := u.sim.rng.Float64()
+	for j, p := range row {
+		x -= p
+		if x < 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// scheduleJump arms the next VCR-jump timer.
+func (u *user) scheduleJump() {
+	delay := u.sim.cfg.Workload.NextJump(u.sim.rng)
+	ev, err := u.sim.engine.Schedule(u.sim.engine.Now()+delay, u.onJump)
+	if err == nil {
+		u.jumpEv = ev
+	}
+}
+
+// onJump seeks to a uniformly random position: the current download (if
+// any) is aborted, playback restarts at the target once it is available.
+// Seek latency is not counted as a stall.
+func (u *user) onJump() {
+	u.jumpEv = nil
+	u.scheduleJump()
+
+	target := u.sim.rng.Intn(u.sim.cfg.Channel.Chunks)
+	if u.state == statePlaying || u.state == stateStalled {
+		_ = u.channel.estimator.RecordTransition(u.playingChunk, target)
+	}
+	if u.dl != nil && u.dl.pool != nil {
+		u.dl.pool.remove(u.dl)
+		u.dl = nil
+	}
+	u.playEnd.Cancel()
+	u.playEnd = nil
+	if u.state == stateStalled {
+		// The seek resolves the stall (the user moved elsewhere).
+		u.lastStallEnd = u.sim.engine.Now()
+	}
+	u.state = stateFetching
+	u.fetchStart = u.sim.engine.Now()
+	u.nextChunk = -1
+	u.nextReady = false
+	u.startFetch(target)
+}
+
+// leave tears the viewer down: events cancelled, downloads aborted, cached
+// chunks removed from the channel's supplier counts.
+func (u *user) leave() {
+	u.jumpEv.Cancel()
+	u.jumpEv = nil
+	u.playEnd.Cancel()
+	u.playEnd = nil
+	if u.dl != nil && u.dl.pool != nil {
+		u.dl.pool.remove(u.dl)
+		u.dl = nil
+	}
+	for chunk, has := range u.owned {
+		if has {
+			u.channel.owners[chunk]--
+		}
+	}
+	u.channel.removeUser(u)
+}
+
+// smoothAt reports whether the user counts as "smooth playback" for the
+// trailing window ending at now. Currently-stalled users are not smooth; a
+// startup/seek wait longer than one chunk's playback time also counts as a
+// violation (otherwise a starved system would look perfect because nobody
+// ever reaches the playing state).
+func (u *user) smoothAt(now, window float64) bool {
+	if u.state == stateStalled {
+		return false
+	}
+	if u.state == stateFetching && now-u.fetchStart > u.sim.cfg.Channel.ChunkSeconds {
+		return false
+	}
+	return u.lastStallEnd <= now-window
+}

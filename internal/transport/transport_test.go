@@ -1,0 +1,241 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"cloudmedia/internal/tracker"
+)
+
+const testSecret = "transport-test-secret"
+
+// newStack starts a tracker-verified VM server behind an entry point.
+func newStack(t *testing.T) (*tracker.Tracker, *VMServer, *EntryPoint) {
+	t.Helper()
+	store := SyntheticStore{Channels: 2, Chunks: 4, ChunkSize: 4096}
+	tr, err := tracker.New(4, nil, []byte(testSecret))
+	if err != nil {
+		t.Fatalf("tracker.New: %v", err)
+	}
+	verify := func(ticket string, channel, chunk int, peer uint64, expiry uint64) error {
+		// The VM re-derives validity from the shared secret; "now" is the
+		// request's own expiry minus one so unexpired tickets pass and the
+		// expiry claim is still covered by the MAC.
+		return tracker.VerifyTicket([]byte(testSecret), ticket, channel, chunk, tracker.PeerID(peer), expiry-1)
+	}
+	vm, err := NewVMServer("127.0.0.1:0", store, verify)
+	if err != nil {
+		t.Fatalf("NewVMServer: %v", err)
+	}
+	t.Cleanup(func() { _ = vm.Close() })
+	ep, err := NewEntryPoint("127.0.0.1:0", []string{vm.Addr()})
+	if err != nil {
+		t.Fatalf("NewEntryPoint: %v", err)
+	}
+	t.Cleanup(func() { _ = ep.Close() })
+	return tr, vm, ep
+}
+
+// ticketFor obtains a genuine tracker-issued ticket for the tuple.
+func ticketFor(channel, chunk int, peer uint64, expiry uint64) string {
+	tr, err := tracker.New(8, []tracker.EntryPoint{{Addr: "x"}}, []byte(testSecret))
+	if err != nil {
+		panic(err)
+	}
+	tr.Join(channel, tracker.PeerID(peer))
+	_, grant, err := tr.Lookup(channel, chunk, tracker.PeerID(peer), 1, 5, expiry)
+	if err != nil {
+		panic(err)
+	}
+	return grant.Ticket
+}
+
+func TestFetchThroughEntryPoint(t *testing.T) {
+	_, vm, ep := newStack(t)
+	ticket := ticketFor(1, 2, 77, 1000)
+	got, err := FetchChunk(ep.Addr(), 1, 2, 77, 1000, ticket)
+	if err != nil {
+		t.Fatalf("FetchChunk: %v", err)
+	}
+	want, err := SyntheticStore{Channels: 2, Chunks: 4, ChunkSize: 4096}.ChunkData(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("payload mismatch through entry point")
+	}
+	// Direct-to-VM fetch works too.
+	got, err = FetchChunk(vm.Addr(), 1, 2, 77, 1000, ticket)
+	if err != nil {
+		t.Fatalf("direct FetchChunk: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("payload mismatch direct")
+	}
+}
+
+func TestFetchRejectsBadTicket(t *testing.T) {
+	_, _, ep := newStack(t)
+	if _, err := FetchChunk(ep.Addr(), 1, 2, 77, 1000, "forged"); !errors.Is(err, ErrBadTicket) {
+		t.Errorf("err = %v, want ErrBadTicket", err)
+	}
+	// A ticket for a different chunk must not unlock this one.
+	other := ticketFor(1, 3, 77, 1000)
+	if _, err := FetchChunk(ep.Addr(), 1, 2, 77, 1000, other); !errors.Is(err, ErrBadTicket) {
+		t.Errorf("cross-chunk ticket: err = %v, want ErrBadTicket", err)
+	}
+}
+
+func TestFetchUnknownChunk(t *testing.T) {
+	_, _, ep := newStack(t)
+	// Channel 7 is outside the 2-channel store but the ticket is genuine.
+	ticket := ticketFor(7, 1, 5, 1000)
+	if _, err := FetchChunk(ep.Addr(), 7, 1, 5, 1000, ticket); !errors.Is(err, ErrUnknownChunk) {
+		t.Errorf("err = %v, want ErrUnknownChunk", err)
+	}
+}
+
+func TestConcurrentFetches(t *testing.T) {
+	_, _, ep := newStack(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		chunk := i % 4
+		go func() {
+			defer wg.Done()
+			ticket := ticketFor(0, chunk, 9, 1000)
+			data, err := FetchChunk(ep.Addr(), 0, chunk, 9, 1000, ticket)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(data) != 4096 {
+				errs <- errors.New("short payload")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent fetch: %v", err)
+	}
+}
+
+func TestEntryPointRoundRobin(t *testing.T) {
+	storeA := SyntheticStore{Channels: 1, Chunks: 1, ChunkSize: 8}
+	// Second "VM" holds a different store so the rotation is observable.
+	storeB := SyntheticStore{Channels: 1, Chunks: 1, ChunkSize: 16}
+	verify := func(string, int, int, uint64, uint64) error { return nil }
+	vmA, err := NewVMServer("127.0.0.1:0", storeA, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vmA.Close()
+	vmB, err := NewVMServer("127.0.0.1:0", storeB, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vmB.Close()
+	ep, err := NewEntryPoint("127.0.0.1:0", []string{vmA.Addr(), vmB.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	sizes := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		data, err := FetchChunk(ep.Addr(), 0, 0, 1, 10, "any")
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		sizes[len(data)] = true
+	}
+	if !sizes[8] || !sizes[16] {
+		t.Errorf("round-robin not observed: sizes %v", sizes)
+	}
+}
+
+func TestEntryPointSetTargets(t *testing.T) {
+	store := SyntheticStore{Channels: 1, Chunks: 1, ChunkSize: 8}
+	verify := func(string, int, int, uint64, uint64) error { return nil }
+	vm, err := NewVMServer("127.0.0.1:0", store, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Close()
+	ep, err := NewEntryPoint("127.0.0.1:0", []string{"127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if err := ep.SetTargets(nil); err == nil {
+		t.Error("empty target set accepted")
+	}
+	if err := ep.SetTargets([]string{vm.Addr()}); err != nil {
+		t.Fatalf("SetTargets: %v", err)
+	}
+	if _, err := FetchChunk(ep.Addr(), 0, 0, 1, 10, "any"); err != nil {
+		t.Fatalf("fetch after retarget: %v", err)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	store := SyntheticStore{Channels: 1, Chunks: 1, ChunkSize: 8}
+	verify := func(string, int, int, uint64, uint64) error { return nil }
+	if _, err := NewVMServer("127.0.0.1:0", nil, verify); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := NewVMServer("127.0.0.1:0", store, nil); err == nil {
+		t.Error("nil verifier accepted")
+	}
+	if _, err := NewEntryPoint("127.0.0.1:0", nil); err == nil {
+		t.Error("no targets accepted")
+	}
+}
+
+func TestSyntheticStoreBounds(t *testing.T) {
+	s := SyntheticStore{Channels: 2, Chunks: 3, ChunkSize: 10}
+	if _, err := s.ChunkData(2, 0); err == nil {
+		t.Error("channel out of range accepted")
+	}
+	if _, err := s.ChunkData(0, 3); err == nil {
+		t.Error("chunk out of range accepted")
+	}
+	a, err := s.ChunkData(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.ChunkData(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("distinct chunks should differ")
+	}
+	// Deterministic.
+	a2, err := s.ChunkData(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, a2) {
+		t.Error("store not deterministic")
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	store := SyntheticStore{Channels: 1, Chunks: 1, ChunkSize: 8}
+	verify := func(string, int, int, uint64, uint64) error { return nil }
+	vm, err := NewVMServer("127.0.0.1:0", store, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := vm.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

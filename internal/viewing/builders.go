@@ -1,0 +1,89 @@
+package viewing
+
+import (
+	"fmt"
+
+	"cloudmedia/internal/queueing"
+)
+
+// Sequential returns a P where users watch chunks strictly in order,
+// continuing from chunk i to i+1 with probability cont and otherwise
+// leaving. The final chunk always departs.
+func Sequential(chunks int, cont float64) (queueing.TransferMatrix, error) {
+	if chunks <= 0 {
+		return nil, fmt.Errorf("viewing: non-positive chunk count %d", chunks)
+	}
+	if cont < 0 || cont > 1 {
+		return nil, fmt.Errorf("viewing: continuation probability %v outside [0,1]", cont)
+	}
+	p := queueing.NewTransferMatrix(chunks)
+	for i := 0; i < chunks-1; i++ {
+		p[i][i+1] = cont
+	}
+	return p, nil
+}
+
+// SequentialWithJumps models the paper's trace: after finishing a chunk a
+// user continues to the next chunk with probability cont·(1−jump), jumps to
+// a uniformly random other position with probability jump·cont, and leaves
+// with probability 1−cont. With T₀ = 5 min chunks and exponential jump
+// intervals of mean 15 min, jump ≈ 1/3.
+func SequentialWithJumps(chunks int, cont, jump float64) (queueing.TransferMatrix, error) {
+	if chunks <= 0 {
+		return nil, fmt.Errorf("viewing: non-positive chunk count %d", chunks)
+	}
+	if cont < 0 || cont > 1 {
+		return nil, fmt.Errorf("viewing: continuation probability %v outside [0,1]", cont)
+	}
+	if jump < 0 || jump > 1 {
+		return nil, fmt.Errorf("viewing: jump probability %v outside [0,1]", jump)
+	}
+	p := queueing.NewTransferMatrix(chunks)
+	if chunks == 1 {
+		return p, nil
+	}
+	for i := 0; i < chunks; i++ {
+		jumpShare := cont * jump / float64(chunks-1)
+		for j := 0; j < chunks; j++ {
+			if j == i {
+				continue
+			}
+			p[i][j] = jumpShare
+		}
+		if i < chunks-1 {
+			p[i][i+1] += cont * (1 - jump)
+		}
+		// The last chunk has no sequential successor; its (1−jump)·cont mass
+		// departs, matching users who finish the video.
+	}
+	return p, nil
+}
+
+// DecayingRetention returns a sequential matrix whose continuation
+// probability decays geometrically along the video: chunk i continues with
+// probability cont·decay^i. This models the well-documented early
+// abandonment of VoD sessions and produces the skewed per-chunk demand that
+// makes the storage heuristic's ordering matter.
+func DecayingRetention(chunks int, cont, decay float64) (queueing.TransferMatrix, error) {
+	if chunks <= 0 {
+		return nil, fmt.Errorf("viewing: non-positive chunk count %d", chunks)
+	}
+	if cont < 0 || cont > 1 || decay < 0 || decay > 1 {
+		return nil, fmt.Errorf("viewing: cont=%v decay=%v outside [0,1]", cont, decay)
+	}
+	p := queueing.NewTransferMatrix(chunks)
+	c := cont
+	for i := 0; i < chunks-1; i++ {
+		p[i][i+1] = c
+		c *= decay
+	}
+	return p, nil
+}
+
+// PaperDefault returns the transfer matrix family used throughout the
+// experiments: sequential viewing with VCR jumps matching the trace of
+// Sec. VI-A (15-minute expected jump interval over 5-minute chunks, 90%
+// per-chunk retention).
+func PaperDefault(chunks int) (queueing.TransferMatrix, error) {
+	return SequentialWithJumps(chunks, 0.9, 1.0/3)
+}

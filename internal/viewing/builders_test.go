@@ -1,0 +1,135 @@
+package viewing
+
+import (
+	"testing"
+
+	"cloudmedia/internal/mathx"
+)
+
+func TestSequential(t *testing.T) {
+	p, err := Sequential(4, 0.8)
+	if err != nil {
+		t.Fatalf("Sequential: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid matrix: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if p[i][i+1] != 0.8 {
+			t.Errorf("P[%d][%d] = %v, want 0.8", i, i+1, p[i][i+1])
+		}
+		if !mathx.ApproxEqual(p.DepartureProbability(i), 0.2, 1e-12) {
+			t.Errorf("departure(%d) = %v, want 0.2", i, p.DepartureProbability(i))
+		}
+	}
+	if p.DepartureProbability(3) != 1 {
+		t.Errorf("last chunk departure = %v, want 1", p.DepartureProbability(3))
+	}
+}
+
+func TestSequentialErrors(t *testing.T) {
+	if _, err := Sequential(0, 0.5); err == nil {
+		t.Error("zero chunks: want error")
+	}
+	if _, err := Sequential(3, 1.5); err == nil {
+		t.Error("cont > 1: want error")
+	}
+	if _, err := Sequential(3, -0.1); err == nil {
+		t.Error("cont < 0: want error")
+	}
+}
+
+func TestSequentialWithJumps(t *testing.T) {
+	chunks, cont, jump := 10, 0.9, 1.0/3
+	p, err := SequentialWithJumps(chunks, cont, jump)
+	if err != nil {
+		t.Fatalf("SequentialWithJumps: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid matrix: %v", err)
+	}
+	// Every non-terminal row: departure probability exactly 1 − cont.
+	for i := 0; i < chunks-1; i++ {
+		if !mathx.ApproxEqual(p.DepartureProbability(i), 1-cont, 1e-9) {
+			t.Errorf("departure(%d) = %v, want %v", i, p.DepartureProbability(i), 1-cont)
+		}
+	}
+	// Sequential mass dominates any single jump target.
+	if p[0][1] <= p[0][5] {
+		t.Errorf("sequential move %v should exceed jump %v", p[0][1], p[0][5])
+	}
+	// Jump mass is uniform across non-self targets.
+	if !mathx.ApproxEqual(p[0][5], cont*jump/float64(chunks-1), 1e-12) {
+		t.Errorf("jump share = %v", p[0][5])
+	}
+	// No self-loops.
+	for i := 0; i < chunks; i++ {
+		if p[i][i] != 0 {
+			t.Errorf("self loop at %d", i)
+		}
+	}
+}
+
+func TestSequentialWithJumpsSingleChunk(t *testing.T) {
+	p, err := SequentialWithJumps(1, 0.9, 0.3)
+	if err != nil {
+		t.Fatalf("SequentialWithJumps: %v", err)
+	}
+	if p.DepartureProbability(0) != 1 {
+		t.Error("single chunk should always depart")
+	}
+}
+
+func TestSequentialWithJumpsErrors(t *testing.T) {
+	if _, err := SequentialWithJumps(0, 0.5, 0.5); err == nil {
+		t.Error("zero chunks: want error")
+	}
+	if _, err := SequentialWithJumps(3, 2, 0.5); err == nil {
+		t.Error("cont > 1: want error")
+	}
+	if _, err := SequentialWithJumps(3, 0.5, -1); err == nil {
+		t.Error("jump < 0: want error")
+	}
+}
+
+func TestDecayingRetention(t *testing.T) {
+	p, err := DecayingRetention(5, 0.9, 0.8)
+	if err != nil {
+		t.Fatalf("DecayingRetention: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid matrix: %v", err)
+	}
+	prev := 1.0
+	for i := 0; i < 4; i++ {
+		if p[i][i+1] >= prev {
+			t.Errorf("continuation not decaying at %d: %v >= %v", i, p[i][i+1], prev)
+		}
+		prev = p[i][i+1]
+	}
+	if !mathx.ApproxEqual(p[1][2], 0.9*0.8, 1e-12) {
+		t.Errorf("P[1][2] = %v, want 0.72", p[1][2])
+	}
+}
+
+func TestDecayingRetentionErrors(t *testing.T) {
+	if _, err := DecayingRetention(0, 0.9, 0.8); err == nil {
+		t.Error("zero chunks: want error")
+	}
+	if _, err := DecayingRetention(3, 0.9, 1.2); err == nil {
+		t.Error("decay > 1: want error")
+	}
+}
+
+func TestPaperDefault(t *testing.T) {
+	p, err := PaperDefault(20)
+	if err != nil {
+		t.Fatalf("PaperDefault: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid matrix: %v", err)
+	}
+	if !p.HasDeparture() {
+		t.Error("paper default must admit departures")
+	}
+}

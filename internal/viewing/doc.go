@@ -1,0 +1,14 @@
+// Package viewing builds and estimates the chunk-transfer probability
+// matrices P(c) that drive the Jackson analysis.
+//
+// The builders encode viewing-behaviour families: strictly sequential
+// watching, sequential watching with VCR jumps (the paper's trace has
+// exponential 15-minute jump intervals, i.e. a per-chunk jump probability of
+// roughly T₀/15 min), and early-abandonment profiles where retention decays
+// along the video.
+//
+// The Estimator is the measurement half of Sec. V-B: the tracker feeds it
+// observed arrivals and chunk-to-chunk transitions during an interval, and
+// at the end of the interval it produces the (Λ, P) estimates used to
+// provision the next interval.
+package viewing
