@@ -1,0 +1,46 @@
+package cloudmedia_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoInternalImportsOutsideModule guards the SDK boundary: examples and
+// the CLI are the reference consumers of the public API, so they must
+// compile against the root package and pkg/ alone. If this test fails, a
+// public wrapper is missing.
+func TestNoInternalImportsOutsideModule(t *testing.T) {
+	for _, dir := range []string{"examples", "cmd"} {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					return err
+				}
+				if p == "cloudmedia/internal" || strings.HasPrefix(p, "cloudmedia/internal/") {
+					t.Errorf("%s imports %s: examples and cmd must use the public API", path, p)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", dir, err)
+		}
+	}
+}

@@ -1,13 +1,21 @@
 // Command cloudmedia runs the CloudMedia reproduction experiments: every
 // table and figure of the paper's evaluation section, at a configurable
-// scale.
+// scale and architecture.
 //
 // Usage:
 //
-//	cloudmedia -exp fig4                # one experiment
-//	cloudmedia -exp all -hours 12      # the whole suite, shorter horizon
-//	cloudmedia -list                   # show available experiment IDs
-//	cloudmedia -exp fig10 -scale 10 -csv  # paper-scale run, CSV output
+//	cloudmedia -exp fig4                          # one experiment
+//	cloudmedia -exp all -hours 12                 # the whole suite, shorter horizon
+//	cloudmedia -list                              # show available experiment IDs
+//	cloudmedia -exp timeline -mode cloud-assisted # hourly view of a chosen architecture
+//	cloudmedia -exp fig10 -scale 10 -csv          # paper-scale run, CSV output
+//
+// The figure experiments pin the architectures they are defined over
+// (fig4 always compares client-server against P2P, and so on); -mode
+// drives the mode-sensitive entries, most usefully "timeline".
+//
+// The command is a thin flag wrapper around the public cloudmedia/pkg/paper
+// package.
 package main
 
 import (
@@ -18,8 +26,8 @@ import (
 	"sort"
 	"strings"
 
-	"cloudmedia/internal/experiments"
-	"cloudmedia/internal/sim"
+	"cloudmedia/pkg/paper"
+	"cloudmedia/pkg/simulate"
 )
 
 func main() {
@@ -34,6 +42,7 @@ func run(args []string) error {
 	var (
 		exp    = fs.String("exp", "", "experiment ID to run (or 'all')")
 		list   = fs.Bool("list", false, "list experiment IDs and exit")
+		mode   = fs.String("mode", "client-server", "architecture under test: client-server, p2p, or cloud-assisted")
 		scale  = fs.Float64("scale", 2, "workload scale (1 ≈ 250 concurrent users, 10 ≈ paper scale)")
 		hours  = fs.Float64("hours", 24, "simulated duration per run, hours")
 		seed   = fs.Int64("seed", 42, "random seed")
@@ -44,28 +53,25 @@ func run(args []string) error {
 		return err
 	}
 	if *list {
-		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		fmt.Println(strings.Join(paper.IDs(), "\n"))
 		return nil
 	}
 	if *exp == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -exp (or -list)")
 	}
+	m, err := simulate.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = experiments.IDs()
+		ids = paper.IDs()
 	}
-	registry := experiments.Registry()
+	opts := paper.Options{Mode: m, Scale: *scale, Hours: *hours, Seed: *seed}
 	for _, id := range ids {
-		runner, ok := registry[id]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (try -list)", id)
-		}
-		sc := experiments.DefaultScenario(sim.ClientServer, *scale)
-		sc.Hours = *hours
-		sc.Seed = *seed
-		res, err := runner(sc)
+		res, err := paper.Run(id, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -83,7 +89,7 @@ func run(args []string) error {
 }
 
 // renderJSON emits the result as one JSON document per experiment.
-func renderJSON(res *experiments.Result) error {
+func renderJSON(res *paper.Result) error {
 	type jsonTable struct {
 		Title   string     `json:"title"`
 		Headers []string   `json:"headers"`
@@ -102,7 +108,7 @@ func renderJSON(res *experiments.Result) error {
 	return enc.Encode(doc)
 }
 
-func render(res *experiments.Result, csv bool) error {
+func render(res *paper.Result, csv bool) error {
 	for _, tbl := range res.Tables {
 		var err error
 		if csv {

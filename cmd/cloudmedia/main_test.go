@@ -43,6 +43,20 @@ func TestRunShortFigure(t *testing.T) {
 	}
 }
 
+func TestRunModeFlag(t *testing.T) {
+	for _, mode := range []string{"p2p", "cloud-assisted"} {
+		if err := run([]string{"-exp", "fig6", "-mode", mode, "-scale", "1", "-hours", "1"}); err != nil {
+			t.Errorf("fig6 -mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunBadMode(t *testing.T) {
+	if err := run([]string{"-exp", "fig6", "-mode", "quantum"}); err == nil {
+		t.Error("bad -mode: want error")
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-nope"}); err == nil {
 		t.Error("bad flag: want error")

@@ -1,14 +1,33 @@
 // Package cloudmedia is a from-scratch Go reproduction of "CloudMedia:
 // When Cloud on Demand Meets Video on Demand" (Wu, Wu, Li, Qiu, Lau —
-// ICDCS 2011).
+// ICDCS 2011), packaged as an importable SDK.
 //
-// The implementation lives under internal/: the Jackson queueing analysis
-// (internal/queueing), the P2P peer-supply analysis (internal/p2p), the
-// rental heuristics (internal/provision), the IaaS cloud simulator
-// (internal/cloud), the workload trace generator (internal/workload), the
-// discrete-event streaming simulator (internal/sim), and the dynamic
-// provisioning controller that is the paper's primary contribution
-// (internal/core). The experiment harness (internal/experiments) and the
-// cloudmedia CLI (cmd/cloudmedia) regenerate every table and figure of the
-// paper's evaluation. See README.md, DESIGN.md, and EXPERIMENTS.md.
+// The root package is the facade. Pipeline runs the paper's one-shot
+// analysis — Jackson queueing equilibrium → P2P peer supply →
+// budget-constrained VM and storage rental — configured with functional
+// options:
+//
+//	p, err := cloudmedia.NewPipeline(
+//		cloudmedia.WithChunks(20),
+//		cloudmedia.WithArrivalRate(0.25),
+//		cloudmedia.WithPeerUplink(34e3),
+//	)
+//	res, err := p.Run(ctx)
+//
+// NewScenario assembles the full discrete-event system — workload trace,
+// streaming simulator, measurement tracker, dynamic provisioning
+// controller, IaaS cloud — whose context-aware Run streams provisioning
+// rounds as they happen instead of accumulating them:
+//
+//	sc, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted, cloudmedia.WithHours(12))
+//	report, err := sc.Run(ctx)
+//
+// The public subpackages expose the layers individually: pkg/plan the
+// analytic building blocks, pkg/simulate the simulation engine and
+// streaming API, pkg/paper the table/figure reproduction registry behind
+// cmd/cloudmedia, and pkg/tracker plus pkg/transport the Sec. V-B
+// control/data plane over real TCP. The implementation lives under
+// internal/ (queueing, p2p, provision, cloud, workload, sim, core,
+// experiments) so it can be refactored without breaking importers. See
+// README.md, DESIGN.md, and EXPERIMENTS.md.
 package cloudmedia

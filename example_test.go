@@ -1,0 +1,103 @@
+package cloudmedia_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"cloudmedia"
+	"cloudmedia/pkg/simulate"
+)
+
+// The quickstart: one channel with the paper's parameters, 900 arrivals
+// per hour, peers uploading ~270 Kbps — equilibrium, peer supply, and the
+// rental plan in one call.
+func ExamplePipeline_Run() {
+	p, err := cloudmedia.NewPipeline(
+		cloudmedia.WithArrivalRate(900.0/3600),
+		cloudmedia.WithPeerUplink(34e3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("capacity: %.1f Mbps\n", res.TotalCapacity()*8/1e6)
+	fmt.Printf("peer supply: %.1f Mbps\n", res.TotalPeerSupply()*8/1e6)
+	fmt.Printf("cloud residual: %.1f Mbps\n", res.TotalCloudDemand()*8/1e6)
+	fmt.Printf("VM rental: %v at $%.2f/hour\n", res.VMPlan.RentalVMs(), res.VMPlan.CostPerHour)
+	// Output:
+	// capacity: 410.0 Mbps
+	// peer supply: 118.7 Mbps
+	// cloud residual: 291.3 Mbps
+	// VM rental: map[standard:30] at $13.11/hour
+}
+
+// A multi-channel analysis: three channels with Zipf-skewed arrival rates
+// planned against one shared budget.
+func ExampleNewPipeline() {
+	p, err := cloudmedia.NewPipeline(
+		cloudmedia.WithChunks(8),
+		cloudmedia.WithChunkSeconds(75),
+		cloudmedia.WithArrivalRate(0.3, 0.15, 0.1),
+		cloudmedia.WithBudgets(100, 1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("channels analyzed: %d\n", len(res.Channels))
+	fmt.Printf("chunk demands planned: %d\n", len(res.Demands))
+	fmt.Printf("within budget: %v\n", res.VMPlan.CostPerHour <= 100)
+	// Output:
+	// channels analyzed: 3
+	// chunk demands planned: 24
+	// within budget: true
+}
+
+// A short dynamic-provisioning run: two simulated hours of the
+// client-server system with the hourly controller.
+func ExampleNewScenario() {
+	sc, err := cloudmedia.NewScenario(cloudmedia.ClientServer,
+		cloudmedia.WithScale(1),
+		cloudmedia.WithHours(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provisioning rounds: %d\n", rep.Intervals)
+	fmt.Printf("smooth playback above 90%%: %v\n", rep.MeanQuality > 0.9)
+	// Output:
+	// provisioning rounds: 3
+	// smooth playback above 90%: true
+}
+
+// Streaming a long run: every provisioning round is handed to the
+// callback as it completes instead of accumulating in memory.
+func ExampleScenario() {
+	sc, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted,
+		cloudmedia.WithScale(1),
+		cloudmedia.WithHours(3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rounds := 0
+	if _, err := sc.Run(context.Background(), simulate.OnInterval(func(rec cloudmedia.IntervalRecord) {
+		rounds++
+	})); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed rounds: %d\n", rounds)
+	// Output:
+	// streamed rounds: 4
+}

@@ -13,8 +13,8 @@ import (
 	"fmt"
 	"log"
 
-	"cloudmedia/internal/tracker"
-	"cloudmedia/internal/transport"
+	"cloudmedia/pkg/tracker"
+	"cloudmedia/pkg/transport"
 )
 
 func main() {

@@ -1,4 +1,5 @@
-// Costcompare: client-server versus P2P rental cost, Fig. 10 in miniature.
+// Costcompare: client-server versus cloud-assisted P2P rental cost,
+// Fig. 10 in miniature.
 //
 // Runs the same 12-hour workload twice — once with every chunk served from
 // the cloud, once with the mesh-pull P2P overlay assisting — and prints the
@@ -9,13 +10,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"cloudmedia/internal/experiments"
-	"cloudmedia/internal/metrics"
-	"cloudmedia/internal/sim"
+	"cloudmedia/pkg/paper"
+	"cloudmedia/pkg/simulate"
 )
 
 func main() {
@@ -24,49 +25,62 @@ func main() {
 	}
 }
 
+type outcome struct {
+	hourlyCost []float64
+	quality    float64
+	storage    float64
+}
+
+// runMode simulates 12 hours in the given mode, sampling the cumulative VM
+// bill once per simulated hour.
+func runMode(ctx context.Context, mode simulate.Mode) (outcome, error) {
+	sc := simulate.Default(mode, 2)
+	sc.Hours = 12
+	sc.SampleSeconds = 3600
+
+	var out outcome
+	prev := 0.0
+	rep, err := sc.Run(ctx, simulate.OnSnapshot(func(snap simulate.Snapshot) {
+		out.hourlyCost = append(out.hourlyCost, snap.VMCost-prev)
+		prev = snap.VMCost
+	}))
+	if err != nil {
+		return outcome{}, err
+	}
+	out.quality = rep.MeanQuality
+	out.storage = rep.StorageCostTotal
+	return out, nil
+}
+
 func run() error {
-	type outcome struct {
-		hourly  []experiments.Hourly
-		quality float64
-		storage float64
-	}
-	runMode := func(mode sim.Mode) (outcome, error) {
-		sc := experiments.DefaultScenario(mode, 2)
-		sc.Hours = 12
-		tl, err := experiments.RunTimeline(sc)
-		if err != nil {
-			return outcome{}, err
-		}
-		return outcome{hourly: tl.Hourlies, quality: tl.MeanQuality, storage: tl.StorageCostTotal}, nil
-	}
-
-	cs, err := runMode(sim.ClientServer)
+	ctx := context.Background()
+	cs, err := runMode(ctx, simulate.ClientServer)
 	if err != nil {
 		return err
 	}
-	pp, err := runMode(sim.P2P)
+	pp, err := runMode(ctx, simulate.CloudAssisted)
 	if err != nil {
 		return err
 	}
 
-	tbl := metrics.NewTable("VM rental cost, client-server vs P2P ($/hour)",
-		"hour", "client_server", "p2p")
+	tbl := paper.NewTable("VM rental cost, client-server vs cloud-assisted P2P ($/hour)",
+		"hour", "client_server", "cloud_assisted")
 	var csTotal, ppTotal float64
-	for i := range cs.hourly {
+	for i := range cs.hourlyCost {
 		var p float64
-		if i < len(pp.hourly) {
-			p = pp.hourly[i].VMCostPerHour
+		if i < len(pp.hourlyCost) {
+			p = pp.hourlyCost[i]
 			ppTotal += p
 		}
-		csTotal += cs.hourly[i].VMCostPerHour
-		tbl.AddRow(cs.hourly[i].Hour, cs.hourly[i].VMCostPerHour, p)
+		csTotal += cs.hourlyCost[i]
+		tbl.AddRow(i+1, cs.hourlyCost[i], p)
 	}
 	if err := tbl.Render(os.Stdout); err != nil {
 		return err
 	}
-	fmt.Printf("\ntotals: client-server $%.2f, P2P $%.2f (%.0f%% saved)\n",
+	fmt.Printf("\ntotals: client-server $%.2f, cloud-assisted $%.2f (%.0f%% saved)\n",
 		csTotal, ppTotal, 100*(1-ppTotal/csTotal))
-	fmt.Printf("streaming quality: client-server %.3f, P2P %.3f\n", cs.quality, pp.quality)
+	fmt.Printf("streaming quality: client-server %.3f, cloud-assisted %.3f\n", cs.quality, pp.quality)
 	fmt.Printf("storage bill (either mode): ≈$%.5f — negligible, as the paper observes\n", cs.storage)
 	return nil
 }

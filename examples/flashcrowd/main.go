@@ -3,20 +3,21 @@
 // A small CloudMedia deployment runs for twelve simulated hours across an
 // arrival surge. The hourly controller learns the crowd from the tracker's
 // statistics and scales the VM rental up and back down; the printout shows
-// viewers, provisioned bandwidth, spend, and streaming quality per hour.
+// viewers, provisioned bandwidth, spend, and streaming quality per hour,
+// streamed from the run as it happens.
 //
 // Run with: go run ./examples/flashcrowd
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"cloudmedia/internal/experiments"
-	"cloudmedia/internal/metrics"
-	"cloudmedia/internal/sim"
-	"cloudmedia/internal/workload"
+	"cloudmedia"
+	"cloudmedia/pkg/paper"
+	"cloudmedia/pkg/simulate"
 )
 
 func main() {
@@ -26,39 +27,35 @@ func main() {
 }
 
 func run() error {
-	sc := experiments.DefaultScenario(sim.ClientServer, 2)
-	sc.Hours = 12
-	// One sharp flash crowd at hour 8, four times the base rate.
-	sc.Workload.BaseLevel = 0.4
-	sc.Workload.FlashCrowds = []workload.FlashCrowd{
-		{PeakHour: 8, WidthHours: 1, Amplitude: 4},
-	}
-
-	sys, err := experiments.Build(sc)
+	sc, err := cloudmedia.NewScenario(cloudmedia.ClientServer,
+		cloudmedia.WithScale(2),
+		cloudmedia.WithHours(12),
+		cloudmedia.WithSampleSeconds(3600),
+	)
 	if err != nil {
 		return err
 	}
-
-	tbl := metrics.NewTable("Flash crowd at hour 8 — hourly view",
-		"hour", "viewers", "reserved_mbps", "spend_per_hour", "quality")
-	var prevCost float64
-	if err := sys.Sim.ScheduleRepeating(3600, 3600, func(now float64) {
-		sys.Cloud.Advance(now)
-		vmCost, _ := sys.Cloud.Costs()
-		q := sys.Sim.SampleQuality()
-		tbl.AddRow(now/3600, sys.Sim.TotalUsers(),
-			sys.Sim.TotalCloudCapacity()*8/1e6, vmCost-prevCost, q.Overall)
-		prevCost = vmCost
-	}); err != nil {
-		return err
+	// Replace the default diurnal pattern with one sharp flash crowd at
+	// hour 8, four times the base rate.
+	sc.Workload.BaseLevel = 0.4
+	sc.Workload.FlashCrowds = []simulate.FlashCrowd{
+		{PeakHour: 8, WidthHours: 1, Amplitude: 4},
 	}
 
-	sys.Sim.RunUntil(sc.Hours * 3600)
+	tbl := paper.NewTable("Flash crowd at hour 8 — hourly view",
+		"hour", "viewers", "reserved_mbps", "spend_per_hour", "quality")
+	var prevCost float64
+	rep, err := sc.Run(context.Background(), simulate.OnSnapshot(func(snap simulate.Snapshot) {
+		tbl.AddRow(snap.Time/3600, snap.Users, snap.ReservedMbps, snap.VMCost-prevCost, snap.Quality)
+		prevCost = snap.VMCost
+	}))
+	if err != nil {
+		return err
+	}
 	if err := tbl.Render(os.Stdout); err != nil {
 		return err
 	}
-	sys.Cloud.Advance(sys.Sim.Now())
-	vmCost, storageCost := sys.Cloud.Costs()
-	fmt.Printf("\ntotal spend: $%.2f VMs + $%.5f storage over %v hours\n", vmCost, storageCost, sc.Hours)
+	fmt.Printf("\ntotal spend: $%.2f VMs + $%.5f storage over %v hours\n",
+		rep.VMCostTotal, rep.StorageCostTotal, rep.Hours)
 	return nil
 }

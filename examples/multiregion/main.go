@@ -3,24 +3,24 @@
 //
 // Three regions with different population shares and regional VM pricing
 // each run their own cloud, tracker statistics, and hourly provisioning
-// controller. The report shows how the bill follows both the regional
-// crowd and the regional price list.
+// controller: one scenario per region, with the global arrival trace split
+// by population share and the regional price list plugged in through the
+// scenario's cluster catalog. The report shows how the bill follows both
+// the regional crowd and the regional price list.
 //
 // Run with: go run ./examples/multiregion
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"cloudmedia/internal/cloud"
-	"cloudmedia/internal/geo"
-	"cloudmedia/internal/metrics"
-	"cloudmedia/internal/queueing"
-	"cloudmedia/internal/sim"
-	"cloudmedia/internal/viewing"
-	"cloudmedia/internal/workload"
+	"cloudmedia"
+	"cloudmedia/pkg/paper"
+	"cloudmedia/pkg/plan"
+	"cloudmedia/pkg/simulate"
 )
 
 func main() {
@@ -29,62 +29,70 @@ func main() {
 	}
 }
 
+// region is one geographic location: its share of global arrivals and its
+// local VM price list.
+type region struct {
+	name       string
+	share      float64
+	vmClusters []plan.VMCluster
+}
+
 func run() error {
 	// Asia-Pacific rents at a 20% discount; Europe at a 10% premium.
-	discounted := cloud.DefaultVMClusters()
+	discounted := plan.DefaultVMClusters()
 	for i := range discounted {
 		discounted[i].PricePerHour *= 0.8
 	}
-	premium := cloud.DefaultVMClusters()
+	premium := plan.DefaultVMClusters()
 	for i := range premium {
 		premium[i].PricePerHour *= 1.1
 	}
-	regions := []geo.Region{
-		{Name: "us-east", Share: 0.5},
-		{Name: "eu-west", Share: 0.3, VMClusters: premium},
-		{Name: "ap-south", Share: 0.2, VMClusters: discounted},
+	regions := []region{
+		{name: "us-east", share: 0.5},
+		{name: "eu-west", share: 0.3, vmClusters: premium},
+		{name: "ap-south", share: 0.2, vmClusters: discounted},
 	}
 
-	channel := queueing.Config{
-		Chunks:          8,
-		PlaybackRate:    50e3,
-		ChunkSeconds:    75,
-		VMBandwidth:     cloud.DefaultVMBandwidth,
-		EntryFirstChunk: 0.7,
-		SlotsPerVM:      5,
-	}
-	transfer, err := viewing.SequentialWithJumps(channel.Chunks, 0.9, 1.0/3)
-	if err != nil {
-		return err
-	}
-	wl := workload.Default()
-	wl.Channels = 4
-	wl.BaseArrivalRate = 1.0
-
-	d, err := geo.New(geo.Config{
-		Regions:  regions,
-		Mode:     sim.P2P,
-		Channel:  channel,
-		Workload: wl,
-		Transfer: transfer,
-		Seed:     11,
-	})
-	if err != nil {
-		return err
-	}
-
+	// The global trace: 4 channels, one aggregate arrival rate; each
+	// region sees its population share of it.
 	const hours = 8
-	d.RunUntil(hours * 3600)
-	reports, totalVM, totalStorage := d.Report()
+	const globalRate = 1.0
 
-	tbl := metrics.NewTable(fmt.Sprintf("Multi-region deployment after %d simulated hours", hours),
+	tbl := paper.NewTable(fmt.Sprintf("Multi-region deployment after %d simulated hours", hours),
 		"region", "viewers", "quality", "vm_cost", "cost_per_viewer")
-	for _, r := range reports {
-		perViewer := 0.0
-		if r.Users > 0 {
-			perViewer = r.VMCost / float64(r.Users)
+	var totalVM, totalStorage float64
+	for _, r := range regions {
+		wl := simulate.DefaultWorkload()
+		wl.Channels = 4
+		wl.BaseArrivalRate = globalRate * r.share
+
+		opts := []cloudmedia.Option{
+			cloudmedia.WithHours(hours),
+			cloudmedia.WithSeed(11),
+			cloudmedia.WithWorkload(wl),
+			cloudmedia.WithChunks(8),
+			cloudmedia.WithChunkSeconds(75),
+			cloudmedia.WithSlotsPerVM(5),
 		}
-		tbl.AddRow(r.Name, r.Users, r.Quality, r.VMCost, perViewer)
+		if r.vmClusters != nil {
+			opts = append(opts, cloudmedia.WithVMClusters(r.vmClusters...))
+		}
+		sc, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted, opts...)
+		if err != nil {
+			return err
+		}
+		rep, err := sc.Run(context.Background())
+		if err != nil {
+			return err
+		}
+
+		perViewer := 0.0
+		if rep.FinalUsers > 0 {
+			perViewer = rep.VMCostTotal / float64(rep.FinalUsers)
+		}
+		tbl.AddRow(r.name, rep.FinalUsers, rep.MeanQuality, rep.VMCostTotal, perViewer)
+		totalVM += rep.VMCostTotal
+		totalStorage += rep.StorageCostTotal
 	}
 	if err := tbl.Render(os.Stdout); err != nil {
 		return err

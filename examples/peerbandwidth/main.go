@@ -1,22 +1,22 @@
 // Peerbandwidth: streaming quality versus peer uplink headroom, Fig. 11 in
 // miniature.
 //
-// Three P2P runs with mean peer uplink at 0.9×, 1.0×, and 1.2× the
-// streaming rate. The paper's finding: quality stays satisfactory at every
-// ratio, because the hourly provisioning absorbs whatever the overlay
-// cannot supply.
+// Three cloud-assisted runs with mean peer uplink at 0.9×, 1.0×, and 1.2×
+// the streaming rate. The paper's finding: quality stays satisfactory at
+// every ratio, because the hourly provisioning absorbs whatever the
+// overlay cannot supply.
 //
 // Run with: go run ./examples/peerbandwidth
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"cloudmedia/internal/experiments"
-	"cloudmedia/internal/metrics"
-	"cloudmedia/internal/sim"
+	"cloudmedia"
+	"cloudmedia/pkg/paper"
 )
 
 func main() {
@@ -26,17 +26,22 @@ func main() {
 }
 
 func run() error {
-	tbl := metrics.NewTable("P2P quality and cloud spend vs peer uplink ratio",
+	tbl := paper.NewTable("P2P quality and cloud spend vs peer uplink ratio",
 		"uplink_ratio", "mean_quality", "vm_cost_per_hour", "reserved_mbps")
 	for _, ratio := range []float64{0.9, 1.0, 1.2} {
-		sc := experiments.DefaultScenario(sim.P2P, 2)
-		sc.Hours = 8
-		sc.UplinkRatio = ratio
-		tl, err := experiments.RunTimeline(sc)
+		sc, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted,
+			cloudmedia.WithScale(2),
+			cloudmedia.WithHours(8),
+			cloudmedia.WithUplinkRatio(ratio),
+		)
 		if err != nil {
 			return err
 		}
-		tbl.AddRow(ratio, tl.MeanQuality, tl.MeanHourlyVMCost(), tl.MeanReservedMbps())
+		rep, err := sc.Run(context.Background())
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(ratio, rep.MeanQuality, rep.VMCostTotal/rep.Hours, rep.MeanReservedMbps)
 	}
 	if err := tbl.Render(os.Stdout); err != nil {
 		return err

@@ -1,95 +1,65 @@
 // Quickstart: the CloudMedia analysis pipeline on a single channel.
 //
 // It walks the whole Sec. IV/V derivation for one video channel with the
-// paper's parameters: solve the Jackson queueing network for the per-chunk
-// server demand, subtract the expected peer supply, and turn the residual
-// cloud demand into a concrete VM + storage rental plan against the
-// Table II/III catalogs.
+// paper's parameters — solve the Jackson queueing network for the
+// per-chunk server demand, subtract the expected peer supply, and turn the
+// residual cloud demand into a concrete VM + storage rental plan against
+// the Table II/III catalogs — using nothing but the public cloudmedia
+// package.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
-	"cloudmedia/internal/cloud"
-	"cloudmedia/internal/metrics"
-	"cloudmedia/internal/p2p"
-	"cloudmedia/internal/provision"
-	"cloudmedia/internal/queueing"
-	"cloudmedia/internal/viewing"
+	"cloudmedia"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	// The paper's channel parameters: r = 50 KB/s (400 Kbps), 5-minute
-	// chunks, 100-minute video → 20 chunks, 10 Mbps VMs.
-	cfg := queueing.Config{
-		Chunks:          20,
-		PlaybackRate:    50e3,
-		ChunkSeconds:    300,
-		VMBandwidth:     cloud.DefaultVMBandwidth,
-		EntryFirstChunk: 0.7,
+func run(w io.Writer) error {
+	// The paper's channel parameters are the pipeline's defaults: r = 50
+	// KB/s (400 Kbps), 5-minute chunks, 100-minute video → 20 chunks, 10
+	// Mbps VMs, sequential viewing with VCR jumps. We set the demand side
+	// (900 arrivals/hour) and the supply side (~270 Kbps mean peer uplink)
+	// explicitly.
+	p, err := cloudmedia.NewPipeline(
+		cloudmedia.WithArrivalRate(900.0/3600),
+		cloudmedia.WithPeerUplink(34e3),
+		cloudmedia.WithBudgets(100, 1),
+	)
+	if err != nil {
+		return err
 	}
-
-	// Viewing behaviour: sequential watching with VCR jumps every ~15 min.
-	transfer, err := viewing.PaperDefault(cfg.Chunks)
+	res, err := p.Run(context.Background())
 	if err != nil {
 		return err
 	}
 
-	// Demand side: 900 arrivals/hour into this channel.
-	lambda := 900.0 / 3600
-	eq, err := queueing.Solve(cfg, transfer, lambda, 0)
-	if err != nil {
-		return err
-	}
-
-	// Supply side: peers with ~270 Kbps mean uplink.
-	res, err := p2p.Solve(p2p.Analysis{
-		Equilibrium: eq,
-		Transfer:    transfer,
-		PeerUpload:  34e3,
-	})
-	if err != nil {
-		return err
-	}
-
-	tbl := metrics.NewTable("Per-chunk equilibrium (Λ = 0.25/s, 20 chunks)",
+	ch := res.Channels[0]
+	eq, supply := ch.Equilibrium, ch.Supply
+	fmt.Fprintln(w, "Per-chunk equilibrium (Λ = 0.25/s, 20 chunks)")
+	fmt.Fprintf(w, "%-6s %-13s %-8s %-14s %-8s %-10s %-10s\n",
 		"chunk", "arrival_rate", "servers", "capacity_mbps", "owners", "peer_mbps", "cloud_mbps")
-	for i := 0; i < cfg.Chunks; i++ {
-		tbl.AddRow(i, eq.ArrivalRates[i], eq.Servers[i],
-			eq.Capacity[i]*8/1e6, res.Owners[i], res.PeerSupply[i]*8/1e6, res.CloudDemand[i]*8/1e6)
+	for i := 0; i < eq.Config.Chunks; i++ {
+		fmt.Fprintf(w, "%-6d %-13.4g %-8d %-14.4g %-8.4g %-10.4g %-10.4g\n",
+			i, eq.ArrivalRates[i], eq.Servers[i], eq.Capacity[i]*8/1e6,
+			supply.Owners[i], supply.PeerSupply[i]*8/1e6, ch.CloudDemand[i]*8/1e6)
 	}
-	if err := tbl.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Printf("\ntotal capacity: %.1f Mbps, peer supply: %.1f Mbps, cloud residual: %.1f Mbps\n\n",
-		eq.TotalCapacity()*8/1e6, res.TotalPeerSupply()*8/1e6, res.TotalCloudDemand()*8/1e6)
+	fmt.Fprintf(w, "\ntotal capacity: %.1f Mbps, peer supply: %.1f Mbps, cloud residual: %.1f Mbps\n\n",
+		res.TotalCapacity()*8/1e6, res.TotalPeerSupply()*8/1e6, res.TotalCloudDemand()*8/1e6)
 
-	// Rental plans against the paper's catalogs and budgets.
-	var demands []provision.ChunkDemand
-	for i, d := range res.CloudDemand {
-		demands = append(demands, provision.ChunkDemand{Channel: 0, Chunk: i, Demand: d})
-	}
-	vmPlan, err := provision.PlanVMs(demands, cfg.VMBandwidth, cloud.DefaultVMClusters(), 100)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("VM plan: %.2f VMs (%v rented), $%.2f/hour, utility %.2f\n",
-		vmPlan.TotalVMs(), vmPlan.RentalVMs(), vmPlan.CostPerHour, vmPlan.Utility)
-
-	storagePlan, err := provision.PlanStorage(demands, cfg.ChunkBytes(), cloud.DefaultNFSClusters(), 1)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("storage plan: %v, $%.5f/hour\n", storagePlan.GBPerCluster, storagePlan.CostPerHour)
+	fmt.Fprintf(w, "VM plan: %.2f VMs (%v rented), $%.2f/hour, utility %.2f\n",
+		res.VMPlan.TotalVMs(), res.VMPlan.RentalVMs(), res.VMPlan.CostPerHour, res.VMPlan.Utility)
+	fmt.Fprintf(w, "storage plan: %v, $%.5f/hour\n", res.StoragePlan.GBPerCluster, res.StoragePlan.CostPerHour)
 	return nil
 }

@@ -1,0 +1,3 @@
+module cloudmedia
+
+go 1.24

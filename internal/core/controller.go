@@ -49,6 +49,14 @@ type Options struct {
 	// than this fraction since the last storage plan (or on the first
 	// round). 0 recomputes every interval.
 	StorageChangeThreshold float64
+	// OnInterval, when non-nil, receives every IntervalRecord as soon as
+	// its provisioning round completes. It runs on the simulator goroutine,
+	// so it must not call back into the simulator.
+	OnInterval func(IntervalRecord)
+	// DiscardHistory stops the controller from accumulating records in
+	// memory; long streaming runs set it together with OnInterval so memory
+	// stays bounded by one interval.
+	DiscardHistory bool
 }
 
 func (o *Options) applyDefaults() {
@@ -261,7 +269,7 @@ func (c *Controller) Provision(now float64, inputs []ChannelInput) {
 	if err != nil {
 		// Even fully scaled-down planning failed (no clusters, etc.):
 		// record an empty round.
-		c.records = append(c.records, rec)
+		c.record(rec)
 		return
 	}
 	rec.VMPlan = vmPlan
@@ -277,7 +285,18 @@ func (c *Controller) Provision(now float64, inputs []ChannelInput) {
 	rec.StoragePlan = c.lastStoragePlan
 
 	c.apply(now, vmPlan, rec.StoragePlan, catalog.VMBandwidth, demands)
-	c.records = append(c.records, rec)
+	c.record(rec)
+}
+
+// record delivers a finished round to the OnInterval subscriber and the
+// in-memory history, honouring DiscardHistory.
+func (c *Controller) record(rec IntervalRecord) {
+	if c.opts.OnInterval != nil {
+		c.opts.OnInterval(rec)
+	}
+	if !c.opts.DiscardHistory {
+		c.records = append(c.records, rec)
+	}
 }
 
 // storageStale reports whether the storage rental should be recomputed for

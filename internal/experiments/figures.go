@@ -21,9 +21,7 @@ type Result struct {
 // targets: provisioned ≥ used in the great majority of hours, and P2P
 // provisioning far below client-server.
 func Fig4(sc Scenario) (*Result, error) {
-	csSc, p2pSc := sc, sc
-	csSc.Mode = sim.ClientServer
-	p2pSc.Mode = sim.P2P
+	csSc, p2pSc := sc.pinMode(sim.ClientServer), sc.pinMode(sim.P2P)
 	cs, err := RunTimeline(csSc)
 	if err != nil {
 		return nil, fmt.Errorf("fig4 client-server run: %w", err)
@@ -60,9 +58,7 @@ func Fig4(sc Scenario) (*Result, error) {
 // smooth-playback fraction over time for both modes. Paper averages:
 // C/S ≈ 0.97, P2P ≈ 0.95 (P2P slightly worse).
 func Fig5(sc Scenario) (*Result, error) {
-	csSc, p2pSc := sc, sc
-	csSc.Mode = sim.ClientServer
-	p2pSc.Mode = sim.P2P
+	csSc, p2pSc := sc.pinMode(sim.ClientServer), sc.pinMode(sim.P2P)
 	cs, err := RunTimeline(csSc)
 	if err != nil {
 		return nil, fmt.Errorf("fig5 client-server run: %w", err)
@@ -94,7 +90,7 @@ func Fig5(sc Scenario) (*Result, error) {
 // of per-channel quality against the channel's viewer count across a day
 // (client-server). The target shape: quality is good regardless of size.
 func Fig6(sc Scenario) (*Result, error) {
-	sc.Mode = sim.ClientServer
+	sc = sc.pinMode(sim.ClientServer)
 	tl, err := RunTimeline(sc)
 	if err != nil {
 		return nil, fmt.Errorf("fig6 run: %w", err)
@@ -140,9 +136,7 @@ func Fig6(sc Scenario) (*Result, error) {
 // target shape: roughly linear growth for client-server, much flatter
 // (well-scaling) for P2P.
 func Fig7(sc Scenario) (*Result, error) {
-	csSc, p2pSc := sc, sc
-	csSc.Mode = sim.ClientServer
-	p2pSc.Mode = sim.P2P
+	csSc, p2pSc := sc.pinMode(sim.ClientServer), sc.pinMode(sim.P2P)
 	cs, err := RunTimeline(csSc)
 	if err != nil {
 		return nil, fmt.Errorf("fig7 client-server run: %w", err)
@@ -201,7 +195,7 @@ type intervalUtilities struct {
 }
 
 func utilityFigure(sc Scenario, id, title string, pick func(intervalUtilities) map[int]float64) (*Result, error) {
-	sc.Mode = sim.P2P
+	sc = sc.pinMode(sim.P2P)
 	tl, err := RunTimeline(sc)
 	if err != nil {
 		return nil, fmt.Errorf("%s run: %w", id, err)
@@ -253,9 +247,7 @@ func representativeChannels(n int) []int {
 // Fig10 reproduces "Evolution of overall VM rental cost": hourly dollars
 // for both modes. Paper averages: C/S ≈ $48/h, P2P ≈ $4.27/h.
 func Fig10(sc Scenario) (*Result, error) {
-	csSc, p2pSc := sc, sc
-	csSc.Mode = sim.ClientServer
-	p2pSc.Mode = sim.P2P
+	csSc, p2pSc := sc.pinMode(sim.ClientServer), sc.pinMode(sim.P2P)
 	cs, err := RunTimeline(csSc)
 	if err != nil {
 		return nil, fmt.Errorf("fig10 client-server run: %w", err)
@@ -294,8 +286,7 @@ func Fig11(sc Scenario) (*Result, error) {
 	summary := make(map[string]float64, len(ratios))
 	var runs []*Timeline
 	for _, r := range ratios {
-		rsc := sc
-		rsc.Mode = sim.P2P
+		rsc := sc.pinMode(sim.P2P)
 		rsc.UplinkRatio = r
 		tl, err := RunTimeline(rsc)
 		if err != nil {

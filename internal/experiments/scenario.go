@@ -29,6 +29,21 @@ type Scenario struct {
 	// Scheduling overrides the P2P uplink allocation policy; zero uses
 	// rarest-first, the paper's scheme.
 	Scheduling sim.PeerScheduling
+	// VMClusters and NFSClusters override the rental catalogs; nil uses the
+	// paper's Table II/III defaults. Regional price lists are the
+	// interesting knob (see examples/multiregion).
+	VMClusters  []cloud.VMClusterSpec
+	NFSClusters []cloud.NFSClusterSpec
+	// StaticProvisioning keeps the bootstrap (t=0) rental for the whole
+	// run instead of starting the periodic controller — the
+	// fixed-provisioning baseline the paper's dynamic scheme improves on.
+	StaticProvisioning bool
+	// OnInterval streams each provisioning round to the caller as soon as
+	// it completes; nil disables streaming.
+	OnInterval func(core.IntervalRecord)
+	// DiscardRecords drops the controller's in-memory interval history so
+	// long streaming runs hold only the current round.
+	DiscardRecords bool
 }
 
 // DefaultScenario returns the reduced-scale counterpart of the paper's
@@ -74,6 +89,16 @@ func DefaultScenario(mode sim.Mode, scale float64) Scenario {
 		Seed:            42,
 		SampleSeconds:   900,
 	}
+}
+
+// pinMode returns a copy of the scenario locked to the given engine mode.
+// It also clears StaticProvisioning: a public "p2p" scenario carries the
+// hold-the-bootstrap override, but a figure that pins its own modes is
+// defined over dynamically provisioned runs and must not inherit it.
+func (sc Scenario) pinMode(m sim.Mode) Scenario {
+	sc.Mode = m
+	sc.StaticProvisioning = false
+	return sc
 }
 
 // System is one assembled CloudMedia stack.
@@ -123,7 +148,15 @@ func Build(sc Scenario) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	cl, err := cloud.New(cloud.DefaultVMClusters(), cloud.DefaultNFSClusters())
+	vmSpecs := sc.VMClusters
+	if vmSpecs == nil {
+		vmSpecs = cloud.DefaultVMClusters()
+	}
+	nfsSpecs := sc.NFSClusters
+	if nfsSpecs == nil {
+		nfsSpecs = cloud.DefaultNFSClusters()
+	}
+	cl, err := cloud.New(vmSpecs, nfsSpecs)
 	if err != nil {
 		return nil, err
 	}
@@ -143,6 +176,8 @@ func Build(sc Scenario) (*System, error) {
 		PeerSupplyTrust:   0.7,
 		ProvisionHeadroom: 1.2,
 		Predictor:         sc.Predictor,
+		OnInterval:        sc.OnInterval,
+		DiscardHistory:    sc.DiscardRecords,
 	})
 	if err != nil {
 		return nil, err
@@ -162,8 +197,10 @@ func Build(sc Scenario) (*System, error) {
 		}
 	}
 	ctl.Provision(0, inputs)
-	if err := ctl.Start(); err != nil {
-		return nil, err
+	if !sc.StaticProvisioning {
+		if err := ctl.Start(); err != nil {
+			return nil, err
+		}
 	}
 	return sys, nil
 }

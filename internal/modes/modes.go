@@ -1,0 +1,74 @@
+// Package modes defines the public VoD architecture selector shared by
+// pkg/simulate and pkg/paper, and its single canonical mapping onto the
+// simulation engine. pkg/simulate aliases the Mode type into the public
+// API; the Engine mapping stays internal so engine types never leak.
+package modes
+
+import (
+	"fmt"
+
+	"cloudmedia/internal/sim"
+)
+
+// Mode selects the VoD architecture under test (Sec. III-B).
+type Mode int
+
+const (
+	// ClientServer serves every chunk straight from dynamically rented
+	// cloud capacity, with no peer assistance.
+	ClientServer Mode = iota + 1
+	// P2P runs the mesh-pull overlay with only the bootstrap (t=0) cloud
+	// rental held for the whole run — the static-provisioning baseline the
+	// paper's dynamic scheme improves on.
+	P2P
+	// CloudAssisted is the paper's CloudMedia: the P2P overlay plus the
+	// dynamic provisioning controller renting cloud capacity every
+	// interval to cover the peer-supply shortfall.
+	CloudAssisted
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ClientServer:
+		return "client-server"
+	case P2P:
+		return "p2p"
+	case CloudAssisted:
+		return "cloud-assisted"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Parse converts a command-line spelling into a Mode. It accepts
+// "client-server" (or "cs"), "p2p", and "cloud-assisted" (or
+// "cloudmedia").
+func Parse(s string) (Mode, error) {
+	switch s {
+	case "client-server", "cs":
+		return ClientServer, nil
+	case "p2p":
+		return P2P, nil
+	case "cloud-assisted", "cloudmedia":
+		return CloudAssisted, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want client-server, p2p, or cloud-assisted)", s)
+	}
+}
+
+// Engine maps the public mode onto the internal simulator mode and whether
+// the bootstrap rental is held statically (true = no periodic provisioning
+// rounds after t=0).
+func Engine(m Mode) (sim.Mode, bool, error) {
+	switch m {
+	case ClientServer:
+		return sim.ClientServer, false, nil
+	case P2P:
+		return sim.P2P, true, nil
+	case CloudAssisted:
+		return sim.P2P, false, nil
+	default:
+		return 0, false, fmt.Errorf("invalid mode %d", int(m))
+	}
+}

@@ -1,0 +1,247 @@
+package cloudmedia
+
+import (
+	"fmt"
+
+	"cloudmedia/pkg/plan"
+	"cloudmedia/pkg/simulate"
+)
+
+// Option configures a Pipeline or a Scenario. Options are shared between
+// the two builders: channel-shape, budget, and catalog options apply to
+// both, while workload and timing options only affect NewScenario and the
+// arrival/transfer options only affect NewPipeline (each Option's comment
+// says which). Passing an option to a builder it does not affect is
+// harmless.
+type Option func(*settings)
+
+// settings accumulates option values; nil pointer fields mean "keep the
+// builder's default".
+type settings struct {
+	chunks          *int
+	playbackRate    *float64
+	chunkSeconds    *float64
+	vmBandwidth     *float64
+	slotsPerVM      *int
+	entryFirstChunk *float64
+
+	transfer plan.TransferMatrix
+	viewing  *[2]float64
+	rates    []float64
+
+	peerUplink  *float64
+	budgets     *[2]float64
+	vmClusters  []plan.VMCluster
+	nfsClusters []plan.NFSCluster
+
+	hours       *float64
+	seed        *int64
+	scale       *float64
+	interval    *float64
+	sample      *float64
+	uplinkRatio *float64
+	channels    *int
+	predictor   simulate.Predictor
+	scheduling  simulate.Scheduling
+	workload    *simulate.Workload
+
+	err error
+}
+
+func (s *settings) fail(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf(format, args...)
+	}
+}
+
+// WithChunks sets J, the number of chunks each video is divided into.
+func WithChunks(n int) Option {
+	return func(s *settings) { s.chunks = &n }
+}
+
+// WithPlaybackRate sets r, the streaming playback rate in bytes/s (the
+// paper uses 50e3, i.e. 400 Kbps).
+func WithPlaybackRate(bytesPerSecond float64) Option {
+	return func(s *settings) { s.playbackRate = &bytesPerSecond }
+}
+
+// WithChunkSeconds sets T₀, the playback time of one chunk.
+func WithChunkSeconds(seconds float64) Option {
+	return func(s *settings) { s.chunkSeconds = &seconds }
+}
+
+// WithVMBandwidth sets R, the upload bandwidth allocated to each VM in
+// bytes/s (the paper uses 10 Mbps).
+func WithVMBandwidth(bytesPerSecond float64) Option {
+	return func(s *settings) { s.vmBandwidth = &bytesPerSecond }
+}
+
+// WithSlotsPerVM sets the capacity granularity of the queueing servers:
+// each server is R/slots of bandwidth. 0 or 1 is the paper's literal
+// whole-VM mapping; larger values model the fractional VM shares Eqn. (7)
+// permits.
+func WithSlotsPerVM(slots int) Option {
+	return func(s *settings) { s.slotsPerVM = &slots }
+}
+
+// WithEntryFirstChunk sets α, the fraction of arrivals that start watching
+// at chunk 1 (the paper uses 0.7).
+func WithEntryFirstChunk(alpha float64) Option {
+	return func(s *settings) { s.entryFirstChunk = &alpha }
+}
+
+// WithTransfer sets the viewing-behaviour transfer matrix explicitly.
+// Pipeline only; Scenario derives its matrix from the workload's jump
+// parameters. Mutually exclusive with WithViewing.
+func WithTransfer(p plan.TransferMatrix) Option {
+	return func(s *settings) {
+		if s.viewing != nil {
+			s.fail("cloudmedia: WithTransfer conflicts with WithViewing")
+			return
+		}
+		s.transfer = p
+	}
+}
+
+// WithViewing builds the sequential-with-VCR-jumps transfer matrix from a
+// per-chunk continuation probability and a jump probability (the paper
+// uses 0.9 and 1/3). Pipeline only. Mutually exclusive with WithTransfer.
+func WithViewing(cont, jump float64) Option {
+	return func(s *settings) {
+		if s.transfer != nil {
+			s.fail("cloudmedia: WithViewing conflicts with WithTransfer")
+			return
+		}
+		s.viewing = &[2]float64{cont, jump}
+	}
+}
+
+// WithArrivalRate sets the external channel arrival rates Λ in users/s,
+// one value per channel; a single value analyzes a single channel.
+// Pipeline only; Scenario arrivals come from the workload trace.
+func WithArrivalRate(usersPerSecond ...float64) Option {
+	return func(s *settings) {
+		if len(usersPerSecond) == 0 {
+			s.fail("cloudmedia: WithArrivalRate needs at least one rate")
+			return
+		}
+		s.rates = usersPerSecond
+	}
+}
+
+// WithPeerUplink sets u, the mean per-peer upload bandwidth in bytes/s,
+// enabling the peer-supply stage; 0 (the default) analyzes a pure
+// client-server system. Pipeline only; for a Scenario use WithUplinkRatio
+// or WithWorkload.
+func WithPeerUplink(bytesPerSecond float64) Option {
+	return func(s *settings) { s.peerUplink = &bytesPerSecond }
+}
+
+// WithBudgets sets the hourly rental budgets: B_M for VMs and B_S for
+// storage, in dollars (the paper uses 100 and 1).
+func WithBudgets(vmPerHour, storagePerHour float64) Option {
+	return func(s *settings) { s.budgets = &[2]float64{vmPerHour, storagePerHour} }
+}
+
+// WithVMClusters overrides the VM rental catalog (default: the paper's
+// Table II).
+func WithVMClusters(clusters ...plan.VMCluster) Option {
+	return func(s *settings) { s.vmClusters = clusters }
+}
+
+// WithNFSClusters overrides the storage rental catalog (default: the
+// paper's Table III).
+func WithNFSClusters(clusters ...plan.NFSCluster) Option {
+	return func(s *settings) { s.nfsClusters = clusters }
+}
+
+// WithHours sets the simulated duration. Scenario only.
+func WithHours(hours float64) Option {
+	return func(s *settings) { s.hours = &hours }
+}
+
+// WithSeed sets the random seed; runs are reproducible per seed. Scenario
+// only.
+func WithSeed(seed int64) Option {
+	return func(s *settings) { s.seed = &seed }
+}
+
+// WithScale sets the workload scale: 1 targets ~250 concurrent viewers,
+// 10 approaches the paper's ~2500. Scenario only.
+func WithScale(scale float64) Option {
+	return func(s *settings) { s.scale = &scale }
+}
+
+// WithInterval sets the provisioning period T in seconds (default 3600,
+// the hourly rental granularity). Scenario only.
+func WithInterval(seconds float64) Option {
+	return func(s *settings) { s.interval = &seconds }
+}
+
+// WithSampleSeconds sets the measurement sampling period (default 900).
+// Scenario only.
+func WithSampleSeconds(seconds float64) Option {
+	return func(s *settings) { s.sample = &seconds }
+}
+
+// WithUplinkRatio rescales the workload's peer uplinks so their mean is
+// ratio × the streaming rate — the paper's Fig. 11 sweep. Scenario only.
+func WithUplinkRatio(ratio float64) Option {
+	return func(s *settings) { s.uplinkRatio = &ratio }
+}
+
+// WithChannels sets the number of video channels in the workload.
+// Scenario only; a Pipeline's channel count follows WithArrivalRate.
+func WithChannels(n int) Option {
+	return func(s *settings) { s.channels = &n }
+}
+
+// WithPredictor replaces the controller's arrival-rate forecaster (default
+// simulate.LastInterval, the paper's rule). Scenario only.
+func WithPredictor(p simulate.Predictor) Option {
+	return func(s *settings) { s.predictor = p }
+}
+
+// WithScheduling selects the P2P uplink allocation policy (default
+// simulate.RarestFirst, the paper's scheme). Scenario only.
+func WithScheduling(policy simulate.Scheduling) Option {
+	return func(s *settings) { s.scheduling = policy }
+}
+
+// WithWorkload replaces the whole workload trace configuration. Scenario
+// only; combine with simulate.DefaultWorkload to start from the paper's.
+func WithWorkload(w simulate.Workload) Option {
+	return func(s *settings) { s.workload = &w }
+}
+
+// apply runs the options and returns the accumulated settings.
+func apply(opts []Option) (*settings, error) {
+	s := &settings{}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, s.err
+}
+
+// channel overlays the channel-shape options onto a base channel.
+func (s *settings) channel(base plan.Channel) plan.Channel {
+	if s.chunks != nil {
+		base.Chunks = *s.chunks
+	}
+	if s.playbackRate != nil {
+		base.PlaybackRate = *s.playbackRate
+	}
+	if s.chunkSeconds != nil {
+		base.ChunkSeconds = *s.chunkSeconds
+	}
+	if s.vmBandwidth != nil {
+		base.VMBandwidth = *s.vmBandwidth
+	}
+	if s.slotsPerVM != nil {
+		base.SlotsPerVM = *s.slotsPerVM
+	}
+	if s.entryFirstChunk != nil {
+		base.EntryFirstChunk = *s.entryFirstChunk
+	}
+	return base
+}

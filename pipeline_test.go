@@ -1,0 +1,179 @@
+package cloudmedia_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"cloudmedia"
+	"cloudmedia/pkg/plan"
+)
+
+func TestPipelineMatchesPlanPrimitives(t *testing.T) {
+	// The facade must compute exactly what the pkg/plan building blocks
+	// compute when composed by hand.
+	p, err := cloudmedia.NewPipeline(
+		cloudmedia.WithArrivalRate(0.25),
+		cloudmedia.WithPeerUplink(34e3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ch := plan.PaperChannel()
+	m, err := plan.PaperViewing(ch.Chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := plan.SolveEquilibrium(ch, m, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supply, err := plan.SolvePeerSupply(eq, m, 34e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := res.TotalCapacity(), eq.TotalCapacity(); got != want {
+		t.Errorf("TotalCapacity = %v, want %v", got, want)
+	}
+	if got, want := res.TotalPeerSupply(), supply.TotalPeerSupply(); got != want {
+		t.Errorf("TotalPeerSupply = %v, want %v", got, want)
+	}
+	if got, want := res.TotalCloudDemand(), supply.TotalCloudDemand(); got != want {
+		t.Errorf("TotalCloudDemand = %v, want %v", got, want)
+	}
+
+	vmPlan, err := plan.PlanVMs(plan.Demands(0, supply.CloudDemand), ch.VMBandwidth, plan.DefaultVMClusters(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.VMPlan.CostPerHour, vmPlan.CostPerHour; got != want {
+		t.Errorf("VM cost = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineClientServerUsesFullCapacity(t *testing.T) {
+	p, err := cloudmedia.NewPipeline(cloudmedia.WithArrivalRate(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Channels[0].Supply != nil {
+		t.Error("Supply should be nil without peer uplink")
+	}
+	if got, want := res.TotalCloudDemand(), res.TotalCapacity(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("cloud demand %v != capacity %v in client-server analysis", got, want)
+	}
+}
+
+func TestPipelineMultiChannel(t *testing.T) {
+	p, err := cloudmedia.NewPipeline(
+		cloudmedia.WithChunks(6),
+		cloudmedia.WithChunkSeconds(100),
+		cloudmedia.WithArrivalRate(0.3, 0.1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Channels) != 2 {
+		t.Fatalf("channels = %d, want 2", len(res.Channels))
+	}
+	if len(res.Demands) != 12 {
+		t.Fatalf("demands = %d, want 12", len(res.Demands))
+	}
+	if res.Channels[0].Equilibrium.TotalCapacity() <= res.Channels[1].Equilibrium.TotalCapacity() {
+		t.Error("the busier channel should need more capacity")
+	}
+	// Every chunk must be stored exactly once.
+	if got := len(res.StoragePlan.Placements); got != 12 {
+		t.Errorf("storage placements = %d, want 12", got)
+	}
+}
+
+func TestPipelineOptionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []cloudmedia.Option
+	}{
+		{"transfer-viewing conflict", []cloudmedia.Option{
+			cloudmedia.WithTransfer(plan.TransferMatrix{{0}}),
+			cloudmedia.WithViewing(0.9, 0.3),
+		}},
+		{"viewing-transfer conflict", []cloudmedia.Option{
+			cloudmedia.WithViewing(0.9, 0.3),
+			cloudmedia.WithTransfer(plan.TransferMatrix{{0}}),
+		}},
+		{"empty arrival rates", []cloudmedia.Option{cloudmedia.WithArrivalRate()}},
+		{"negative arrival rate", []cloudmedia.Option{cloudmedia.WithArrivalRate(-1)}},
+		{"negative uplink", []cloudmedia.Option{cloudmedia.WithPeerUplink(-1)}},
+		{"invalid chunks", []cloudmedia.Option{cloudmedia.WithChunks(0)}},
+		{"transfer size mismatch", []cloudmedia.Option{
+			cloudmedia.WithChunks(4),
+			cloudmedia.WithTransfer(plan.TransferMatrix{{0}}),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := cloudmedia.NewPipeline(tc.opts...); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestPipelineContextCancelled(t *testing.T) {
+	p, err := cloudmedia.NewPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Run(ctx); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNewScenarioOverrides(t *testing.T) {
+	sc, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted,
+		cloudmedia.WithScale(1),
+		cloudmedia.WithHours(6),
+		cloudmedia.WithSeed(7),
+		cloudmedia.WithChunks(4),
+		cloudmedia.WithBudgets(50, 0.5),
+		cloudmedia.WithUplinkRatio(1.2),
+		cloudmedia.WithChannels(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Hours != 6 || sc.Seed != 7 || sc.Channel.Chunks != 4 {
+		t.Errorf("overrides not applied: %+v", sc)
+	}
+	if sc.VMBudget != 50 || sc.StorageBudget != 0.5 {
+		t.Errorf("budgets not applied: %v %v", sc.VMBudget, sc.StorageBudget)
+	}
+	if sc.UplinkRatio != 1.2 || sc.Workload.Channels != 3 {
+		t.Errorf("workload knobs not applied: %+v", sc)
+	}
+}
+
+func TestNewScenarioInvalid(t *testing.T) {
+	if _, err := cloudmedia.NewScenario(cloudmedia.Mode(99)); err == nil {
+		t.Error("invalid mode: want error")
+	}
+	if _, err := cloudmedia.NewScenario(cloudmedia.ClientServer, cloudmedia.WithHours(-1)); err == nil {
+		t.Error("negative hours: want error")
+	}
+}

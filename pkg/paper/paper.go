@@ -1,0 +1,100 @@
+// Package paper regenerates the tables and figures of the evaluation
+// section of Wu et al., "CloudMedia: When Cloud on Demand Meets Video on
+// Demand" (ICDCS 2011): the Table II/III catalogs, the Fig. 4–11
+// simulation studies, and the Sec. VI-C microbenchmarks.
+//
+//	res, err := paper.Run("fig10", paper.Options{Mode: simulate.CloudAssisted, Scale: 2, Hours: 12})
+//	for _, tbl := range res.Tables {
+//		tbl.Render(os.Stdout)
+//	}
+//
+// The cloudmedia CLI (cmd/cloudmedia) is a thin flag wrapper around this
+// package.
+package paper
+
+import (
+	"fmt"
+
+	"cloudmedia/internal/experiments"
+	"cloudmedia/internal/metrics"
+	"cloudmedia/internal/modes"
+	"cloudmedia/pkg/simulate"
+)
+
+// Table is one column-oriented result table; Render writes aligned text
+// and RenderCSV comma-separated values.
+type Table = metrics.Table
+
+// NewTable creates an empty table with the given title and column headers
+// — for callers assembling their own reports alongside the paper's.
+func NewTable(title string, headers ...string) *Table {
+	return metrics.NewTable(title, headers...)
+}
+
+// Result is the output of one experiment: the paper artifact's data as
+// tables plus headline summary numbers.
+type Result = experiments.Result
+
+// Options selects the run configuration shared by every experiment.
+type Options struct {
+	// Mode is the architecture under test; zero means client-server.
+	// Comparative figures (fig4, fig5, fig10, …) run the modes they
+	// compare regardless of this setting.
+	Mode simulate.Mode
+	// Scale is the workload scale: 1 ≈ 250 concurrent viewers, 10 ≈ paper
+	// scale. Zero means 2.
+	Scale float64
+	// Hours is the simulated duration per run; zero means 24.
+	Hours float64
+	// Seed drives all randomness; runs are reproducible per seed. Zero
+	// means 42, the suite default, matching the CLI.
+	Seed int64
+}
+
+// IDs returns every experiment identifier in the suite's presentation
+// order: the Table II/III catalogs first, then the figures in paper
+// order, then the microbenchmarks and the mode-sensitive timeline.
+func IDs() []string {
+	return experiments.IDs()
+}
+
+// Run executes one experiment by ID (see IDs).
+func Run(id string, o Options) (*Result, error) {
+	runner, ok := experiments.Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("paper: unknown experiment %q", id)
+	}
+	if o.Mode == 0 {
+		o.Mode = simulate.ClientServer
+	}
+	if o.Scale == 0 {
+		o.Scale = 2
+	}
+	esc, err := scenario(o)
+	if err != nil {
+		return nil, err
+	}
+	return runner(esc)
+}
+
+// scenario maps the public options onto the experiment harness's scenario
+// through the canonical mode mapping (internal/modes): P2P holds the
+// bootstrap rental statically, CloudAssisted provisions dynamically.
+// Experiments that pin their own modes reset both fields (see
+// Scenario.pinMode), so the setting only reaches the mode-sensitive
+// entries.
+func scenario(o Options) (experiments.Scenario, error) {
+	mode, static, err := modes.Engine(o.Mode)
+	if err != nil {
+		return experiments.Scenario{}, fmt.Errorf("paper: %w", err)
+	}
+	esc := experiments.DefaultScenario(mode, o.Scale)
+	if o.Hours != 0 {
+		esc.Hours = o.Hours
+	}
+	if o.Seed != 0 {
+		esc.Seed = o.Seed
+	}
+	esc.StaticProvisioning = static
+	return esc, nil
+}

@@ -1,0 +1,75 @@
+package paper_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cloudmedia/pkg/paper"
+	"cloudmedia/pkg/simulate"
+)
+
+func TestIDs(t *testing.T) {
+	ids := paper.IDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	// Presentation order: catalogs first, timeline last.
+	if ids[0] != "tab2" || ids[len(ids)-1] != "timeline" {
+		t.Errorf("presentation order lost: %v", ids)
+	}
+	want := map[string]bool{"tab2": false, "tab3": false, "fig4": false, "fig10": false}
+	for _, id := range ids {
+		if _, ok := want[id]; ok {
+			want[id] = true
+		}
+	}
+	for id, seen := range want {
+		if !seen {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestRunStatic(t *testing.T) {
+	res, err := paper.Run("tab2", paper.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "tab2" || len(res.Tables) == 0 {
+		t.Errorf("unexpected result %+v", res)
+	}
+}
+
+func TestRunShortFigureAllModes(t *testing.T) {
+	for _, mode := range []simulate.Mode{simulate.ClientServer, simulate.P2P, simulate.CloudAssisted} {
+		if _, err := paper.Run("fig6", paper.Options{Mode: mode, Scale: 1, Hours: 1}); err != nil {
+			t.Errorf("fig6 %v: %v", mode, err)
+		}
+	}
+}
+
+func TestModeDoesNotLeakIntoPinnedFigures(t *testing.T) {
+	// fig6 is defined over client-server regardless of Options.Mode; in
+	// particular the p2p mode's static-provisioning override must not leak
+	// into it, so the summaries are identical for any requested mode.
+	cs, err := paper.Run("fig6", paper.Options{Mode: simulate.ClientServer, Scale: 1, Hours: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := paper.Run("fig6", paper.Options{Mode: simulate.P2P, Scale: 1, Hours: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cs.Summary, pp.Summary) {
+		t.Errorf("fig6 summary depends on requested mode:\n client-server: %v\n p2p: %v", cs.Summary, pp.Summary)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := paper.Run("fig99", paper.Options{}); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+	if _, err := paper.Run("tab2", paper.Options{Mode: simulate.Mode(42)}); err == nil {
+		t.Error("invalid mode: want error")
+	}
+}

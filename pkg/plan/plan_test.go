@@ -1,0 +1,106 @@
+package plan_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"cloudmedia/pkg/plan"
+)
+
+// solve runs the analytic pipeline on the paper channel at Λ = 0.25/s.
+func solve(t *testing.T, uplink float64) (plan.Equilibrium, plan.PeerSupply) {
+	t.Helper()
+	ch := plan.PaperChannel()
+	m, err := plan.PaperViewing(ch.Chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := plan.SolveEquilibrium(ch, m, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supply, err := plan.SolvePeerSupply(eq, m, uplink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eq, supply
+}
+
+func TestPipelineInvariants(t *testing.T) {
+	eq, supply := solve(t, 34e3)
+	if eq.TotalCapacity() <= 0 {
+		t.Fatal("no capacity demanded")
+	}
+	for i := range supply.PeerSupply {
+		if supply.PeerSupply[i] < 0 {
+			t.Errorf("chunk %d: negative peer supply", i)
+		}
+		if supply.PeerSupply[i] > eq.Capacity[i]+1e-9 {
+			t.Errorf("chunk %d: peer supply %v exceeds demand %v", i, supply.PeerSupply[i], eq.Capacity[i])
+		}
+		want := math.Max(0, eq.Capacity[i]-supply.PeerSupply[i])
+		if math.Abs(supply.CloudDemand[i]-want) > 1e-6 {
+			t.Errorf("chunk %d: residual %v, want %v", i, supply.CloudDemand[i], want)
+		}
+	}
+	if supply.TotalPeerSupply() <= 0 {
+		t.Error("peers contributed nothing at 270 Kbps mean uplink")
+	}
+}
+
+func TestPlannersRespectBudgets(t *testing.T) {
+	eq, supply := solve(t, 34e3)
+	demands := plan.Demands(0, supply.CloudDemand)
+	if len(demands) != eq.Config.Chunks {
+		t.Fatalf("demands = %d, want %d", len(demands), eq.Config.Chunks)
+	}
+
+	vmPlan, err := plan.PlanVMs(demands, eq.Config.VMBandwidth, plan.DefaultVMClusters(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vmPlan.CostPerHour > 100 {
+		t.Errorf("VM cost %v exceeds budget", vmPlan.CostPerHour)
+	}
+
+	storagePlan, err := plan.PlanStorage(demands, eq.Config.ChunkBytes(), plan.DefaultNFSClusters(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(storagePlan.Placements); got != eq.Config.Chunks {
+		t.Errorf("placements = %d, want every chunk stored once", got)
+	}
+	if storagePlan.CostPerHour > 1 {
+		t.Errorf("storage cost %v exceeds budget", storagePlan.CostPerHour)
+	}
+}
+
+func TestInfeasibleBudgetIsDetectable(t *testing.T) {
+	eq, supply := solve(t, 0)
+	_, err := plan.PlanVMs(plan.Demands(0, supply.CloudDemand), eq.Config.VMBandwidth, plan.DefaultVMClusters(), 0.01)
+	if !errors.Is(err, plan.ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestViewingBuilders(t *testing.T) {
+	for name, build := range map[string]func() (plan.TransferMatrix, error){
+		"sequential": func() (plan.TransferMatrix, error) { return plan.Sequential(10, 0.9) },
+		"jumps":      func() (plan.TransferMatrix, error) { return plan.SequentialWithJumps(10, 0.9, 0.3) },
+		"decaying":   func() (plan.TransferMatrix, error) { return plan.DecayingRetention(10, 0.9, 0.95) },
+		"paper":      func() (plan.TransferMatrix, error) { return plan.PaperViewing(10) },
+	} {
+		m, err := build()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: invalid matrix: %v", name, err)
+		}
+		if m.Size() != 10 {
+			t.Errorf("%s: size %d", name, m.Size())
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package simulate_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cloudmedia/pkg/simulate"
+)
+
+func shortScenario(mode simulate.Mode) simulate.Scenario {
+	sc := simulate.Default(mode, 1)
+	sc.Hours = 2
+	return sc
+}
+
+func TestRunClientServer(t *testing.T) {
+	rep, err := shortScenario(simulate.ClientServer).Run(context.Background(), simulate.KeepHistory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != simulate.ClientServer {
+		t.Errorf("mode = %v", rep.Mode)
+	}
+	if rep.Hours != 2 {
+		t.Errorf("hours = %v, want 2", rep.Hours)
+	}
+	// Bootstrap + rounds at t=1h and t=2h.
+	if rep.Intervals != 3 {
+		t.Errorf("intervals = %d, want 3", rep.Intervals)
+	}
+	if len(rep.Records) != 3 {
+		t.Errorf("records = %d, want 3", len(rep.Records))
+	}
+	// 2 h at the 900 s default sampling period.
+	if len(rep.Snapshots) != 8 {
+		t.Errorf("snapshots = %d, want 8", len(rep.Snapshots))
+	}
+	if rep.VMCostTotal <= 0 {
+		t.Errorf("VM cost = %v, want > 0", rep.VMCostTotal)
+	}
+	if rep.MeanQuality <= 0 || rep.MeanQuality > 1 {
+		t.Errorf("mean quality = %v outside (0,1]", rep.MeanQuality)
+	}
+	if rep.MeanReservedMbps <= 0 {
+		t.Errorf("reserved = %v, want > 0", rep.MeanReservedMbps)
+	}
+}
+
+func TestRunWithoutHistoryKeepsNothing(t *testing.T) {
+	var streamed int
+	rep, err := shortScenario(simulate.ClientServer).Run(context.Background(),
+		simulate.OnInterval(func(simulate.IntervalRecord) { streamed++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 3 {
+		t.Errorf("streamed = %d, want 3", streamed)
+	}
+	if rep.Records != nil || rep.Snapshots != nil {
+		t.Error("history retained without KeepHistory")
+	}
+}
+
+func TestRunP2PIsStaticallyProvisioned(t *testing.T) {
+	rep, err := shortScenario(simulate.P2P).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure P2P holds the bootstrap rental: exactly one provisioning round.
+	if rep.Intervals != 1 {
+		t.Errorf("intervals = %d, want 1 (bootstrap only)", rep.Intervals)
+	}
+	ca, err := shortScenario(simulate.CloudAssisted).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Intervals != 3 {
+		t.Errorf("cloud-assisted intervals = %d, want 3", ca.Intervals)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := shortScenario(simulate.ClientServer).Run(ctx)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil || rep.Hours != 0 {
+		t.Errorf("report = %+v, want zero-hours partial report", rep)
+	}
+
+	// Mid-run cancellation stops between sampling steps.
+	ctx, cancel = context.WithCancel(context.Background())
+	sc := shortScenario(simulate.ClientServer)
+	rep, err = sc.Run(ctx, simulate.OnSnapshot(func(s simulate.Snapshot) {
+		if s.Time >= 1800 {
+			cancel()
+		}
+	}))
+	if err != context.Canceled {
+		t.Fatalf("mid-run err = %v, want context.Canceled", err)
+	}
+	if rep.Hours <= 0 || rep.Hours >= 2 {
+		t.Errorf("partial hours = %v, want in (0,2)", rep.Hours)
+	}
+}
+
+func TestStream(t *testing.T) {
+	records, wait := shortScenario(simulate.CloudAssisted).Stream(context.Background())
+	var n int
+	for range records {
+		n++
+	}
+	rep, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("streamed records = %d, want 3", n)
+	}
+	if rep.Intervals != 3 {
+		t.Errorf("intervals = %d, want 3", rep.Intervals)
+	}
+}
+
+func TestStreamEarlyConsumerExit(t *testing.T) {
+	// A consumer that stops reading records before the run finishes must
+	// still be able to collect the report: wait drains the channel.
+	records, wait := shortScenario(simulate.CloudAssisted).Stream(context.Background())
+	<-records // read one round, then walk away
+	done := make(chan struct{})
+	go func() {
+		if _, err := wait(); err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("wait() deadlocked after early consumer exit")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	a, err := shortScenario(simulate.ClientServer).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shortScenario(simulate.ClientServer).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalUsers != b.FinalUsers || a.Intervals != b.Intervals {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	good := map[string]simulate.Mode{
+		"client-server":  simulate.ClientServer,
+		"cs":             simulate.ClientServer,
+		"p2p":            simulate.P2P,
+		"cloud-assisted": simulate.CloudAssisted,
+		"cloudmedia":     simulate.CloudAssisted,
+	}
+	for s, want := range good {
+		got, err := simulate.ParseMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", s, got, err, want)
+		}
+		if got.String() == "" {
+			t.Errorf("Mode(%v).String() empty", got)
+		}
+	}
+	if _, err := simulate.ParseMode("quantum"); err == nil {
+		t.Error("ParseMode(quantum): want error")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	sc := shortScenario(simulate.ClientServer)
+	if err := sc.Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+	sc.Hours = 0
+	if err := sc.Validate(); err == nil {
+		t.Error("zero hours accepted")
+	}
+	sc = shortScenario(simulate.ClientServer)
+	sc.SampleSeconds = -1
+	if err := sc.Validate(); err == nil {
+		t.Error("negative sampling period accepted (would loop forever in Run)")
+	}
+	sc = shortScenario(simulate.ClientServer)
+	sc.IntervalSeconds = -1
+	if err := sc.Validate(); err == nil {
+		t.Error("negative provisioning interval accepted")
+	}
+	sc = shortScenario(simulate.Mode(0))
+	if err := sc.Validate(); err == nil {
+		t.Error("zero mode accepted")
+	}
+}

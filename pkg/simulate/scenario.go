@@ -1,0 +1,116 @@
+package simulate
+
+import (
+	"fmt"
+
+	"cloudmedia/internal/experiments"
+	"cloudmedia/internal/modes"
+	"cloudmedia/pkg/plan"
+)
+
+// Scenario bundles every knob a simulation run needs. The zero value is
+// invalid; start from Default and override fields.
+type Scenario struct {
+	// Mode is the architecture under test.
+	Mode Mode
+	// Channel holds the per-channel parameters (channels are uniform, as
+	// in the paper).
+	Channel plan.Channel
+	// Workload drives the arrival trace.
+	Workload Workload
+	// Hours is the simulated duration.
+	Hours float64
+	// IntervalSeconds is the provisioning period T; 0 means hourly.
+	IntervalSeconds float64
+	// VMBudget is B_M in $/hour (the paper uses 100).
+	VMBudget float64
+	// StorageBudget is B_S in $/hour (the paper uses 1).
+	StorageBudget float64
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+	// SampleSeconds is the measurement sampling period; 0 means 900.
+	SampleSeconds float64
+	// UplinkRatio, if > 0, rescales peer uplinks so their mean is
+	// ratio × the streaming rate (the Fig. 11 sweep).
+	UplinkRatio float64
+	// Predictor overrides the controller's arrival-rate forecaster; nil
+	// uses the paper's last-interval rule.
+	Predictor Predictor
+	// Scheduling overrides the P2P uplink allocation policy; zero uses
+	// rarest-first, the paper's scheme.
+	Scheduling Scheduling
+	// VMClusters and NFSClusters override the rental catalogs; nil uses
+	// the paper's Table II/III defaults.
+	VMClusters  []plan.VMCluster
+	NFSClusters []plan.NFSCluster
+}
+
+// Default returns the reduced-scale counterpart of the paper's setup for
+// the given mode: Zipf channels, diurnal arrivals with two flash crowds,
+// hourly provisioning, Table II/III catalogs, B_M = $100/h, B_S = $1/h.
+// scale 1 targets ~250 concurrent viewers; 10 approaches paper scale.
+func Default(mode Mode, scale float64) Scenario {
+	base := experiments.DefaultScenario(0, scale)
+	return Scenario{
+		Mode:            mode,
+		Channel:         base.Channel,
+		Workload:        base.Workload,
+		Hours:           base.Hours,
+		IntervalSeconds: base.IntervalSeconds,
+		VMBudget:        base.VMBudget,
+		StorageBudget:   base.StorageBudget,
+		Seed:            base.Seed,
+		SampleSeconds:   base.SampleSeconds,
+	}
+}
+
+// Validate reports the first violated scenario invariant without running
+// anything.
+func (sc Scenario) Validate() error {
+	if _, err := sc.internal(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// internal converts the public scenario into the experiment harness's
+// form, applying the mode mapping.
+func (sc Scenario) internal() (experiments.Scenario, error) {
+	engineMode, static, err := modes.Engine(sc.Mode)
+	if err != nil {
+		return experiments.Scenario{}, fmt.Errorf("simulate: %w", err)
+	}
+	if sc.Hours <= 0 {
+		return experiments.Scenario{}, fmt.Errorf("simulate: non-positive duration %v h", sc.Hours)
+	}
+	if sc.IntervalSeconds < 0 {
+		return experiments.Scenario{}, fmt.Errorf("simulate: negative provisioning interval %v s", sc.IntervalSeconds)
+	}
+	if sc.SampleSeconds < 0 {
+		return experiments.Scenario{}, fmt.Errorf("simulate: negative sampling period %v s", sc.SampleSeconds)
+	}
+	out := experiments.Scenario{
+		Mode:               engineMode,
+		Channel:            sc.Channel,
+		Workload:           sc.Workload,
+		Hours:              sc.Hours,
+		IntervalSeconds:    sc.IntervalSeconds,
+		VMBudget:           sc.VMBudget,
+		StorageBudget:      sc.StorageBudget,
+		Seed:               sc.Seed,
+		SampleSeconds:      sc.SampleSeconds,
+		UplinkRatio:        sc.UplinkRatio,
+		Predictor:          sc.Predictor,
+		Scheduling:         sc.Scheduling,
+		VMClusters:         sc.VMClusters,
+		NFSClusters:        sc.NFSClusters,
+		StaticProvisioning: static,
+	}
+	if out.IntervalSeconds == 0 {
+		out.IntervalSeconds = 3600
+	}
+	if out.SampleSeconds == 0 {
+		out.SampleSeconds = 900
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+// Package simulate runs the CloudMedia discrete-event system — workload
+// generator, streaming simulator, measurement tracker, dynamic
+// provisioning controller, and IaaS cloud — behind a context-aware API.
+//
+// Build a Scenario (Default gives the reduced-scale counterpart of the
+// paper's setup), then call Run with a context. Long runs stream their
+// provisioning rounds through OnInterval or Stream instead of accumulating
+// them, so memory stays bounded by one interval:
+//
+//	sc := simulate.Default(simulate.CloudAssisted, 2)
+//	sc.Hours = 12
+//	report, err := sc.Run(ctx, simulate.OnInterval(func(rec simulate.IntervalRecord) {
+//		log.Printf("t=%.0fh reserved demand %.1f Mbps", rec.Time/3600, rec.TotalDemand*8/1e6)
+//	}))
+//
+// Everything here wraps the internal engines; the analytic one-shot
+// pipeline lives in the root cloudmedia package and pkg/plan.
+package simulate
+
+import (
+	"fmt"
+
+	"cloudmedia/internal/core"
+	"cloudmedia/internal/mathx"
+	"cloudmedia/internal/modes"
+	"cloudmedia/internal/sim"
+	"cloudmedia/internal/workload"
+)
+
+// Mode selects the VoD architecture under test (Sec. III-B):
+// ClientServer serves every chunk from dynamically rented cloud capacity;
+// P2P runs the mesh-pull overlay with only the bootstrap (t=0) rental
+// held statically for the whole run; CloudAssisted is the paper's
+// CloudMedia, the overlay plus per-interval dynamic provisioning.
+type Mode = modes.Mode
+
+const (
+	ClientServer  = modes.ClientServer
+	P2P           = modes.P2P
+	CloudAssisted = modes.CloudAssisted
+)
+
+// ParseMode converts a command-line spelling into a Mode. It accepts
+// "client-server" (or "cs"), "p2p", and "cloud-assisted" (or
+// "cloudmedia").
+func ParseMode(s string) (Mode, error) {
+	m, err := modes.Parse(s)
+	if err != nil {
+		return 0, fmt.Errorf("simulate: %w", err)
+	}
+	return m, nil
+}
+
+// Workload configures the synthetic PPLive-like arrival trace of
+// Sec. VI-A: Zipf channel popularity, diurnal Poisson arrivals with flash
+// crowds, exponential VCR-jump intervals, and bounded-Pareto peer uplinks.
+type Workload = workload.Params
+
+// FlashCrowd is one Gaussian arrival surge in the daily pattern.
+type FlashCrowd = workload.FlashCrowd
+
+// UplinkDistribution is the bounded-Pareto per-peer upload distribution
+// used by Workload.PeerUplink.
+type UplinkDistribution = mathx.BoundedPareto
+
+// UplinkForRatio returns a peer-uplink distribution scaled so its mean is
+// ratio × the streaming rate — the knob of the paper's Fig. 11 sweep.
+func UplinkForRatio(streamingRate, ratio float64) (UplinkDistribution, error) {
+	return workload.UplinkForRatio(streamingRate, ratio)
+}
+
+// DefaultWorkload returns the paper's trace parameters: 20 Zipf channels,
+// ~2500 concurrent viewers, two flash crowds, 15-minute jump intervals.
+func DefaultWorkload() Workload { return workload.Default() }
+
+// Scheduling selects how the P2P overlay allocates peer uplink across
+// chunks at each rebalance.
+type Scheduling = sim.PeerScheduling
+
+const (
+	// RarestFirst serves the scarcest chunks first — the paper's scheme.
+	RarestFirst = sim.RarestFirst
+	// Proportional splits uplink in proportion to demand, ignoring
+	// rareness — the ablation baseline.
+	Proportional = sim.Proportional
+)
+
+// Predictor forecasts a channel's next-interval arrival rate from the
+// observed per-interval history (oldest first). The paper provisions with
+// the last observation and flags richer predictors as future work; this
+// interface is that extension point.
+type Predictor = core.Predictor
+
+// LastInterval is the paper's predictor: next interval equals the rate
+// just observed (Sec. V-B).
+type LastInterval = core.LastInterval
+
+// EWMA smooths the history with an exponentially weighted moving average.
+type EWMA = core.EWMA
+
+// PeakOfWindow provisions for the maximum over a trailing window.
+type PeakOfWindow = core.PeakOfWindow
+
+// DiurnalMemory forecasts with the observation one daily period ago.
+type DiurnalMemory = core.DiurnalMemory
+
+// IntervalRecord captures one provisioning round: the arrival-rate
+// estimates, derived cloud demand, peer supply, and the VM and storage
+// plans applied.
+type IntervalRecord = core.IntervalRecord

@@ -1,0 +1,37 @@
+// Package tracker is the public facade of the CloudMedia control plane of
+// Sec. V-B: the per-channel index that peers join, announce chunk
+// ownership to, and query for suppliers. When no peer holds a requested
+// chunk, Lookup answers with the paper's 3-tuple ⟨entry-point address,
+// ports, ticket⟩ — an HMAC-signed grant that lets the peer fetch the chunk
+// through a cloud entry point (see pkg/transport).
+package tracker
+
+import (
+	"cloudmedia/internal/tracker"
+)
+
+// PeerID identifies one peer.
+type PeerID = tracker.PeerID
+
+// EntryPoint is a public cloud entry-point address the tracker can direct
+// peers to.
+type EntryPoint = tracker.EntryPoint
+
+// CloudGrant is the tracker's answer when the overlay cannot supply a
+// chunk: the entry point to contact plus a signed, expiring ticket.
+type CloudGrant = tracker.CloudGrant
+
+// Tracker indexes one channel set's peers and chunk ownership.
+type Tracker = tracker.Tracker
+
+// New creates a tracker for channels of the given chunk count, the cloud
+// entry points it may hand out, and the HMAC secret it signs tickets with.
+func New(chunks int, entries []EntryPoint, secret []byte) (*Tracker, error) {
+	return tracker.New(chunks, entries, secret)
+}
+
+// VerifyTicket checks a ticket's HMAC signature and expiry against the
+// shared secret — the check a VM chunk server performs before streaming.
+func VerifyTicket(secret []byte, ticket string, channel, chunk int, requester PeerID, now uint64) error {
+	return tracker.VerifyTicket(secret, ticket, channel, chunk, requester, now)
+}

@@ -1,0 +1,74 @@
+package tracker_test
+
+import (
+	"bytes"
+	"testing"
+
+	"cloudmedia/pkg/tracker"
+	"cloudmedia/pkg/transport"
+)
+
+// TestCloudEntryRoundTrip drives the public control/data plane end to end:
+// tracker lookup → cloud grant → ticketed fetch through the entry point.
+func TestCloudEntryRoundTrip(t *testing.T) {
+	secret := []byte("test-secret")
+	store := transport.SyntheticStore{Channels: 2, Chunks: 4, ChunkSize: 1 << 10}
+
+	verify := func(ticket string, channel, chunk int, peer uint64, expiry uint64) error {
+		return tracker.VerifyTicket(secret, ticket, channel, chunk, tracker.PeerID(peer), expiry-1)
+	}
+	vm, err := transport.NewVMServer("127.0.0.1:0", store, verify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Close()
+	entry, err := transport.NewEntryPoint("127.0.0.1:0", []string{vm.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer entry.Close()
+
+	tr, err := tracker.New(4, []tracker.EntryPoint{{Addr: entry.Addr()}}, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const peer = tracker.PeerID(1)
+	tr.Join(1, peer)
+	peers, grant, err := tr.Lookup(1, 2, peer, 1, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 0 || grant == nil {
+		t.Fatalf("lookup on empty overlay: peers=%d grant=%v, want cloud grant", len(peers), grant)
+	}
+
+	data, err := transport.FetchChunk(grant.Entry.Addr, 1, 2, uint64(peer), 1000, grant.Ticket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := store.ChunkData(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Error("fetched chunk differs from store contents")
+	}
+
+	// The ticket is bound to (channel, chunk): reuse elsewhere is refused.
+	if _, err := transport.FetchChunk(grant.Entry.Addr, 1, 3, uint64(peer), 1000, grant.Ticket); err == nil {
+		t.Error("forged ticket accepted")
+	}
+
+	// After an announce the overlay supplies the chunk itself.
+	if err := tr.Announce(1, peer, 2); err != nil {
+		t.Fatal(err)
+	}
+	tr.Join(1, 2)
+	peers, grant, err = tr.Lookup(1, 2, 2, 1, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 1 || grant != nil {
+		t.Errorf("post-announce lookup: peers=%d grant=%v, want 1 peer and no grant", len(peers), grant)
+	}
+}

@@ -1,0 +1,45 @@
+// Package transport is the public facade of the CloudMedia data plane of
+// Sec. V-B over real TCP: VM chunk servers that verify tracker tickets
+// before streaming, public entry points that port-forward to them, and the
+// client-side chunk fetch.
+package transport
+
+import (
+	"cloudmedia/internal/transport"
+)
+
+// ChunkStore serves chunk payloads to a VM server.
+type ChunkStore = transport.ChunkStore
+
+// SyntheticStore is a ChunkStore generating deterministic payloads — handy
+// for demos and tests.
+type SyntheticStore = transport.SyntheticStore
+
+// TicketVerifier validates a tracker-issued ticket before a chunk is
+// served; wire it to tracker.VerifyTicket with the shared secret.
+type TicketVerifier = transport.TicketVerifier
+
+// VMServer is one VM chunk server listening on TCP.
+type VMServer = transport.VMServer
+
+// EntryPoint is a public TCP forwarder in front of a set of VM servers.
+type EntryPoint = transport.EntryPoint
+
+// NewVMServer starts a chunk server on addr (use "127.0.0.1:0" for an
+// ephemeral port) backed by the store, refusing requests whose ticket
+// fails verify.
+func NewVMServer(addr string, store ChunkStore, verify TicketVerifier) (*VMServer, error) {
+	return transport.NewVMServer(addr, store, verify)
+}
+
+// NewEntryPoint starts a forwarder on addr that round-robins connections
+// across the target VM server addresses.
+func NewEntryPoint(addr string, targets []string) (*EntryPoint, error) {
+	return transport.NewEntryPoint(addr, targets)
+}
+
+// FetchChunk retrieves one chunk through an entry point (or directly from
+// a VM server), presenting the tracker-issued ticket.
+func FetchChunk(addr string, channel, chunk int, peer uint64, expiry uint64, ticket string) ([]byte, error) {
+	return transport.FetchChunk(addr, channel, chunk, peer, expiry, ticket)
+}

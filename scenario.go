@@ -1,0 +1,94 @@
+package cloudmedia
+
+import (
+	"cloudmedia/pkg/simulate"
+)
+
+// Mode selects the VoD architecture a Scenario simulates; see the
+// simulate.Mode constants re-exported below.
+type Mode = simulate.Mode
+
+// The three architectures of the paper's evaluation: pure client-server
+// streaming, the P2P mesh with a static bootstrap rental, and CloudMedia's
+// dynamically provisioned cloud-assisted P2P.
+const (
+	ClientServer  = simulate.ClientServer
+	P2P           = simulate.P2P
+	CloudAssisted = simulate.CloudAssisted
+)
+
+// Scenario is a fully assembled simulation configuration; run it with its
+// context-aware Run or Stream methods. See pkg/simulate for the field and
+// streaming documentation.
+type Scenario = simulate.Scenario
+
+// IntervalRecord is one provisioning round of a running scenario.
+type IntervalRecord = simulate.IntervalRecord
+
+// Report summarizes a finished scenario run.
+type Report = simulate.Report
+
+// NewScenario builds a simulation scenario from the paper's reduced-scale
+// defaults (simulate.Default) overridden by the given options:
+//
+//	sc, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted,
+//		cloudmedia.WithHours(12),
+//		cloudmedia.WithScale(2),
+//	)
+//	report, err := sc.Run(ctx)
+//
+// Channel-shape, budget, and catalog options apply here exactly as they do
+// to NewPipeline; workload and timing options (WithHours, WithSeed,
+// WithScale, WithChannels, WithPredictor, …) are scenario-specific.
+func NewScenario(mode Mode, opts ...Option) (Scenario, error) {
+	s, err := apply(opts)
+	if err != nil {
+		return Scenario{}, err
+	}
+	scale := 1.0
+	if s.scale != nil {
+		scale = *s.scale
+	}
+	sc := simulate.Default(mode, scale)
+	sc.Channel = s.channel(sc.Channel)
+	if s.workload != nil {
+		sc.Workload = *s.workload
+	}
+	if s.channels != nil {
+		sc.Workload.Channels = *s.channels
+	}
+	if s.hours != nil {
+		sc.Hours = *s.hours
+	}
+	if s.seed != nil {
+		sc.Seed = *s.seed
+	}
+	if s.interval != nil {
+		sc.IntervalSeconds = *s.interval
+	}
+	if s.sample != nil {
+		sc.SampleSeconds = *s.sample
+	}
+	if s.uplinkRatio != nil {
+		sc.UplinkRatio = *s.uplinkRatio
+	}
+	if s.budgets != nil {
+		sc.VMBudget, sc.StorageBudget = s.budgets[0], s.budgets[1]
+	}
+	if s.vmClusters != nil {
+		sc.VMClusters = s.vmClusters
+	}
+	if s.nfsClusters != nil {
+		sc.NFSClusters = s.nfsClusters
+	}
+	if s.predictor != nil {
+		sc.Predictor = s.predictor
+	}
+	if s.scheduling != 0 {
+		sc.Scheduling = s.scheduling
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
