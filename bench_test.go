@@ -7,6 +7,7 @@ package cloudmedia
 // each reports domain metrics via b.ReportMetric in addition to wall time.
 
 import (
+	"context"
 	"testing"
 
 	"cloudmedia/internal/cloud"
@@ -19,6 +20,8 @@ import (
 	"cloudmedia/internal/sim"
 	"cloudmedia/internal/viewing"
 	"cloudmedia/internal/workload"
+	"cloudmedia/pkg/simulate"
+	"cloudmedia/pkg/sweep"
 )
 
 // benchScenario is the short-horizon configuration the figure benches use.
@@ -375,4 +378,34 @@ func BenchmarkAblationPeerScheduling(b *testing.B) {
 	}
 	b.ReportMetric(rarest, "q-rarest")
 	b.ReportMetric(proportional, "q-proportional")
+}
+
+// --- Sweep harness ---
+
+// BenchmarkSweep3x3 runs the examples/sweep-shaped grid — 3 modes × 3 VM
+// budgets over a short horizon — through the pkg/sweep worker pool, so
+// BENCH_*.json tracks sweep throughput across PRs. Reports cells/s in
+// addition to wall time per grid.
+func BenchmarkSweep3x3(b *testing.B) {
+	base := simulate.Default(simulate.ClientServer, 1)
+	base.Hours = 1
+	base.SampleSeconds = 900
+	grid := sweep.Grid{
+		Base: base,
+		Axes: []sweep.Axis{
+			sweep.Modes(simulate.ClientServer, simulate.P2P, simulate.CloudAssisted),
+			sweep.VMBudgets(50, 100, 200),
+		},
+	}
+	runner := sweep.Runner{Workers: 4}
+	var cells int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := runner.Run(context.Background(), grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = len(results)
+	}
+	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
 }

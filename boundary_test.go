@@ -12,10 +12,12 @@ import (
 
 // TestNoInternalImportsOutsideModule guards the SDK boundary: examples and
 // the CLI are the reference consumers of the public API, so they must
-// compile against the root package and pkg/ alone. If this test fails, a
-// public wrapper is missing.
+// compile against the root package and pkg/ alone — and pkg/sweep is
+// deliberately built purely on the public facades (pkg/simulate), proving
+// the SDK surface is sufficient to write an orchestration layer. If this
+// test fails, a public wrapper is missing.
 func TestNoInternalImportsOutsideModule(t *testing.T) {
-	for _, dir := range []string{"examples", "cmd"} {
+	for _, dir := range []string{"examples", "cmd", "pkg/sweep"} {
 		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 			if err != nil {
 				return err
@@ -34,7 +36,7 @@ func TestNoInternalImportsOutsideModule(t *testing.T) {
 					return err
 				}
 				if p == "cloudmedia/internal" || strings.HasPrefix(p, "cloudmedia/internal/") {
-					t.Errorf("%s imports %s: examples and cmd must use the public API", path, p)
+					t.Errorf("%s imports %s: examples, cmd, and pkg/sweep must use the public API", path, p)
 				}
 			}
 			return nil

@@ -14,14 +14,22 @@
 // (fig4 always compares client-server against P2P, and so on); -mode
 // drives the mode-sensitive entries, most usefully "timeline".
 //
+// The sweep subcommand runs whole scenario families concurrently on a
+// worker pool (cloudmedia/pkg/sweep) and emits machine-readable results:
+//
+//	cloudmedia sweep -axis mode=cs,p2p,cloudmedia -axis vm-budget=50,100,200 \
+//	    -workers 4 -hours 6 -output sweep.csv
+//	cloudmedia sweep -axis uplink-ratio=0.9,1.0,1.2 -aggregate # Fig. 11 family
+//
 // The command is a thin flag wrapper around the public cloudmedia/pkg/paper
-// package.
+// and cloudmedia/pkg/sweep packages.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -38,6 +46,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "sweep" {
+		return runSweep(args[1:])
+	}
 	fs := flag.NewFlagSet("cloudmedia", flag.ContinueOnError)
 	var (
 		exp    = fs.String("exp", "", "experiment ID to run (or 'all')")
@@ -103,9 +114,14 @@ func renderJSON(res *paper.Result) error {
 	for _, tbl := range res.Tables {
 		doc.Tables = append(doc.Tables, jsonTable{Title: tbl.Title, Headers: tbl.Headers, Rows: tbl.Rows})
 	}
-	enc := json.NewEncoder(os.Stdout)
+	return encodeJSON(os.Stdout, doc)
+}
+
+// encodeJSON writes v as indented JSON.
+func encodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	return enc.Encode(v)
 }
 
 func render(res *paper.Result, csv bool) error {

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"cloudmedia/pkg/simulate"
+	"cloudmedia/pkg/sweep"
+)
+
+// axisFlags collects repeated -axis specs.
+type axisFlags []string
+
+func (a *axisFlags) String() string     { return strings.Join(*a, " ") }
+func (a *axisFlags) Set(s string) error { *a = append(*a, s); return nil }
+
+// runSweep is the `cloudmedia sweep` subcommand: expand a grid of derived
+// scenarios and run them on a worker pool.
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("cloudmedia sweep", flag.ContinueOnError)
+	var axes axisFlags
+	var (
+		workers   = fs.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS)")
+		output    = fs.String("output", "-", "output path ('-' = stdout); .json extension switches format")
+		format    = fs.String("format", "", "output format: csv or json (default: by -output extension, else csv)")
+		aggregate = fs.Bool("aggregate", false, "emit per-axis-value aggregates instead of per-cell rows")
+		mode      = fs.String("mode", "client-server", "base architecture (swept axes override it)")
+		scale     = fs.Float64("scale", 1, "workload scale of the base scenario")
+		hours     = fs.Float64("hours", 6, "simulated duration per cell, hours")
+		seed      = fs.Int64("seed", 42, "base random seed; per-cell seeds derive from it")
+	)
+	fs.Var(&axes, "axis", "swept axis as name=v1,v2,... (repeatable); axes: "+strings.Join(axisNames, ", "))
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: cloudmedia sweep -axis name=v1,v2,... [-axis ...] [flags]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "\nexample:\n  cloudmedia sweep -axis mode=cs,p2p,cloudmedia -axis vm-budget=50,100,200 -workers 4 -output sweep.csv\n")
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := simulate.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
+	base := simulate.Default(m, *scale)
+	base.Hours = *hours
+	base.Seed = *seed
+
+	grid := sweep.Grid{Base: base}
+	if len(axes) == 0 {
+		// Default family: the paper's three architectures.
+		grid.Axes = append(grid.Axes, sweep.Modes(simulate.ClientServer, simulate.P2P, simulate.CloudAssisted))
+	}
+	for _, spec := range axes {
+		ax, err := parseAxis(spec)
+		if err != nil {
+			return err
+		}
+		grid.Axes = append(grid.Axes, ax)
+	}
+
+	// Resolve the format and open the destination before running: a bad
+	// -format or -output must fail in milliseconds, not after a
+	// multi-hour sweep.
+	outFormat := sweepFormat(*format, *output)
+	if outFormat != "csv" && outFormat != "json" {
+		return fmt.Errorf("unknown format %q (want csv or json)", outFormat)
+	}
+	w := io.Writer(os.Stdout)
+	if *output != "-" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	// Ctrl-C cancels the sweep; the partial results gathered so far are
+	// still written, so long sweeps degrade gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	results, runErr := sweep.Runner{Workers: *workers}.Run(ctx, grid)
+	if runErr != nil && len(results) == 0 {
+		return runErr
+	}
+	if err := emitSweep(w, results, outFormat, *aggregate); err != nil {
+		return err
+	}
+	if runErr != nil {
+		return fmt.Errorf("sweep interrupted, %d/%d cells written: %w", len(results), countCells(grid), runErr)
+	}
+	return nil
+}
+
+func countCells(g sweep.Grid) int {
+	cells, err := g.Cells()
+	if err != nil {
+		return 0
+	}
+	return len(cells)
+}
+
+// sweepFormat resolves the output format: explicit -format wins, then the
+// -output extension, then CSV.
+func sweepFormat(format, output string) string {
+	if format != "" {
+		return format
+	}
+	if strings.HasSuffix(output, ".json") {
+		return "json"
+	}
+	return "csv"
+}
+
+func emitSweep(w io.Writer, results []sweep.Result, format string, aggregate bool) error {
+	switch format {
+	case "csv":
+		if aggregate {
+			return sweep.WriteAggregateCSV(w, sweep.Reduce(results))
+		}
+		return sweep.WriteCSV(w, results)
+	case "json":
+		if aggregate {
+			return encodeJSON(w, sweep.Reduce(results))
+		}
+		return encodeJSON(w, results)
+	default:
+		return fmt.Errorf("unknown format %q (want csv or json)", format)
+	}
+}
+
+// axisNames lists the -axis spellings parseAxis accepts.
+var axisNames = []string{"mode", "vm-budget", "storage-budget", "uplink-ratio", "chunks", "channels", "predictor"}
+
+// parseAxis converts one -axis spec ("vm-budget=50,100,200") into an Axis.
+func parseAxis(spec string) (sweep.Axis, error) {
+	name, list, ok := strings.Cut(spec, "=")
+	if !ok || list == "" {
+		return sweep.Axis{}, fmt.Errorf("axis %q: want name=v1,v2,...", spec)
+	}
+	values := strings.Split(list, ",")
+	switch name {
+	case "mode":
+		var ms []simulate.Mode
+		for _, v := range values {
+			m, err := simulate.ParseMode(v)
+			if err != nil {
+				return sweep.Axis{}, fmt.Errorf("axis %s: %w", name, err)
+			}
+			ms = append(ms, m)
+		}
+		return sweep.Modes(ms...), nil
+	case "vm-budget":
+		fs, err := parseFloats(name, values)
+		if err != nil {
+			return sweep.Axis{}, err
+		}
+		return sweep.VMBudgets(fs...), nil
+	case "storage-budget":
+		fs, err := parseFloats(name, values)
+		if err != nil {
+			return sweep.Axis{}, err
+		}
+		return sweep.StorageBudgets(fs...), nil
+	case "uplink-ratio":
+		fs, err := parseFloats(name, values)
+		if err != nil {
+			return sweep.Axis{}, err
+		}
+		return sweep.UplinkRatios(fs...), nil
+	case "chunks":
+		is, err := parseInts(name, values)
+		if err != nil {
+			return sweep.Axis{}, err
+		}
+		return sweep.Chunks(is...), nil
+	case "channels":
+		is, err := parseInts(name, values)
+		if err != nil {
+			return sweep.Axis{}, err
+		}
+		return sweep.Channels(is...), nil
+	case "predictor":
+		named := make(map[string]simulate.Predictor, len(values))
+		for _, v := range values {
+			// A map would silently collapse repeats; reject them like
+			// every other axis does.
+			if _, dup := named[v]; dup {
+				return sweep.Axis{}, fmt.Errorf("axis %s: duplicate value %q", name, v)
+			}
+			p, err := predictorByName(v)
+			if err != nil {
+				return sweep.Axis{}, err
+			}
+			named[v] = p
+		}
+		return sweep.Predictors(named), nil
+	default:
+		return sweep.Axis{}, fmt.Errorf("unknown axis %q (want one of %s)", name, strings.Join(axisNames, ", "))
+	}
+}
+
+// predictorByName maps CLI spellings onto the forecaster extension points
+// of pkg/simulate, with the same defaults the ablation benchmarks use.
+func predictorByName(name string) (simulate.Predictor, error) {
+	switch name {
+	case "last":
+		return simulate.LastInterval{}, nil
+	case "ewma":
+		return simulate.EWMA{Alpha: 0.4}, nil
+	case "peak":
+		return simulate.PeakOfWindow{Window: 3}, nil
+	case "diurnal":
+		return simulate.DiurnalMemory{Period: 24}, nil
+	default:
+		return nil, fmt.Errorf("unknown predictor %q (want last, ewma, peak, or diurnal)", name)
+	}
+}
+
+func parseFloats(axis string, values []string) ([]float64, error) {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("axis %s: bad value %q", axis, v)
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func parseInts(axis string, values []string) ([]int, error) {
+	out := make([]int, len(values))
+	for i, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("axis %s: bad value %q", axis, v)
+		}
+		out[i] = n
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cloudmedia/pkg/simulate"
+	"cloudmedia/pkg/sweep"
+)
+
+func TestSweepSubcommandCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.csv")
+	err := run([]string{"sweep",
+		"-axis", "mode=cs,cloudmedia",
+		"-axis", "vm-budget=50,100",
+		"-workers", "4", "-hours", "1", "-output", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want header + 4 cells:\n%s", len(lines), data)
+	}
+	if lines[0] != "cell,mode,vm_budget,seed,hours,intervals,mean_quality,mean_reserved_mbps,vm_cost_usd,storage_cost_usd,final_users,error" {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestSweepSubcommandJSONByExtension(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.json")
+	err := run([]string{"sweep", "-axis", "vm-budget=50,100", "-hours", "1", "-output", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []sweep.Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("output is not a JSON result list: %v", err)
+	}
+	if len(results) != 2 || results[0].Report == nil {
+		t.Errorf("results = %+v", results)
+	}
+}
+
+func TestSweepSubcommandDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers string) string {
+		out := filepath.Join(t.TempDir(), "sweep.csv")
+		err := run([]string{"sweep",
+			"-axis", "mode=cs,p2p,cloudmedia", "-axis", "vm-budget=50,100,200",
+			"-workers", workers, "-hours", "1", "-output", out,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if one, four := render("1"), render("4"); one != four {
+		t.Errorf("CSV differs between worker counts:\n--- 1 ---\n%s--- 4 ---\n%s", one, four)
+	}
+}
+
+func TestSweepSubcommandErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad axis name":       {"sweep", "-axis", "warp=1,2"},
+		"malformed axis":      {"sweep", "-axis", "vm-budget"},
+		"bad axis value":      {"sweep", "-axis", "vm-budget=cheap"},
+		"bad mode value":      {"sweep", "-axis", "mode=quantum"},
+		"bad predictor":       {"sweep", "-axis", "predictor=oracle"},
+		"bad base mode":       {"sweep", "-mode", "quantum"},
+		"bad format":          {"sweep", "-format", "xml", "-hours", "1"},
+		"bad flag":            {"sweep", "-nope"},
+		"duplicate axis":      {"sweep", "-axis", "chunks=4", "-axis", "chunks=8"},
+		"duplicate value":     {"sweep", "-axis", "channels=4,4"},
+		"duplicate predictor": {"sweep", "-axis", "predictor=last,last"},
+		"unwritable output":   {"sweep", "-hours", "1", "-output", "/nonexistent-dir/x.csv"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestParseAxisCoversEveryName(t *testing.T) {
+	specs := map[string]string{
+		"mode":           "mode=cs,p2p",
+		"vm-budget":      "vm-budget=50,100",
+		"storage-budget": "storage-budget=1,2",
+		"uplink-ratio":   "uplink-ratio=0.9,1.2",
+		"chunks":         "chunks=4,8",
+		"channels":       "channels=4,6",
+		"predictor":      "predictor=last,ewma,peak,diurnal",
+	}
+	if len(specs) != len(axisNames) {
+		t.Fatalf("test covers %d axes, CLI advertises %d", len(specs), len(axisNames))
+	}
+	for name, spec := range specs {
+		ax, err := parseAxis(spec)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(ax.Points) < 2 {
+			t.Errorf("%s: %d points", name, len(ax.Points))
+		}
+		// Every point must actually move the scenario it is applied to.
+		base := simulate.Default(simulate.P2P, 1)
+		for _, pt := range ax.Points {
+			sc := base.Clone()
+			pt.Set(&sc)
+		}
+	}
+}

@@ -22,9 +22,16 @@
 //	sc, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted, cloudmedia.WithHours(12))
 //	report, err := sc.Run(ctx)
 //
+// Scenarios are derivable: With re-applies any options to an independent
+// deep copy, which is what pkg/sweep builds on to run whole scenario
+// families — mode × budget grids, uplink sweeps — concurrently:
+//
+//	cheap := sc.With(cloudmedia.WithBudgets(50, 1))
+//
 // The public subpackages expose the layers individually: pkg/plan the
 // analytic building blocks, pkg/simulate the simulation engine and
-// streaming API, pkg/paper the table/figure reproduction registry behind
+// streaming API, pkg/sweep the concurrent parameter-sweep harness,
+// pkg/paper the table/figure reproduction registry behind
 // cmd/cloudmedia, and pkg/tracker plus pkg/transport the Sec. V-B
 // control/data plane over real TCP. The implementation lives under
 // internal/ (queueing, p2p, provision, cloud, workload, sim, core,

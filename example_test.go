@@ -101,3 +101,26 @@ func ExampleScenario() {
 	// Output:
 	// streamed rounds: 4
 }
+
+// Scenario derivation: With re-applies functional options to a deep copy,
+// so a whole family of variants can be spun off one base scenario — the
+// primitive pkg/sweep's grids build on.
+func ExampleScenario_With() {
+	base, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted,
+		cloudmedia.WithHours(6),
+		cloudmedia.WithBudgets(100, 1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cheap := base.With(cloudmedia.WithBudgets(50, 1))
+	crowded := base.With(cloudmedia.WithScale(2), cloudmedia.WithSeed(7))
+
+	fmt.Printf("base:    $%v/h, rate %.2f/s, seed %d\n", base.VMBudget, base.Workload.BaseArrivalRate, base.Seed)
+	fmt.Printf("cheap:   $%v/h, rate %.2f/s, seed %d\n", cheap.VMBudget, cheap.Workload.BaseArrivalRate, cheap.Seed)
+	fmt.Printf("crowded: $%v/h, rate %.2f/s, seed %d\n", crowded.VMBudget, crowded.Workload.BaseArrivalRate, crowded.Seed)
+	// Output:
+	// base:    $100/h, rate 0.60/s, seed 42
+	// cheap:   $50/h, rate 0.60/s, seed 42
+	// crowded: $100/h, rate 1.20/s, seed 7
+}

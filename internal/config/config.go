@@ -1,0 +1,151 @@
+// Package config holds the functional-option accumulator shared by the
+// root cloudmedia package (NewPipeline, NewScenario) and pkg/simulate
+// (Scenario.With). The root package owns the public Option constructors;
+// this package owns the Settings they write so that scenario derivation in
+// pkg/simulate can re-apply the same options without importing the root
+// package (which would be an import cycle).
+package config
+
+import (
+	"fmt"
+
+	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/core"
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/sim"
+	"cloudmedia/internal/workload"
+)
+
+// Option configures a Pipeline or a Scenario by writing Settings fields.
+// The root cloudmedia package aliases this type as cloudmedia.Option and
+// pkg/simulate as simulate.Option, so the three spellings are one type.
+type Option func(*Settings)
+
+// Settings accumulates option values; nil pointer fields mean "keep the
+// builder's default".
+type Settings struct {
+	// Channel shape.
+	Chunks          *int
+	PlaybackRate    *float64
+	ChunkSeconds    *float64
+	VMBandwidth     *float64
+	SlotsPerVM      *int
+	EntryFirstChunk *float64
+
+	// Pipeline-only knobs.
+	Transfer queueing.TransferMatrix
+	Viewing  *[2]float64
+	Rates    []float64
+
+	// Shared budget and catalog knobs.
+	PeerUplink  *float64
+	Budgets     *[2]float64
+	VMClusters  []cloud.VMClusterSpec
+	NFSClusters []cloud.NFSClusterSpec
+
+	// Scenario-only knobs.
+	Hours       *float64
+	Seed        *int64
+	Scale       *float64
+	Interval    *float64
+	Sample      *float64
+	UplinkRatio *float64
+	Channels    *int
+	Predictor   core.Predictor
+	Scheduling  sim.PeerScheduling
+	Workload    *workload.Params
+
+	// Err is the first option conflict observed; builders surface it.
+	Err error
+}
+
+// Fail records the first option error; later errors are dropped so the
+// caller sees the root cause.
+func (s *Settings) Fail(format string, args ...any) {
+	if s.Err == nil {
+		s.Err = fmt.Errorf(format, args...)
+	}
+}
+
+// Apply runs the options over a fresh accumulator and returns it together
+// with the first recorded option error.
+func Apply(opts []Option) (*Settings, error) {
+	s := &Settings{}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, s.Err
+}
+
+// Clone returns a deep copy: every pointer field is re-allocated and every
+// slice reallocated, so mutations through the copy never reach the
+// original. Predictor values are shared (predictors are stateless value
+// types).
+func (s *Settings) Clone() *Settings {
+	if s == nil {
+		return nil
+	}
+	out := *s
+	out.Chunks = clonePtr(s.Chunks)
+	out.PlaybackRate = clonePtr(s.PlaybackRate)
+	out.ChunkSeconds = clonePtr(s.ChunkSeconds)
+	out.VMBandwidth = clonePtr(s.VMBandwidth)
+	out.SlotsPerVM = clonePtr(s.SlotsPerVM)
+	out.EntryFirstChunk = clonePtr(s.EntryFirstChunk)
+	out.Viewing = clonePtr(s.Viewing)
+	out.Rates = append([]float64(nil), s.Rates...)
+	out.PeerUplink = clonePtr(s.PeerUplink)
+	out.Budgets = clonePtr(s.Budgets)
+	out.VMClusters = append([]cloud.VMClusterSpec(nil), s.VMClusters...)
+	out.NFSClusters = append([]cloud.NFSClusterSpec(nil), s.NFSClusters...)
+	out.Hours = clonePtr(s.Hours)
+	out.Seed = clonePtr(s.Seed)
+	out.Scale = clonePtr(s.Scale)
+	out.Interval = clonePtr(s.Interval)
+	out.Sample = clonePtr(s.Sample)
+	out.UplinkRatio = clonePtr(s.UplinkRatio)
+	out.Channels = clonePtr(s.Channels)
+	if s.Transfer != nil {
+		m := make(queueing.TransferMatrix, len(s.Transfer))
+		for i, row := range s.Transfer {
+			m[i] = append([]float64(nil), row...)
+		}
+		out.Transfer = m
+	}
+	if s.Workload != nil {
+		w := s.Workload.Clone()
+		out.Workload = &w
+	}
+	return &out
+}
+
+func clonePtr[T any](p *T) *T {
+	if p == nil {
+		return nil
+	}
+	v := *p
+	return &v
+}
+
+// Channel overlays the channel-shape options onto a base channel config.
+func (s *Settings) Channel(base queueing.Config) queueing.Config {
+	if s.Chunks != nil {
+		base.Chunks = *s.Chunks
+	}
+	if s.PlaybackRate != nil {
+		base.PlaybackRate = *s.PlaybackRate
+	}
+	if s.ChunkSeconds != nil {
+		base.ChunkSeconds = *s.ChunkSeconds
+	}
+	if s.VMBandwidth != nil {
+		base.VMBandwidth = *s.VMBandwidth
+	}
+	if s.SlotsPerVM != nil {
+		base.SlotsPerVM = *s.SlotsPerVM
+	}
+	if s.EntryFirstChunk != nil {
+		base.EntryFirstChunk = *s.EntryFirstChunk
+	}
+	return base
+}

@@ -1,0 +1,83 @@
+package config
+
+import (
+	"testing"
+
+	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/workload"
+)
+
+func TestApplyAccumulatesAndReportsFirstError(t *testing.T) {
+	s, err := Apply([]Option{
+		func(s *Settings) { v := 8; s.Chunks = &v },
+		func(s *Settings) { s.Fail("first") },
+		func(s *Settings) { s.Fail("second") },
+	})
+	if err == nil || err.Error() != "first" {
+		t.Errorf("err = %v, want first recorded failure", err)
+	}
+	if s.Chunks == nil || *s.Chunks != 8 {
+		t.Errorf("chunks not accumulated: %+v", s.Chunks)
+	}
+}
+
+func TestCloneSharesNothingMutable(t *testing.T) {
+	hours := 6.0
+	wl := workload.Default()
+	s := &Settings{
+		Hours:      &hours,
+		Rates:      []float64{0.1, 0.2},
+		VMClusters: cloud.DefaultVMClusters(),
+		Transfer:   queueing.TransferMatrix{{0, 1}, {0.5, 0}},
+		Workload:   &wl,
+	}
+	c := s.Clone()
+
+	*c.Hours = 12
+	c.Rates[0] = 9
+	c.VMClusters[0].MaxVMs = 1
+	c.Transfer[0][1] = 0.25
+	c.Workload.Channels = 99
+	c.Workload.FlashCrowds[0].PeakHour = 1
+
+	if *s.Hours != 6 {
+		t.Errorf("hours = %v, want 6", *s.Hours)
+	}
+	if s.Rates[0] != 0.1 {
+		t.Errorf("rates mutated: %v", s.Rates)
+	}
+	if s.VMClusters[0].MaxVMs == 1 {
+		t.Error("VM catalog shared")
+	}
+	if s.Transfer[0][1] != 1 {
+		t.Error("transfer matrix shared")
+	}
+	if s.Workload.Channels == 99 || s.Workload.FlashCrowds[0].PeakHour == 1 {
+		t.Error("workload shared")
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	var s *Settings
+	if s.Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+	empty := (&Settings{}).Clone()
+	if empty.Hours != nil || empty.Workload != nil || empty.Transfer != nil {
+		t.Errorf("empty clone grew fields: %+v", empty)
+	}
+}
+
+func TestChannelOverlay(t *testing.T) {
+	chunks, rate := 16, 25e3
+	s := &Settings{Chunks: &chunks, PlaybackRate: &rate}
+	base := queueing.Config{Chunks: 8, PlaybackRate: 50e3, ChunkSeconds: 75, VMBandwidth: 1.25e6}
+	got := s.Channel(base)
+	if got.Chunks != 16 || got.PlaybackRate != 25e3 {
+		t.Errorf("overlay = %+v", got)
+	}
+	if got.ChunkSeconds != 75 || got.VMBandwidth != 1.25e6 {
+		t.Errorf("untouched fields changed: %+v", got)
+	}
+}

@@ -21,15 +21,11 @@ type Result struct {
 // targets: provisioned ≥ used in the great majority of hours, and P2P
 // provisioning far below client-server.
 func Fig4(sc Scenario) (*Result, error) {
-	csSc, p2pSc := sc.pinMode(sim.ClientServer), sc.pinMode(sim.P2P)
-	cs, err := RunTimeline(csSc)
+	tls, err := RunTimelines(sc.pinMode(sim.ClientServer), sc.pinMode(sim.P2P))
 	if err != nil {
-		return nil, fmt.Errorf("fig4 client-server run: %w", err)
+		return nil, fmt.Errorf("fig4: %w", err)
 	}
-	pp, err := RunTimeline(p2pSc)
-	if err != nil {
-		return nil, fmt.Errorf("fig4 p2p run: %w", err)
-	}
+	cs, pp := tls[0], tls[1]
 
 	tbl := metrics.NewTable("Fig. 4 — cloud capacity provisioning vs usage (Mbps)",
 		"hour", "cs_reserved", "cs_used", "p2p_reserved", "p2p_used")
@@ -58,15 +54,11 @@ func Fig4(sc Scenario) (*Result, error) {
 // smooth-playback fraction over time for both modes. Paper averages:
 // C/S ≈ 0.97, P2P ≈ 0.95 (P2P slightly worse).
 func Fig5(sc Scenario) (*Result, error) {
-	csSc, p2pSc := sc.pinMode(sim.ClientServer), sc.pinMode(sim.P2P)
-	cs, err := RunTimeline(csSc)
+	tls, err := RunTimelines(sc.pinMode(sim.ClientServer), sc.pinMode(sim.P2P))
 	if err != nil {
-		return nil, fmt.Errorf("fig5 client-server run: %w", err)
+		return nil, fmt.Errorf("fig5: %w", err)
 	}
-	pp, err := RunTimeline(p2pSc)
-	if err != nil {
-		return nil, fmt.Errorf("fig5 p2p run: %w", err)
-	}
+	cs, pp := tls[0], tls[1]
 	tbl := metrics.NewTable("Fig. 5 — average streaming quality", "hour", "cs_quality", "p2p_quality")
 	for i := range cs.Snapshots {
 		s := cs.Snapshots[i]
@@ -136,15 +128,11 @@ func Fig6(sc Scenario) (*Result, error) {
 // target shape: roughly linear growth for client-server, much flatter
 // (well-scaling) for P2P.
 func Fig7(sc Scenario) (*Result, error) {
-	csSc, p2pSc := sc.pinMode(sim.ClientServer), sc.pinMode(sim.P2P)
-	cs, err := RunTimeline(csSc)
+	tls, err := RunTimelines(sc.pinMode(sim.ClientServer), sc.pinMode(sim.P2P))
 	if err != nil {
-		return nil, fmt.Errorf("fig7 client-server run: %w", err)
+		return nil, fmt.Errorf("fig7: %w", err)
 	}
-	pp, err := RunTimeline(p2pSc)
-	if err != nil {
-		return nil, fmt.Errorf("fig7 p2p run: %w", err)
-	}
+	cs, pp := tls[0], tls[1]
 	tbl := metrics.NewTable("Fig. 7 — provisioned bandwidth vs channel size (Mbps)",
 		"mode", "users", "bandwidth_mbps")
 	collect := func(tl *Timeline, mode string) (xs, ys []float64) {
@@ -247,15 +235,11 @@ func representativeChannels(n int) []int {
 // Fig10 reproduces "Evolution of overall VM rental cost": hourly dollars
 // for both modes. Paper averages: C/S ≈ $48/h, P2P ≈ $4.27/h.
 func Fig10(sc Scenario) (*Result, error) {
-	csSc, p2pSc := sc.pinMode(sim.ClientServer), sc.pinMode(sim.P2P)
-	cs, err := RunTimeline(csSc)
+	tls, err := RunTimelines(sc.pinMode(sim.ClientServer), sc.pinMode(sim.P2P))
 	if err != nil {
-		return nil, fmt.Errorf("fig10 client-server run: %w", err)
+		return nil, fmt.Errorf("fig10: %w", err)
 	}
-	pp, err := RunTimeline(p2pSc)
-	if err != nil {
-		return nil, fmt.Errorf("fig10 p2p run: %w", err)
-	}
+	cs, pp := tls[0], tls[1]
 	tbl := metrics.NewTable("Fig. 10 — overall VM rental cost ($/hour)", "hour", "cs_cost", "p2p_cost")
 	for i := range cs.Hourlies {
 		var pc float64
@@ -284,16 +268,17 @@ func Fig11(sc Scenario) (*Result, error) {
 	ratios := []float64{0.9, 1.0, 1.2}
 	tbl := metrics.NewTable("Fig. 11 — P2P streaming quality vs peer uplink ratio", "hour", "r0.9", "r1.0", "r1.2")
 	summary := make(map[string]float64, len(ratios))
-	var runs []*Timeline
-	for _, r := range ratios {
-		rsc := sc.pinMode(sim.P2P)
-		rsc.UplinkRatio = r
-		tl, err := RunTimeline(rsc)
-		if err != nil {
-			return nil, fmt.Errorf("fig11 ratio %v: %w", r, err)
-		}
-		runs = append(runs, tl)
-		summary[fmt.Sprintf("quality_ratio_%.1f", r)] = tl.MeanQuality
+	family := make([]Scenario, len(ratios))
+	for i, r := range ratios {
+		family[i] = sc.pinMode(sim.P2P)
+		family[i].UplinkRatio = r
+	}
+	runs, err := RunTimelines(family...)
+	if err != nil {
+		return nil, fmt.Errorf("fig11: %w", err)
+	}
+	for i, r := range ratios {
+		summary[fmt.Sprintf("quality_ratio_%.1f", r)] = runs[i].MeanQuality
 	}
 	for i := range runs[0].Snapshots {
 		row := []any{runs[0].Snapshots[i].Time / 3600}

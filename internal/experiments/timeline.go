@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"cloudmedia/internal/core"
 	"cloudmedia/internal/metrics"
@@ -102,6 +103,33 @@ func RunTimeline(sc Scenario) (*Timeline, error) {
 		tl.MeanQuality = qSum / float64(len(tl.Snapshots))
 	}
 	return tl, nil
+}
+
+// RunTimelines runs the scenarios concurrently and returns their
+// timelines in input order. The figure experiments' run-families (mode
+// vs. mode, ratio vs. ratio) are independent simulations, so they fan out
+// across cores the same way pkg/sweep's worker pool fans out user grids;
+// each Scenario is passed by value and Build assembles a private engine,
+// so runs share no mutable state. The first error (lowest input index)
+// wins.
+func RunTimelines(scs ...Scenario) ([]*Timeline, error) {
+	tls := make([]*Timeline, len(scs))
+	errs := make([]error, len(scs))
+	var wg sync.WaitGroup
+	for i, sc := range scs {
+		wg.Add(1)
+		go func(i int, sc Scenario) {
+			defer wg.Done()
+			tls[i], errs[i] = RunTimeline(sc)
+		}(i, sc)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("run %d (%v): %w", i, scs[i].Mode, err)
+		}
+	}
+	return tls, nil
 }
 
 // TimelineReport runs the scenario exactly as configured — unlike the

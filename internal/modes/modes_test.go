@@ -1,0 +1,65 @@
+package modes
+
+import (
+	"strings"
+	"testing"
+
+	"cloudmedia/internal/sim"
+)
+
+func TestStringCoversEveryMode(t *testing.T) {
+	want := map[Mode]string{
+		ClientServer:  "client-server",
+		P2P:           "p2p",
+		CloudAssisted: "cloud-assisted",
+	}
+	for m, s := range want {
+		if got := m.String(); got != s {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, s)
+		}
+	}
+}
+
+func TestStringInvalidValues(t *testing.T) {
+	for _, m := range []Mode{0, -1, 4, 1 << 20} {
+		s := m.String()
+		if !strings.HasPrefix(s, "Mode(") {
+			t.Errorf("Mode(%d).String() = %q, want Mode(n) form for invalid values", int(m), s)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, m := range []Mode{ClientServer, P2P, CloudAssisted} {
+		got, err := Parse(m.String())
+		if err != nil || got != m {
+			t.Errorf("Parse(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := Parse("Mode(0)"); err == nil {
+		t.Error("Parse accepted the invalid-mode String() form")
+	}
+}
+
+func TestEngineMapping(t *testing.T) {
+	cases := []struct {
+		mode   Mode
+		engine sim.Mode
+		static bool
+	}{
+		{ClientServer, sim.ClientServer, false},
+		{P2P, sim.P2P, true},
+		{CloudAssisted, sim.P2P, false},
+	}
+	for _, c := range cases {
+		engine, static, err := Engine(c.mode)
+		if err != nil || engine != c.engine || static != c.static {
+			t.Errorf("Engine(%v) = %v, %v, %v; want %v, %v", c.mode, engine, static, err, c.engine, c.static)
+		}
+	}
+	for _, m := range []Mode{0, -1, 99} {
+		if _, _, err := Engine(m); err == nil {
+			t.Errorf("Engine(%d) accepted an invalid mode", int(m))
+		}
+	}
+}

@@ -89,6 +89,15 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// Clone returns a deep copy: the flash-crowd list and the cached Zipf
+// weights are reallocated, so mutations through the copy never reach the
+// original. Scenario derivation (simulate.Scenario.With) relies on this.
+func (p Params) Clone() Params {
+	p.FlashCrowds = append([]FlashCrowd(nil), p.FlashCrowds...)
+	p.weights = append([]float64(nil), p.weights...)
+	return p
+}
+
 // ChannelWeights returns the Zipf popularity weights (summing to 1).
 func (p *Params) ChannelWeights() ([]float64, error) {
 	if p.weights == nil {

@@ -220,3 +220,28 @@ func TestUplinkForRatio(t *testing.T) {
 		t.Error("zero ratio: want error")
 	}
 }
+
+func TestCloneIsDeep(t *testing.T) {
+	p := Default()
+	if _, err := p.ChannelWeights(); err != nil { // populate the cache
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	c.FlashCrowds[0].PeakHour = 3
+	cw, err := c.ChannelWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw[0] = -1
+
+	if p.FlashCrowds[0].PeakHour == 3 {
+		t.Error("clone shares flash crowds")
+	}
+	pw, err := p.ChannelWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw[0] == -1 {
+		t.Error("clone shares the cached Zipf weights")
+	}
+}

@@ -1,8 +1,7 @@
 package cloudmedia
 
 import (
-	"fmt"
-
+	"cloudmedia/internal/config"
 	"cloudmedia/pkg/plan"
 	"cloudmedia/pkg/simulate"
 )
@@ -13,67 +12,37 @@ import (
 // arrival/transfer options only affect NewPipeline (each Option's comment
 // says which). Passing an option to a builder it does not affect is
 // harmless.
-type Option func(*settings)
-
-// settings accumulates option values; nil pointer fields mean "keep the
-// builder's default".
-type settings struct {
-	chunks          *int
-	playbackRate    *float64
-	chunkSeconds    *float64
-	vmBandwidth     *float64
-	slotsPerVM      *int
-	entryFirstChunk *float64
-
-	transfer plan.TransferMatrix
-	viewing  *[2]float64
-	rates    []float64
-
-	peerUplink  *float64
-	budgets     *[2]float64
-	vmClusters  []plan.VMCluster
-	nfsClusters []plan.NFSCluster
-
-	hours       *float64
-	seed        *int64
-	scale       *float64
-	interval    *float64
-	sample      *float64
-	uplinkRatio *float64
-	channels    *int
-	predictor   simulate.Predictor
-	scheduling  simulate.Scheduling
-	workload    *simulate.Workload
-
-	err error
-}
-
-func (s *settings) fail(format string, args ...any) {
-	if s.err == nil {
-		s.err = fmt.Errorf(format, args...)
-	}
-}
+//
+// The same options re-apply to an existing scenario through
+// Scenario.With, which derives an independent copy:
+//
+//	cheap := sc.With(cloudmedia.WithBudgets(50, 1))
+//
+// Option is one type across the module — cloudmedia.Option and
+// simulate.Option are aliases — so options built here flow into
+// pkg/simulate and pkg/sweep unchanged.
+type Option = config.Option
 
 // WithChunks sets J, the number of chunks each video is divided into.
 func WithChunks(n int) Option {
-	return func(s *settings) { s.chunks = &n }
+	return func(s *config.Settings) { s.Chunks = &n }
 }
 
 // WithPlaybackRate sets r, the streaming playback rate in bytes/s (the
 // paper uses 50e3, i.e. 400 Kbps).
 func WithPlaybackRate(bytesPerSecond float64) Option {
-	return func(s *settings) { s.playbackRate = &bytesPerSecond }
+	return func(s *config.Settings) { s.PlaybackRate = &bytesPerSecond }
 }
 
 // WithChunkSeconds sets T₀, the playback time of one chunk.
 func WithChunkSeconds(seconds float64) Option {
-	return func(s *settings) { s.chunkSeconds = &seconds }
+	return func(s *config.Settings) { s.ChunkSeconds = &seconds }
 }
 
 // WithVMBandwidth sets R, the upload bandwidth allocated to each VM in
 // bytes/s (the paper uses 10 Mbps).
 func WithVMBandwidth(bytesPerSecond float64) Option {
-	return func(s *settings) { s.vmBandwidth = &bytesPerSecond }
+	return func(s *config.Settings) { s.VMBandwidth = &bytesPerSecond }
 }
 
 // WithSlotsPerVM sets the capacity granularity of the queueing servers:
@@ -81,25 +50,25 @@ func WithVMBandwidth(bytesPerSecond float64) Option {
 // whole-VM mapping; larger values model the fractional VM shares Eqn. (7)
 // permits.
 func WithSlotsPerVM(slots int) Option {
-	return func(s *settings) { s.slotsPerVM = &slots }
+	return func(s *config.Settings) { s.SlotsPerVM = &slots }
 }
 
 // WithEntryFirstChunk sets α, the fraction of arrivals that start watching
 // at chunk 1 (the paper uses 0.7).
 func WithEntryFirstChunk(alpha float64) Option {
-	return func(s *settings) { s.entryFirstChunk = &alpha }
+	return func(s *config.Settings) { s.EntryFirstChunk = &alpha }
 }
 
 // WithTransfer sets the viewing-behaviour transfer matrix explicitly.
 // Pipeline only; Scenario derives its matrix from the workload's jump
 // parameters. Mutually exclusive with WithViewing.
 func WithTransfer(p plan.TransferMatrix) Option {
-	return func(s *settings) {
-		if s.viewing != nil {
-			s.fail("cloudmedia: WithTransfer conflicts with WithViewing")
+	return func(s *config.Settings) {
+		if s.Viewing != nil {
+			s.Fail("cloudmedia: WithTransfer conflicts with WithViewing")
 			return
 		}
-		s.transfer = p
+		s.Transfer = p
 	}
 }
 
@@ -107,12 +76,12 @@ func WithTransfer(p plan.TransferMatrix) Option {
 // per-chunk continuation probability and a jump probability (the paper
 // uses 0.9 and 1/3). Pipeline only. Mutually exclusive with WithTransfer.
 func WithViewing(cont, jump float64) Option {
-	return func(s *settings) {
-		if s.transfer != nil {
-			s.fail("cloudmedia: WithViewing conflicts with WithTransfer")
+	return func(s *config.Settings) {
+		if s.Transfer != nil {
+			s.Fail("cloudmedia: WithViewing conflicts with WithTransfer")
 			return
 		}
-		s.viewing = &[2]float64{cont, jump}
+		s.Viewing = &[2]float64{cont, jump}
 	}
 }
 
@@ -120,12 +89,12 @@ func WithViewing(cont, jump float64) Option {
 // one value per channel; a single value analyzes a single channel.
 // Pipeline only; Scenario arrivals come from the workload trace.
 func WithArrivalRate(usersPerSecond ...float64) Option {
-	return func(s *settings) {
+	return func(s *config.Settings) {
 		if len(usersPerSecond) == 0 {
-			s.fail("cloudmedia: WithArrivalRate needs at least one rate")
+			s.Fail("cloudmedia: WithArrivalRate needs at least one rate")
 			return
 		}
-		s.rates = usersPerSecond
+		s.Rates = usersPerSecond
 	}
 }
 
@@ -134,114 +103,96 @@ func WithArrivalRate(usersPerSecond ...float64) Option {
 // client-server system. Pipeline only; for a Scenario use WithUplinkRatio
 // or WithWorkload.
 func WithPeerUplink(bytesPerSecond float64) Option {
-	return func(s *settings) { s.peerUplink = &bytesPerSecond }
+	return func(s *config.Settings) { s.PeerUplink = &bytesPerSecond }
 }
 
 // WithBudgets sets the hourly rental budgets: B_M for VMs and B_S for
 // storage, in dollars (the paper uses 100 and 1).
 func WithBudgets(vmPerHour, storagePerHour float64) Option {
-	return func(s *settings) { s.budgets = &[2]float64{vmPerHour, storagePerHour} }
+	return func(s *config.Settings) { s.Budgets = &[2]float64{vmPerHour, storagePerHour} }
 }
 
 // WithVMClusters overrides the VM rental catalog (default: the paper's
 // Table II).
 func WithVMClusters(clusters ...plan.VMCluster) Option {
-	return func(s *settings) { s.vmClusters = clusters }
+	return func(s *config.Settings) { s.VMClusters = clusters }
 }
 
 // WithNFSClusters overrides the storage rental catalog (default: the
 // paper's Table III).
 func WithNFSClusters(clusters ...plan.NFSCluster) Option {
-	return func(s *settings) { s.nfsClusters = clusters }
+	return func(s *config.Settings) { s.NFSClusters = clusters }
 }
 
 // WithHours sets the simulated duration. Scenario only.
 func WithHours(hours float64) Option {
-	return func(s *settings) { s.hours = &hours }
+	return func(s *config.Settings) { s.Hours = &hours }
 }
 
 // WithSeed sets the random seed; runs are reproducible per seed. Scenario
 // only.
 func WithSeed(seed int64) Option {
-	return func(s *settings) { s.seed = &seed }
+	return func(s *config.Settings) { s.Seed = &seed }
 }
 
-// WithScale sets the workload scale: 1 targets ~250 concurrent viewers,
-// 10 approaches the paper's ~2500. Scenario only.
+// WithScale sets the workload scale: in NewScenario, 1 targets ~250
+// concurrent viewers and 10 approaches the paper's ~2500. In
+// Scenario.With the scale is relative: it multiplies the derived
+// scenario's current arrival rate, so With(WithScale(2)) doubles the
+// crowd. The scale must be positive. Scenario only.
 func WithScale(scale float64) Option {
-	return func(s *settings) { s.scale = &scale }
+	return func(s *config.Settings) {
+		if scale <= 0 {
+			s.Fail("cloudmedia: non-positive scale %v", scale)
+			return
+		}
+		s.Scale = &scale
+	}
 }
 
 // WithInterval sets the provisioning period T in seconds (default 3600,
 // the hourly rental granularity). Scenario only.
 func WithInterval(seconds float64) Option {
-	return func(s *settings) { s.interval = &seconds }
+	return func(s *config.Settings) { s.Interval = &seconds }
 }
 
 // WithSampleSeconds sets the measurement sampling period (default 900).
 // Scenario only.
 func WithSampleSeconds(seconds float64) Option {
-	return func(s *settings) { s.sample = &seconds }
+	return func(s *config.Settings) { s.Sample = &seconds }
 }
 
 // WithUplinkRatio rescales the workload's peer uplinks so their mean is
 // ratio × the streaming rate — the paper's Fig. 11 sweep. Scenario only.
 func WithUplinkRatio(ratio float64) Option {
-	return func(s *settings) { s.uplinkRatio = &ratio }
+	return func(s *config.Settings) { s.UplinkRatio = &ratio }
 }
 
 // WithChannels sets the number of video channels in the workload.
 // Scenario only; a Pipeline's channel count follows WithArrivalRate.
 func WithChannels(n int) Option {
-	return func(s *settings) { s.channels = &n }
+	return func(s *config.Settings) { s.Channels = &n }
 }
 
 // WithPredictor replaces the controller's arrival-rate forecaster (default
 // simulate.LastInterval, the paper's rule). Scenario only.
 func WithPredictor(p simulate.Predictor) Option {
-	return func(s *settings) { s.predictor = p }
+	return func(s *config.Settings) { s.Predictor = p }
 }
 
 // WithScheduling selects the P2P uplink allocation policy (default
 // simulate.RarestFirst, the paper's scheme). Scenario only.
 func WithScheduling(policy simulate.Scheduling) Option {
-	return func(s *settings) { s.scheduling = policy }
+	return func(s *config.Settings) { s.Scheduling = policy }
 }
 
 // WithWorkload replaces the whole workload trace configuration. Scenario
 // only; combine with simulate.DefaultWorkload to start from the paper's.
 func WithWorkload(w simulate.Workload) Option {
-	return func(s *settings) { s.workload = &w }
+	return func(s *config.Settings) { s.Workload = &w }
 }
 
 // apply runs the options and returns the accumulated settings.
-func apply(opts []Option) (*settings, error) {
-	s := &settings{}
-	for _, opt := range opts {
-		opt(s)
-	}
-	return s, s.err
-}
-
-// channel overlays the channel-shape options onto a base channel.
-func (s *settings) channel(base plan.Channel) plan.Channel {
-	if s.chunks != nil {
-		base.Chunks = *s.chunks
-	}
-	if s.playbackRate != nil {
-		base.PlaybackRate = *s.playbackRate
-	}
-	if s.chunkSeconds != nil {
-		base.ChunkSeconds = *s.chunkSeconds
-	}
-	if s.vmBandwidth != nil {
-		base.VMBandwidth = *s.vmBandwidth
-	}
-	if s.slotsPerVM != nil {
-		base.SlotsPerVM = *s.slotsPerVM
-	}
-	if s.entryFirstChunk != nil {
-		base.EntryFirstChunk = *s.entryFirstChunk
-	}
-	return base
+func apply(opts []Option) (*config.Settings, error) {
+	return config.Apply(opts)
 }

@@ -99,7 +99,7 @@ func NewPipeline(opts ...Option) (*Pipeline, error) {
 	}
 
 	p := &Pipeline{
-		channel:     s.channel(plan.PaperChannel()),
+		channel:     s.Channel(plan.PaperChannel()),
 		rates:       []float64{0.25},
 		vmBudget:    100,
 		storBudget:  1,
@@ -111,46 +111,46 @@ func NewPipeline(opts ...Option) (*Pipeline, error) {
 	}
 	// Copy every caller-provided slice: Pipeline promises immutability and
 	// concurrent-Run safety, so later caller mutations must not reach it.
-	if s.rates != nil {
-		p.rates = append([]float64(nil), s.rates...)
+	if s.Rates != nil {
+		p.rates = append([]float64(nil), s.Rates...)
 	}
 	for i, r := range p.rates {
 		if r < 0 {
 			return nil, fmt.Errorf("cloudmedia: negative arrival rate %v for channel %d", r, i)
 		}
 	}
-	if s.peerUplink != nil {
-		if *s.peerUplink < 0 {
-			return nil, fmt.Errorf("cloudmedia: negative peer uplink %v", *s.peerUplink)
+	if s.PeerUplink != nil {
+		if *s.PeerUplink < 0 {
+			return nil, fmt.Errorf("cloudmedia: negative peer uplink %v", *s.PeerUplink)
 		}
-		p.peerUplink = *s.peerUplink
+		p.peerUplink = *s.PeerUplink
 	}
-	if s.budgets != nil {
-		p.vmBudget, p.storBudget = s.budgets[0], s.budgets[1]
+	if s.Budgets != nil {
+		p.vmBudget, p.storBudget = s.Budgets[0], s.Budgets[1]
 	}
-	if s.vmClusters != nil {
-		p.vmClusters = append([]plan.VMCluster(nil), s.vmClusters...)
+	if s.VMClusters != nil {
+		p.vmClusters = append([]plan.VMCluster(nil), s.VMClusters...)
 	}
-	if s.nfsClusters != nil {
-		p.nfsClusters = append([]plan.NFSCluster(nil), s.nfsClusters...)
+	if s.NFSClusters != nil {
+		p.nfsClusters = append([]plan.NFSCluster(nil), s.NFSClusters...)
 	}
 
 	switch {
-	case s.transfer != nil:
-		if err := s.transfer.Validate(); err != nil {
+	case s.Transfer != nil:
+		if err := s.Transfer.Validate(); err != nil {
 			return nil, err
 		}
-		if s.transfer.Size() != p.channel.Chunks {
+		if s.Transfer.Size() != p.channel.Chunks {
 			return nil, fmt.Errorf("cloudmedia: transfer matrix size %d != chunks %d",
-				s.transfer.Size(), p.channel.Chunks)
+				s.Transfer.Size(), p.channel.Chunks)
 		}
-		m := make(plan.TransferMatrix, len(s.transfer))
-		for i, row := range s.transfer {
+		m := make(plan.TransferMatrix, len(s.Transfer))
+		for i, row := range s.Transfer {
 			m[i] = append([]float64(nil), row...)
 		}
 		p.transfer = m
-	case s.viewing != nil:
-		m, err := plan.SequentialWithJumps(p.channel.Chunks, s.viewing[0], s.viewing[1])
+	case s.Viewing != nil:
+		m, err := plan.SequentialWithJumps(p.channel.Chunks, s.Viewing[0], s.Viewing[1])
 		if err != nil {
 			return nil, err
 		}

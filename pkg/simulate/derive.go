@@ -1,0 +1,88 @@
+package simulate
+
+import (
+	"cloudmedia/internal/config"
+	"cloudmedia/pkg/plan"
+)
+
+// Option is a functional option shared with the root cloudmedia package:
+// cloudmedia.WithHours, cloudmedia.WithBudgets, and the rest apply here
+// unchanged (the two names alias one type). Scenario.With re-applies them
+// to a derived copy.
+type Option = config.Option
+
+// With returns a derived scenario: a deep copy of the receiver with the
+// options re-applied on top. The copy shares no mutable state with its
+// parent — workloads, catalogs, and every other reference field are
+// cloned — so parent and child can be mutated and run concurrently.
+// Pipeline-only options (WithArrivalRate, WithTransfer, …) are harmless
+// no-ops, matching NewScenario; WithScale is relative, multiplying the
+// current arrival rate. Option conflicts surface on the next Validate or
+// Run of the derived scenario, so derivation chains stay fluent:
+//
+//	base, _ := cloudmedia.NewScenario(cloudmedia.CloudAssisted, cloudmedia.WithHours(12))
+//	cheap := base.With(cloudmedia.WithBudgets(50, 1))
+//	crowded := cheap.With(cloudmedia.WithScale(2), cloudmedia.WithSeed(7))
+func (sc Scenario) With(opts ...Option) Scenario {
+	out := sc.Clone()
+	s, err := config.Apply(opts)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	// Scale first: it rescales the *current* workload, and an explicit
+	// WithWorkload in the same call replaces the workload wholesale (the
+	// replacement is taken as-is, matching NewScenario's precedence).
+	if s.Scale != nil {
+		out.Workload.BaseArrivalRate *= *s.Scale
+	}
+	if s.Workload != nil {
+		out.Workload = s.Workload.Clone()
+	}
+	out.Channel = s.Channel(out.Channel)
+	if s.Channels != nil {
+		out.Workload.Channels = *s.Channels
+	}
+	if s.Hours != nil {
+		out.Hours = *s.Hours
+	}
+	if s.Seed != nil {
+		out.Seed = *s.Seed
+	}
+	if s.Interval != nil {
+		out.IntervalSeconds = *s.Interval
+	}
+	if s.Sample != nil {
+		out.SampleSeconds = *s.Sample
+	}
+	if s.UplinkRatio != nil {
+		out.UplinkRatio = *s.UplinkRatio
+	}
+	if s.Budgets != nil {
+		out.VMBudget, out.StorageBudget = s.Budgets[0], s.Budgets[1]
+	}
+	if s.VMClusters != nil {
+		out.VMClusters = append([]plan.VMCluster(nil), s.VMClusters...)
+	}
+	if s.NFSClusters != nil {
+		out.NFSClusters = append([]plan.NFSCluster(nil), s.NFSClusters...)
+	}
+	if s.Predictor != nil {
+		out.Predictor = s.Predictor
+	}
+	if s.Scheduling != 0 {
+		out.Scheduling = s.Scheduling
+	}
+	return out
+}
+
+// Clone returns a deep copy of the scenario: the workload (including its
+// flash-crowd list and cached popularity weights) and the rental catalogs
+// are reallocated, so mutating the copy never reaches the original.
+// Predictor values are shared; they are stateless.
+func (sc Scenario) Clone() Scenario {
+	sc.Workload = sc.Workload.Clone()
+	sc.VMClusters = append([]plan.VMCluster(nil), sc.VMClusters...)
+	sc.NFSClusters = append([]plan.NFSCluster(nil), sc.NFSClusters...)
+	return sc
+}

@@ -1,0 +1,204 @@
+package simulate_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"cloudmedia"
+	"cloudmedia/pkg/plan"
+	"cloudmedia/pkg/simulate"
+)
+
+func TestWithDerivesIndependentScenario(t *testing.T) {
+	parent, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted,
+		cloudmedia.WithHours(2),
+		cloudmedia.WithVMClusters(plan.DefaultVMClusters()...),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCrowds := len(parent.Workload.FlashCrowds)
+	wantRate := parent.Workload.BaseArrivalRate
+	wantBudget := parent.VMBudget
+	wantCluster := parent.VMClusters[0]
+
+	child := parent.With(
+		cloudmedia.WithBudgets(37, 2),
+		cloudmedia.WithSeed(7),
+		cloudmedia.WithScale(2),
+	)
+	if child.VMBudget != 37 || child.StorageBudget != 2 || child.Seed != 7 {
+		t.Errorf("child = budget %v/%v seed %d, want 37/2/7", child.VMBudget, child.StorageBudget, child.Seed)
+	}
+	if child.Workload.BaseArrivalRate != 2*wantRate {
+		t.Errorf("child rate = %v, want %v (relative scale)", child.Workload.BaseArrivalRate, 2*wantRate)
+	}
+
+	// Mutate every reference field of the child; the parent must not move.
+	child.Workload.FlashCrowds = append(child.Workload.FlashCrowds,
+		simulate.FlashCrowd{PeakHour: 3, WidthHours: 1, Amplitude: 9})
+	child.Workload.FlashCrowds[0].Amplitude = 99
+	child.VMClusters[0].PricePerHour = 1e9
+	child.Mode = simulate.P2P
+	child.Hours = 1e6
+
+	if len(parent.Workload.FlashCrowds) != wantCrowds {
+		t.Errorf("parent flash crowds grew to %d", len(parent.Workload.FlashCrowds))
+	}
+	if parent.Workload.FlashCrowds[0].Amplitude == 99 {
+		t.Error("child crowd mutation reached the parent")
+	}
+	if parent.VMClusters[0] != wantCluster {
+		t.Error("child catalog mutation reached the parent")
+	}
+	if parent.VMBudget != wantBudget || parent.Mode != cloudmedia.CloudAssisted || parent.Hours != 2 {
+		t.Errorf("parent scalars mutated: %+v", parent)
+	}
+}
+
+// TestWithConcurrentRuns runs a parent and two derived children at the
+// same time; under -race this proves derivation shares no mutable state.
+func TestWithConcurrentRuns(t *testing.T) {
+	parent, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted, cloudmedia.WithHours(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := []simulate.Scenario{
+		parent,
+		parent.With(cloudmedia.WithBudgets(50, 1), cloudmedia.WithSeed(7)),
+		parent.With(cloudmedia.WithUplinkRatio(1.2), cloudmedia.WithChannels(4)),
+	}
+	var wg sync.WaitGroup
+	for i, sc := range scenarios {
+		wg.Add(1)
+		go func(i int, sc simulate.Scenario) {
+			defer wg.Done()
+			rep, err := sc.Run(context.Background())
+			if err != nil {
+				t.Errorf("scenario %d: %v", i, err)
+				return
+			}
+			if rep.Hours != 1 {
+				t.Errorf("scenario %d: hours = %v", i, rep.Hours)
+			}
+		}(i, sc)
+	}
+	wg.Wait()
+}
+
+func TestWithChainsAndValidates(t *testing.T) {
+	base, err := cloudmedia.NewScenario(cloudmedia.ClientServer, cloudmedia.WithHours(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived := base.With(cloudmedia.WithInterval(1800)).With(cloudmedia.WithSampleSeconds(600))
+	if derived.IntervalSeconds != 1800 || derived.SampleSeconds != 600 || derived.Hours != 4 {
+		t.Errorf("chained derivation lost fields: %+v", derived)
+	}
+	if err := derived.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithOptionConflictSurfacesOnValidate(t *testing.T) {
+	base, err := cloudmedia.NewScenario(cloudmedia.ClientServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := base.With(cloudmedia.WithArrivalRate()) // empty: option error
+	err = bad.Validate()
+	if err == nil {
+		t.Fatal("conflicting options passed Validate")
+	}
+	if !errors.Is(err, simulate.ErrInvalidScenario) {
+		t.Errorf("err = %v, want errors.Is ErrInvalidScenario", err)
+	}
+	if _, err := bad.Run(context.Background()); !errors.Is(err, simulate.ErrInvalidScenario) {
+		t.Errorf("Run err = %v, want errors.Is ErrInvalidScenario", err)
+	}
+}
+
+func TestWithRejectsNonPositiveScale(t *testing.T) {
+	// The seed API clamped scale <= 0 to 1; the option now fails loudly
+	// instead of silently producing a zero- or negative-arrival workload.
+	for _, scale := range []float64{0, -3} {
+		if _, err := cloudmedia.NewScenario(cloudmedia.ClientServer, cloudmedia.WithScale(scale)); err == nil {
+			t.Errorf("NewScenario accepted scale %v", scale)
+		}
+		base, err := cloudmedia.NewScenario(cloudmedia.ClientServer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad := base.With(cloudmedia.WithScale(scale))
+		if err := bad.Validate(); !errors.Is(err, simulate.ErrInvalidScenario) {
+			t.Errorf("With(WithScale(%v)).Validate() = %v, want ErrInvalidScenario", scale, err)
+		}
+	}
+}
+
+func TestValidateCoversWorkloadAndChannel(t *testing.T) {
+	sc := simulate.Default(simulate.ClientServer, 1)
+	sc.Workload.BaseArrivalRate = -1
+	if err := sc.Validate(); !errors.Is(err, simulate.ErrInvalidScenario) {
+		t.Errorf("negative arrival rate: Validate() = %v, want ErrInvalidScenario", err)
+	}
+	sc = simulate.Default(simulate.ClientServer, 1)
+	sc.Channel.Chunks = 0
+	if err := sc.Validate(); !errors.Is(err, simulate.ErrInvalidScenario) {
+		t.Errorf("zero chunks: Validate() = %v, want ErrInvalidScenario", err)
+	}
+}
+
+func TestValidateReturnsTypedError(t *testing.T) {
+	cases := map[string]simulate.Scenario{}
+	sc := simulate.Default(simulate.ClientServer, 1)
+	sc.Hours = 0
+	cases["zero hours"] = sc
+	sc = simulate.Default(simulate.ClientServer, 1)
+	sc.IntervalSeconds = -1
+	cases["negative interval"] = sc
+	sc = simulate.Default(simulate.ClientServer, 1)
+	sc.SampleSeconds = -1
+	cases["negative sample"] = sc
+	cases["invalid mode"] = simulate.Default(simulate.Mode(42), 1)
+
+	for name, sc := range cases {
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, simulate.ErrInvalidScenario) {
+			t.Errorf("%s: err %v not errors.Is ErrInvalidScenario", name, err)
+		}
+	}
+}
+
+func TestModeStringInvalidValues(t *testing.T) {
+	for _, m := range []simulate.Mode{0, -1, 42} {
+		s := m.String()
+		if s == "" {
+			t.Errorf("Mode(%d).String() empty", int(m))
+		}
+		switch s {
+		case "client-server", "p2p", "cloud-assisted":
+			t.Errorf("Mode(%d).String() = %q collides with a valid mode", int(m), s)
+		}
+	}
+}
+
+func TestCloneDeepCopies(t *testing.T) {
+	orig := simulate.Default(simulate.P2P, 1)
+	orig.VMClusters = plan.DefaultVMClusters()
+	cp := orig.Clone()
+	cp.Workload.FlashCrowds[0].PeakHour = 23
+	cp.VMClusters[0].MaxVMs = 1
+	if orig.Workload.FlashCrowds[0].PeakHour == 23 {
+		t.Error("clone shares flash crowds")
+	}
+	if orig.VMClusters[0].MaxVMs == 1 {
+		t.Error("clone shares VM catalog")
+	}
+}

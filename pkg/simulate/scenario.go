@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"errors"
 	"fmt"
 
 	"cloudmedia/internal/experiments"
@@ -8,8 +9,16 @@ import (
 	"cloudmedia/pkg/plan"
 )
 
+// ErrInvalidScenario is wrapped by every scenario-validation failure —
+// an invalid mode, a non-positive duration, a negative period, or an
+// option conflict recorded during With. Detect it with errors.Is:
+//
+//	if _, err := sc.Run(ctx); errors.Is(err, simulate.ErrInvalidScenario) { … }
+var ErrInvalidScenario = errors.New("simulate: invalid scenario")
+
 // Scenario bundles every knob a simulation run needs. The zero value is
-// invalid; start from Default and override fields.
+// invalid; start from Default and override fields, or derive a variant
+// from an existing scenario with With.
 type Scenario struct {
 	// Mode is the architecture under test.
 	Mode Mode
@@ -43,6 +52,10 @@ type Scenario struct {
 	// the paper's Table II/III defaults.
 	VMClusters  []plan.VMCluster
 	NFSClusters []plan.NFSCluster
+
+	// err records an option conflict observed during With; Validate and
+	// Run surface it wrapped in ErrInvalidScenario.
+	err error
 }
 
 // Default returns the reduced-scale counterpart of the paper's setup for
@@ -65,7 +78,7 @@ func Default(mode Mode, scale float64) Scenario {
 }
 
 // Validate reports the first violated scenario invariant without running
-// anything.
+// anything. Every failure wraps ErrInvalidScenario.
 func (sc Scenario) Validate() error {
 	if _, err := sc.internal(); err != nil {
 		return err
@@ -76,18 +89,27 @@ func (sc Scenario) Validate() error {
 // internal converts the public scenario into the experiment harness's
 // form, applying the mode mapping.
 func (sc Scenario) internal() (experiments.Scenario, error) {
+	if sc.err != nil {
+		return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, sc.err)
+	}
 	engineMode, static, err := modes.Engine(sc.Mode)
 	if err != nil {
-		return experiments.Scenario{}, fmt.Errorf("simulate: %w", err)
+		return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
 	}
 	if sc.Hours <= 0 {
-		return experiments.Scenario{}, fmt.Errorf("simulate: non-positive duration %v h", sc.Hours)
+		return experiments.Scenario{}, fmt.Errorf("%w: non-positive duration %v h", ErrInvalidScenario, sc.Hours)
 	}
 	if sc.IntervalSeconds < 0 {
-		return experiments.Scenario{}, fmt.Errorf("simulate: negative provisioning interval %v s", sc.IntervalSeconds)
+		return experiments.Scenario{}, fmt.Errorf("%w: negative provisioning interval %v s", ErrInvalidScenario, sc.IntervalSeconds)
 	}
 	if sc.SampleSeconds < 0 {
-		return experiments.Scenario{}, fmt.Errorf("simulate: negative sampling period %v s", sc.SampleSeconds)
+		return experiments.Scenario{}, fmt.Errorf("%w: negative sampling period %v s", ErrInvalidScenario, sc.SampleSeconds)
+	}
+	if err := sc.Channel.Validate(); err != nil {
+		return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
+	}
+	if err := sc.Workload.Validate(); err != nil {
+		return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
 	}
 	out := experiments.Scenario{
 		Mode:               engineMode,

@@ -1,0 +1,117 @@
+package sweep
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Stats is a streaming mean/min/max reduction of one metric.
+type Stats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+
+	sum float64
+}
+
+func (s *Stats) add(v float64) {
+	if s.Count == 0 || v < s.Min {
+		s.Min = v
+	}
+	if s.Count == 0 || v > s.Max {
+		s.Max = v
+	}
+	s.Count++
+	s.sum += v
+	s.Mean = s.sum / float64(s.Count)
+}
+
+// Aggregate is the reduction of every successful cell sharing one axis
+// value: streaming quality and total dollar cost (VM + storage), each as
+// mean/min/max across the other axes.
+type Aggregate struct {
+	Axis    string `json:"axis"`
+	Label   string `json:"label"`
+	Runs    int    `json:"runs"`
+	Errors  int    `json:"errors"`
+	Quality Stats  `json:"quality"`
+	CostUSD Stats  `json:"cost_usd"`
+}
+
+// Aggregator reduces results incrementally — feed it from a Stream loop to
+// keep only aggregates in memory for very large sweeps. Add is safe for
+// concurrent use.
+type Aggregator struct {
+	mu     sync.Mutex
+	groups map[Coord]*Aggregate
+}
+
+// NewAggregator returns an empty streaming aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{groups: make(map[Coord]*Aggregate)}
+}
+
+// Add folds one result into every axis-value group it belongs to. Failed
+// cells count toward Errors but not toward the metric stats.
+func (a *Aggregator) Add(res Result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, coord := range res.Cell.Coords {
+		agg := a.groups[coord]
+		if agg == nil {
+			agg = &Aggregate{Axis: coord.Axis, Label: coord.Label}
+			a.groups[coord] = agg
+		}
+		agg.Runs++
+		if res.Failed() || res.Report == nil {
+			agg.Errors++
+			continue
+		}
+		agg.Quality.add(res.Report.MeanQuality)
+		agg.CostUSD.add(res.Report.VMCostTotal + res.Report.StorageCostTotal)
+	}
+}
+
+// Aggregates returns the groups sorted by axis name, then by label with
+// numeric labels in numeric order — a deterministic order regardless of
+// the completion order the results arrived in.
+func (a *Aggregator) Aggregates() []Aggregate {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Aggregate, 0, len(a.groups))
+	for _, agg := range a.groups {
+		out = append(out, *agg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Axis != out[j].Axis {
+			return out[i].Axis < out[j].Axis
+		}
+		return labelLess(out[i].Label, out[j].Label)
+	})
+	return out
+}
+
+// Reduce aggregates a completed sweep in one call.
+func Reduce(results []Result) []Aggregate {
+	a := NewAggregator()
+	for _, res := range results {
+		a.Add(res)
+	}
+	return a.Aggregates()
+}
+
+// labelLess orders numeric labels numerically ("50" before "100") and
+// everything else lexically.
+func labelLess(a, b string) bool {
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA == nil && errB == nil {
+		if fa != fb {
+			return fa < fb
+		}
+		return a < b
+	}
+	return a < b
+}

@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV writes one row per cell, ordered by cell index: the cell
+// number, one column per axis, the derived seed, and the run's headline
+// metrics. The schema is a stable contract (EXPERIMENTS.md documents it
+// and a golden test pins it):
+//
+//	cell,<axis>...,seed,hours,intervals,mean_quality,mean_reserved_mbps,vm_cost_usd,storage_cost_usd,final_users,error
+//
+// Because cell seeds are a pure function of the grid, the bytes written
+// are identical regardless of the Runner's worker count.
+func WriteCSV(w io.Writer, results []Result) error {
+	ordered := append([]Result(nil), results...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Cell.Index < ordered[j].Cell.Index })
+
+	var axes []string
+	if len(ordered) > 0 {
+		for _, c := range ordered[0].Cell.Coords {
+			axes = append(axes, c.Axis)
+		}
+	}
+	header := append([]string{"cell"}, axes...)
+	header = append(header, "seed", "hours", "intervals", "mean_quality",
+		"mean_reserved_mbps", "vm_cost_usd", "storage_cost_usd", "final_users", "error")
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, res := range ordered {
+		if len(res.Cell.Coords) != len(axes) {
+			return fmt.Errorf("sweep: cell %d has %d coords, header has %d axes",
+				res.Cell.Index, len(res.Cell.Coords), len(axes))
+		}
+		row := []string{strconv.Itoa(res.Cell.Index)}
+		for i, c := range res.Cell.Coords {
+			if c.Axis != axes[i] {
+				return fmt.Errorf("sweep: cell %d axis %q does not match header axis %q",
+					res.Cell.Index, c.Axis, axes[i])
+			}
+			row = append(row, c.Label)
+		}
+		row = append(row, strconv.FormatInt(res.Cell.Seed, 10))
+		if res.Report != nil {
+			row = append(row,
+				formatFloat(res.Report.Hours),
+				strconv.Itoa(res.Report.Intervals),
+				formatFloat(res.Report.MeanQuality),
+				formatFloat(res.Report.MeanReservedMbps),
+				formatFloat(res.Report.VMCostTotal),
+				formatFloat(res.Report.StorageCostTotal),
+				strconv.Itoa(res.Report.FinalUsers),
+			)
+		} else {
+			row = append(row, "", "", "", "", "", "", "")
+		}
+		row = append(row, res.Err)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAggregateCSV writes the per-axis-value reduction, one row per axis
+// value:
+//
+//	axis,value,runs,errors,mean_quality,min_quality,max_quality,mean_cost_usd,min_cost_usd,max_cost_usd
+func WriteAggregateCSV(w io.Writer, aggs []Aggregate) error {
+	cw := csv.NewWriter(w)
+	header := []string{"axis", "value", "runs", "errors", "mean_quality", "min_quality",
+		"max_quality", "mean_cost_usd", "min_cost_usd", "max_cost_usd"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, a := range aggs {
+		row := []string{
+			a.Axis, a.Label,
+			strconv.Itoa(a.Runs), strconv.Itoa(a.Errors),
+			formatFloat(a.Quality.Mean), formatFloat(a.Quality.Min), formatFloat(a.Quality.Max),
+			formatFloat(a.CostUSD.Mean), formatFloat(a.CostUSD.Min), formatFloat(a.CostUSD.Max),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatFloat is the canonical float spelling of the CSV schema: shortest
+// round-trip representation, so output is byte-stable for identical runs.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,60 @@
+package sweep_test
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloudmedia/pkg/simulate"
+	"cloudmedia/pkg/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// TestWriteCSVGolden pins the sweep CSV output byte for byte, like the
+// quickstart golden: the schema is a stable contract that downstream
+// plotting scripts parse, and per-cell seeds make the content fully
+// deterministic. Refresh with `go test ./pkg/sweep -update`.
+func TestWriteCSVGolden(t *testing.T) {
+	base := simulate.Default(simulate.ClientServer, 1)
+	base.Hours = 1
+	grid := sweep.Grid{
+		Base: base,
+		Axes: []sweep.Axis{
+			sweep.Modes(simulate.ClientServer, simulate.CloudAssisted),
+			sweep.VMBudgets(50, 100),
+		},
+	}
+	results, err := sweep.Runner{Workers: 4}.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sweep.WriteCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('\n')
+	if err := sweep.WriteAggregateCSV(&buf, sweep.Reduce(results)); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "sweep.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("sweep CSV drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

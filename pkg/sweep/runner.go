@@ -1,0 +1,149 @@
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"cloudmedia/pkg/simulate"
+)
+
+// Result is the outcome of one cell: the cell identity, the run's report,
+// and the error (if any) as a string so the type round-trips through
+// encoding/json. A per-cell failure does not abort the sweep; check Err.
+type Result struct {
+	Cell   Cell             `json:"cell"`
+	Report *simulate.Report `json:"report,omitempty"`
+	Err    string           `json:"error,omitempty"`
+}
+
+// Failed reports whether the cell's run returned an error (including
+// cancellation mid-run, in which case Report still covers the simulated
+// prefix).
+func (r Result) Failed() bool { return r.Err != "" }
+
+// Runner executes a Grid on a bounded worker pool.
+type Runner struct {
+	// Workers bounds the concurrently running cells; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// RunOptions are passed to every cell's Run call — e.g.
+	// simulate.KeepHistory() to retain per-interval records in each
+	// Report. Callbacks fire concurrently from worker goroutines.
+	RunOptions []simulate.RunOption
+}
+
+// Run expands the grid and executes every cell, returning results ordered
+// by cell index. Cells whose run fails carry the error in Result.Err; the
+// sweep itself only errors on an invalid grid or a cancelled context. On
+// cancellation Run stops dispatching new cells, waits for in-flight cells
+// (each observes the same context and returns promptly), and returns the
+// partial results gathered so far alongside ctx.Err().
+func (r Runner) Run(ctx context.Context, g Grid) ([]Result, error) {
+	return r.run(ctx, g, nil)
+}
+
+// Stream runs the sweep on background goroutines and delivers each cell's
+// Result on the returned channel as soon as it completes (completion
+// order, not cell order). The channel closes when the sweep finishes or
+// the context is cancelled. The returned wait function blocks until
+// completion and yields the index-ordered results; it must be called to
+// collect the sweep's outcome, and it drains undelivered results so a
+// consumer that exits its receive loop early cannot deadlock the pool.
+func (r Runner) Stream(ctx context.Context, g Grid) (<-chan Result, func() ([]Result, error)) {
+	out := make(chan Result)
+	type outcome struct {
+		results []Result
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer close(out)
+		results, err := r.run(ctx, g, func(res Result) {
+			select {
+			case out <- res:
+			case <-ctx.Done():
+			}
+		})
+		done <- outcome{results, err}
+	}()
+	return out, func() ([]Result, error) {
+		go func() {
+			for range out {
+			}
+		}()
+		o := <-done
+		return o.results, o.err
+	}
+}
+
+// run is the shared pool: a job channel feeding Workers goroutines, each
+// deriving and running one cell at a time. emit (optional) observes every
+// result as it completes.
+func (r Runner) run(ctx context.Context, g Grid, emit func(Result)) ([]Result, error) {
+	cells, err := g.Cells()
+	if err != nil {
+		return nil, err
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	jobs := make(chan Cell)
+	go func() {
+		defer close(jobs)
+		for _, cell := range cells {
+			select {
+			case jobs <- cell:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Each worker writes only its own cells' slots, so the slice needs no
+	// lock; slots left nil (never dispatched) are compacted below.
+	slots := make([]*Result, len(cells))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cell := range jobs {
+				res := r.runCell(ctx, g, cell)
+				slots[cell.Index] = &res
+				if emit != nil {
+					emit(res)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	results := make([]Result, 0, len(cells))
+	for _, res := range slots {
+		if res != nil {
+			results = append(results, *res)
+		}
+	}
+	return results, ctx.Err()
+}
+
+func (r Runner) runCell(ctx context.Context, g Grid, cell Cell) Result {
+	res := Result{Cell: cell}
+	sc, err := g.Scenario(cell)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	rep, err := sc.Run(ctx, r.RunOptions...)
+	res.Report = rep
+	if err != nil {
+		res.Err = err.Error()
+	}
+	return res
+}

@@ -1,0 +1,279 @@
+// Package sweep runs families of CloudMedia scenarios concurrently: the
+// cost-vs-budget, quality-vs-uplink, and mode-vs-mode run families behind
+// the paper's Figs. 4–11 are all parameter sweeps, and this package is the
+// declarative harness for them.
+//
+// Declare a Grid — a base Scenario plus one Axis per swept knob — and hand
+// it to a Runner, which expands the cross product into cells, derives one
+// independent scenario per cell (deterministic per-cell seed, no shared
+// mutable state), and executes them on a bounded worker pool with context
+// cancellation:
+//
+//	base, _ := cloudmedia.NewScenario(cloudmedia.ClientServer, cloudmedia.WithHours(6))
+//	grid := sweep.Grid{Base: base, Axes: []sweep.Axis{
+//		sweep.Modes(simulate.ClientServer, simulate.P2P, simulate.CloudAssisted),
+//		sweep.VMBudgets(50, 100, 200),
+//	}}
+//	results, err := sweep.Runner{Workers: 4}.Run(ctx, grid)
+//	sweep.WriteCSV(os.Stdout, results)
+//
+// Results stream through Runner.Stream as cells finish, aggregate per axis
+// value through Reduce or an Aggregator, and serialize through WriteCSV or
+// encoding/json. Output is identical regardless of worker count: cell
+// seeds depend only on the grid, and emitters order rows by cell index.
+//
+// The package builds purely on pkg/simulate — the public facade — so
+// anything expressible as a Scenario is sweepable.
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"cloudmedia/pkg/simulate"
+)
+
+// Point is one value along an Axis: a label for reports plus the mutation
+// it applies to the derived scenario of every cell on this point.
+type Point struct {
+	// Label identifies the point in CSV/JSON output; unique per axis.
+	Label string
+	// Set applies the point's value to a derived scenario. The scenario is
+	// already a deep copy, so Set may mutate it freely.
+	Set func(*simulate.Scenario)
+}
+
+// Axis is one swept knob: a name and the points it takes. Axis values are
+// plain scenario mutations, so any Scenario field — or any root-package
+// functional option via Scenario.With — can be swept.
+type Axis struct {
+	Name   string
+	Points []Point
+}
+
+// NewAxis builds a custom axis. The helper constructors below cover the
+// common knobs; reach for NewAxis for anything else:
+//
+//	sweep.NewAxis("interval", sweep.Point{Label: "30m", Set: func(sc *simulate.Scenario) {
+//		sc.IntervalSeconds = 1800
+//	}})
+func NewAxis(name string, points ...Point) Axis {
+	return Axis{Name: name, Points: points}
+}
+
+// Modes sweeps the architecture under test; labels are Mode.String().
+func Modes(modes ...simulate.Mode) Axis {
+	ax := Axis{Name: "mode"}
+	for _, m := range modes {
+		m := m
+		ax.Points = append(ax.Points, Point{
+			Label: m.String(),
+			Set:   func(sc *simulate.Scenario) { sc.Mode = m },
+		})
+	}
+	return ax
+}
+
+// VMBudgets sweeps B_M, the hourly VM rental budget in dollars.
+func VMBudgets(dollarsPerHour ...float64) Axis {
+	return floatAxis("vm_budget", dollarsPerHour, func(sc *simulate.Scenario, v float64) {
+		sc.VMBudget = v
+	})
+}
+
+// StorageBudgets sweeps B_S, the hourly storage rental budget in dollars.
+func StorageBudgets(dollarsPerHour ...float64) Axis {
+	return floatAxis("storage_budget", dollarsPerHour, func(sc *simulate.Scenario, v float64) {
+		sc.StorageBudget = v
+	})
+}
+
+// UplinkRatios sweeps the mean peer uplink as a multiple of the streaming
+// rate — the paper's Fig. 11 axis.
+func UplinkRatios(ratios ...float64) Axis {
+	return floatAxis("uplink_ratio", ratios, func(sc *simulate.Scenario, v float64) {
+		sc.UplinkRatio = v
+	})
+}
+
+// Chunks sweeps J, the number of chunks each video is divided into.
+func Chunks(counts ...int) Axis {
+	return intAxis("chunks", counts, func(sc *simulate.Scenario, v int) {
+		sc.Channel.Chunks = v
+	})
+}
+
+// Channels sweeps the number of video channels in the workload.
+func Channels(counts ...int) Axis {
+	return intAxis("channels", counts, func(sc *simulate.Scenario, v int) {
+		sc.Workload.Channels = v
+	})
+}
+
+// Predictors sweeps the controller's arrival-rate forecaster. Points are
+// ordered by name so grids are deterministic.
+func Predictors(named map[string]simulate.Predictor) Axis {
+	names := make([]string, 0, len(named))
+	for name := range named {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ax := Axis{Name: "predictor"}
+	for _, name := range names {
+		p := named[name]
+		ax.Points = append(ax.Points, Point{
+			Label: name,
+			Set:   func(sc *simulate.Scenario) { sc.Predictor = p },
+		})
+	}
+	return ax
+}
+
+func floatAxis(name string, values []float64, set func(*simulate.Scenario, float64)) Axis {
+	ax := Axis{Name: name}
+	for _, v := range values {
+		v := v
+		ax.Points = append(ax.Points, Point{
+			Label: strconv.FormatFloat(v, 'g', -1, 64),
+			Set:   func(sc *simulate.Scenario) { set(sc, v) },
+		})
+	}
+	return ax
+}
+
+func intAxis(name string, values []int, set func(*simulate.Scenario, int)) Axis {
+	ax := Axis{Name: name}
+	for _, v := range values {
+		v := v
+		ax.Points = append(ax.Points, Point{
+			Label: strconv.Itoa(v),
+			Set:   func(sc *simulate.Scenario) { set(sc, v) },
+		})
+	}
+	return ax
+}
+
+// Grid is a declarative scenario family: the cross product of the axes
+// applied over the base scenario. The zero value is invalid; Base must be
+// a valid Scenario (cloudmedia.NewScenario or simulate.Default).
+type Grid struct {
+	Base simulate.Scenario
+	Axes []Axis
+}
+
+// Coord is one axis position of a cell.
+type Coord struct {
+	Axis  string `json:"axis"`
+	Label string `json:"label"`
+}
+
+// Cell is one point of the expanded grid. Index is the row-major position
+// (last axis fastest) and the canonical output order; Seed is the derived
+// scenario's random seed, a pure function of the grid's base seed and the
+// cell's coordinates, so results do not depend on worker count or
+// execution order.
+type Cell struct {
+	Index  int     `json:"index"`
+	Coords []Coord `json:"coords,omitempty"`
+	Seed   int64   `json:"seed"`
+}
+
+// Cells expands the grid into its cross product in row-major order. A grid
+// with no axes has exactly one cell: the base scenario.
+func (g Grid) Cells() ([]Cell, error) {
+	total := 1
+	seenAxis := make(map[string]bool, len(g.Axes))
+	for i, ax := range g.Axes {
+		if ax.Name == "" {
+			return nil, fmt.Errorf("sweep: axis %d has no name", i)
+		}
+		if seenAxis[ax.Name] {
+			return nil, fmt.Errorf("sweep: duplicate axis %q", ax.Name)
+		}
+		seenAxis[ax.Name] = true
+		if len(ax.Points) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q has no points", ax.Name)
+		}
+		seenLabel := make(map[string]bool, len(ax.Points))
+		for j, pt := range ax.Points {
+			if pt.Set == nil {
+				return nil, fmt.Errorf("sweep: axis %q point %d has nil Set", ax.Name, j)
+			}
+			if seenLabel[pt.Label] {
+				return nil, fmt.Errorf("sweep: axis %q has duplicate label %q", ax.Name, pt.Label)
+			}
+			seenLabel[pt.Label] = true
+		}
+		total *= len(ax.Points)
+	}
+
+	cells := make([]Cell, 0, total)
+	idx := make([]int, len(g.Axes))
+	for i := 0; i < total; i++ {
+		cell := Cell{Index: i}
+		for a, ax := range g.Axes {
+			cell.Coords = append(cell.Coords, Coord{Axis: ax.Name, Label: ax.Points[idx[a]].Label})
+		}
+		cell.Seed = cellSeed(g.Base.Seed, cell.Coords)
+		cells = append(cells, cell)
+		for a := len(idx) - 1; a >= 0; a-- {
+			idx[a]++
+			if idx[a] < len(g.Axes[a].Points) {
+				break
+			}
+			idx[a] = 0
+		}
+	}
+	return cells, nil
+}
+
+// Scenario derives the cell's scenario: a deep copy of the base with every
+// axis point applied and the cell's deterministic seed installed.
+func (g Grid) Scenario(c Cell) (simulate.Scenario, error) {
+	sc := g.Base.Clone()
+	for _, coord := range c.Coords {
+		pt, err := g.point(coord)
+		if err != nil {
+			return simulate.Scenario{}, err
+		}
+		pt.Set(&sc)
+	}
+	sc.Seed = c.Seed
+	return sc, nil
+}
+
+func (g Grid) point(coord Coord) (Point, error) {
+	for _, ax := range g.Axes {
+		if ax.Name != coord.Axis {
+			continue
+		}
+		for _, pt := range ax.Points {
+			if pt.Label == coord.Label {
+				return pt, nil
+			}
+		}
+		return Point{}, fmt.Errorf("sweep: axis %q has no point %q", coord.Axis, coord.Label)
+	}
+	return Point{}, fmt.Errorf("sweep: no axis %q", coord.Axis)
+}
+
+// cellSeed derives a per-cell seed from the base seed and the cell's
+// coordinates with FNV-1a, so each cell's randomness is independent yet
+// reproducible from the grid declaration alone.
+func cellSeed(base int64, coords []Coord) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(base) >> (8 * i))
+	}
+	h.Write(buf[:])
+	for _, c := range coords {
+		h.Write([]byte(c.Axis))
+		h.Write([]byte{'='})
+		h.Write([]byte(c.Label))
+		h.Write([]byte{0})
+	}
+	return int64(h.Sum64())
+}

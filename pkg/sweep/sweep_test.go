@@ -1,0 +1,307 @@
+package sweep_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudmedia/pkg/simulate"
+	"cloudmedia/pkg/sweep"
+)
+
+func shortBase() simulate.Scenario {
+	sc := simulate.Default(simulate.ClientServer, 1)
+	sc.Hours = 1
+	sc.SampleSeconds = 900
+	return sc
+}
+
+func modeBudgetGrid() sweep.Grid {
+	return sweep.Grid{
+		Base: shortBase(),
+		Axes: []sweep.Axis{
+			sweep.Modes(simulate.ClientServer, simulate.P2P, simulate.CloudAssisted),
+			sweep.VMBudgets(50, 100, 200),
+		},
+	}
+}
+
+func TestGridCells(t *testing.T) {
+	g := modeBudgetGrid()
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 9 {
+		t.Fatalf("cells = %d, want 9", len(cells))
+	}
+	// Row-major: last axis fastest.
+	want := [][2]string{
+		{"client-server", "50"}, {"client-server", "100"}, {"client-server", "200"},
+		{"p2p", "50"}, {"p2p", "100"}, {"p2p", "200"},
+		{"cloud-assisted", "50"}, {"cloud-assisted", "100"}, {"cloud-assisted", "200"},
+	}
+	seeds := map[int64]bool{}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d: index %d", i, c.Index)
+		}
+		if c.Coords[0].Label != want[i][0] || c.Coords[1].Label != want[i][1] {
+			t.Errorf("cell %d: coords %v, want %v", i, c.Coords, want[i])
+		}
+		seeds[c.Seed] = true
+	}
+	if len(seeds) != 9 {
+		t.Errorf("per-cell seeds not distinct: %d unique of 9", len(seeds))
+	}
+
+	// Seeds are a pure function of the grid: re-expansion yields the same.
+	again, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if cells[i].Seed != again[i].Seed {
+			t.Errorf("cell %d seed not deterministic: %d vs %d", i, cells[i].Seed, again[i].Seed)
+		}
+	}
+}
+
+func TestGridNoAxesIsSingleCell(t *testing.T) {
+	cells, err := sweep.Grid{Base: shortBase()}.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || len(cells[0].Coords) != 0 {
+		t.Fatalf("cells = %+v, want one coordless cell", cells)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	base := shortBase()
+	for name, axes := range map[string][]sweep.Axis{
+		"unnamed axis":    {sweep.NewAxis("", sweep.Point{Label: "x", Set: func(*simulate.Scenario) {}})},
+		"duplicate axis":  {sweep.VMBudgets(1), sweep.VMBudgets(2)},
+		"empty axis":      {sweep.NewAxis("empty")},
+		"duplicate label": {sweep.VMBudgets(1, 1)},
+		"nil set":         {sweep.NewAxis("broken", sweep.Point{Label: "x"})},
+	} {
+		if _, err := (sweep.Grid{Base: base, Axes: axes}).Cells(); err == nil {
+			t.Errorf("%s: Cells() accepted an invalid grid", name)
+		}
+	}
+}
+
+func TestGridScenarioDerivation(t *testing.T) {
+	g := modeBudgetGrid()
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := g.Scenario(cells[3]) // p2p × $50
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Mode != simulate.P2P {
+		t.Errorf("mode = %v, want p2p", sc.Mode)
+	}
+	if sc.VMBudget != 50 {
+		t.Errorf("VM budget = %v, want 50", sc.VMBudget)
+	}
+	if sc.Seed != cells[3].Seed {
+		t.Errorf("seed = %d, want %d", sc.Seed, cells[3].Seed)
+	}
+	// Derivation never touches the base.
+	if g.Base.Mode != simulate.ClientServer || g.Base.VMBudget != 100 {
+		t.Errorf("base mutated: %+v", g.Base)
+	}
+}
+
+// TestRunDeterministicAcrossWorkerCounts is the core contract: the same
+// grid produces byte-identical CSV regardless of parallelism.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	render := func(workers int) string {
+		results, err := sweep.Runner{Workers: workers}.Run(context.Background(), modeBudgetGrid())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sweep.WriteCSV(&buf, results); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if serial != parallel {
+		t.Errorf("CSV differs between 1 and 4 workers:\n--- 1 ---\n%s\n--- 4 ---\n%s", serial, parallel)
+	}
+	if n := strings.Count(serial, "\n"); n != 10 {
+		t.Errorf("CSV lines = %d, want 10 (header + 9 cells)", n)
+	}
+}
+
+func TestRunReportsPerCellErrors(t *testing.T) {
+	g := sweep.Grid{
+		Base: shortBase(),
+		Axes: []sweep.Axis{sweep.NewAxis("hours",
+			sweep.Point{Label: "ok", Set: func(sc *simulate.Scenario) { sc.Hours = 1 }},
+			sweep.Point{Label: "bad", Set: func(sc *simulate.Scenario) { sc.Hours = -1 }},
+		)},
+	}
+	results, err := sweep.Runner{Workers: 2}.Run(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	if results[0].Failed() {
+		t.Errorf("good cell failed: %s", results[0].Err)
+	}
+	if !results[1].Failed() || !strings.Contains(results[1].Err, "invalid scenario") {
+		t.Errorf("bad cell error = %q, want invalid scenario", results[1].Err)
+	}
+}
+
+// TestRunCancellationPartialResults cancels mid-sweep and checks that the
+// pool drains without goroutine leaks and returns what finished.
+func TestRunCancellationPartialResults(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	g := modeBudgetGrid()
+	runner := sweep.Runner{Workers: 2, RunOptions: []simulate.RunOption{
+		// Cancel as soon as any cell completes its first provisioning
+		// round; context.CancelFunc is safe to call concurrently.
+		simulate.OnInterval(func(simulate.IntervalRecord) { cancel() }),
+	}}
+	results, err := runner.Run(ctx, g)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) == 0 || len(results) == 9 {
+		t.Logf("partial results = %d (timing-dependent, just must not deadlock)", len(results))
+	}
+	for _, res := range results {
+		if res.Failed() && !strings.Contains(res.Err, "context canceled") {
+			t.Errorf("cell %d unexpected error: %s", res.Cell.Index, res.Err)
+		}
+	}
+
+	// The pool must wind down completely.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+func TestStreamDeliversEveryCell(t *testing.T) {
+	ch, wait := sweep.Runner{Workers: 3}.Stream(context.Background(), modeBudgetGrid())
+	seen := map[int]bool{}
+	for res := range ch {
+		seen[res.Cell.Index] = true
+	}
+	results, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 9 || len(results) != 9 {
+		t.Errorf("streamed %d, collected %d, want 9 and 9", len(seen), len(results))
+	}
+	for i, res := range results {
+		if res.Cell.Index != i {
+			t.Errorf("results[%d].Cell.Index = %d, want sorted order", i, res.Cell.Index)
+		}
+	}
+}
+
+func TestStreamEarlyConsumerExit(t *testing.T) {
+	ch, wait := sweep.Runner{Workers: 2}.Stream(context.Background(), modeBudgetGrid())
+	<-ch // take one result, then walk away
+	done := make(chan struct{})
+	go func() {
+		if _, err := wait(); err != nil {
+			t.Errorf("wait: %v", err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("wait() deadlocked after early consumer exit")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	results, err := sweep.Runner{Workers: 4}.Run(context.Background(), modeBudgetGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := sweep.Reduce(results)
+	// 3 mode values + 3 budget values.
+	if len(aggs) != 6 {
+		t.Fatalf("aggregates = %d, want 6", len(aggs))
+	}
+	// Sorted: mode axis before vm_budget, budget labels numerically.
+	wantOrder := []string{"client-server", "cloud-assisted", "p2p", "50", "100", "200"}
+	for i, a := range aggs {
+		if a.Label != wantOrder[i] {
+			t.Errorf("aggs[%d] = %s/%s, want label %s", i, a.Axis, a.Label, wantOrder[i])
+		}
+		if a.Runs != 3 || a.Errors != 0 {
+			t.Errorf("%s=%s: runs %d errors %d, want 3 and 0", a.Axis, a.Label, a.Runs, a.Errors)
+		}
+		if a.Quality.Count != 3 || a.Quality.Min > a.Quality.Mean || a.Quality.Mean > a.Quality.Max {
+			t.Errorf("%s=%s: inconsistent quality stats %+v", a.Axis, a.Label, a.Quality)
+		}
+		if a.CostUSD.Mean <= 0 {
+			t.Errorf("%s=%s: cost %v, want > 0", a.Axis, a.Label, a.CostUSD.Mean)
+		}
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	results, err := sweep.Runner{Workers: 2}.Run(context.Background(), sweep.Grid{
+		Base: shortBase(),
+		Axes: []sweep.Axis{sweep.VMBudgets(50, 100)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []sweep.Result
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 || decoded[0].Cell.Seed != results[0].Cell.Seed ||
+		decoded[0].Report.MeanQuality != results[0].Report.MeanQuality {
+		t.Errorf("JSON round trip lost data: %+v", decoded)
+	}
+}
+
+func TestPredictorsAxis(t *testing.T) {
+	ax := sweep.Predictors(map[string]simulate.Predictor{
+		"last": simulate.LastInterval{},
+		"ewma": simulate.EWMA{Alpha: 0.4},
+	})
+	if len(ax.Points) != 2 || ax.Points[0].Label != "ewma" || ax.Points[1].Label != "last" {
+		t.Fatalf("predictor axis not name-sorted: %+v", ax.Points)
+	}
+	var sc simulate.Scenario
+	ax.Points[1].Set(&sc)
+	if _, ok := sc.Predictor.(simulate.LastInterval); !ok {
+		t.Errorf("predictor = %T, want LastInterval", sc.Predictor)
+	}
+}

@@ -40,53 +40,11 @@ type Report = simulate.Report
 // Channel-shape, budget, and catalog options apply here exactly as they do
 // to NewPipeline; workload and timing options (WithHours, WithSeed,
 // WithScale, WithChannels, WithPredictor, …) are scenario-specific.
+//
+// NewScenario is sugar for simulate.Default(mode, 1).With(opts...) plus
+// validation; derive further variants from the result with Scenario.With.
 func NewScenario(mode Mode, opts ...Option) (Scenario, error) {
-	s, err := apply(opts)
-	if err != nil {
-		return Scenario{}, err
-	}
-	scale := 1.0
-	if s.scale != nil {
-		scale = *s.scale
-	}
-	sc := simulate.Default(mode, scale)
-	sc.Channel = s.channel(sc.Channel)
-	if s.workload != nil {
-		sc.Workload = *s.workload
-	}
-	if s.channels != nil {
-		sc.Workload.Channels = *s.channels
-	}
-	if s.hours != nil {
-		sc.Hours = *s.hours
-	}
-	if s.seed != nil {
-		sc.Seed = *s.seed
-	}
-	if s.interval != nil {
-		sc.IntervalSeconds = *s.interval
-	}
-	if s.sample != nil {
-		sc.SampleSeconds = *s.sample
-	}
-	if s.uplinkRatio != nil {
-		sc.UplinkRatio = *s.uplinkRatio
-	}
-	if s.budgets != nil {
-		sc.VMBudget, sc.StorageBudget = s.budgets[0], s.budgets[1]
-	}
-	if s.vmClusters != nil {
-		sc.VMClusters = s.vmClusters
-	}
-	if s.nfsClusters != nil {
-		sc.NFSClusters = s.nfsClusters
-	}
-	if s.predictor != nil {
-		sc.Predictor = s.predictor
-	}
-	if s.scheduling != 0 {
-		sc.Scheduling = s.scheduling
-	}
+	sc := simulate.Default(mode, 1).With(opts...)
 	if err := sc.Validate(); err != nil {
 		return Scenario{}, err
 	}
