@@ -1,0 +1,15 @@
+# Developer entry points; CI runs the same targets.
+
+.PHONY: test race bench verify
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./...
+
+# Key benchmarks → BENCH_PR3.json (the cross-PR perf trajectory).
+bench:
+	./scripts/bench.sh BENCH_PR3.json
+
+verify: test race

@@ -20,6 +20,7 @@ import (
 	"cloudmedia/internal/sim"
 	"cloudmedia/internal/viewing"
 	"cloudmedia/internal/workload"
+	"cloudmedia/pkg/plan"
 	"cloudmedia/pkg/simulate"
 	"cloudmedia/pkg/sweep"
 )
@@ -408,4 +409,84 @@ func BenchmarkSweep3x3(b *testing.B) {
 		cells = len(results)
 	}
 	b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// --- Engine fidelities and scale (PR 3) ---
+
+// BenchmarkFluidMillionViewers is the scale acceptance benchmark: a full
+// 24-hour scenario with ≥1,000,000 modeled concurrent viewers on the
+// fluid-cohort engine, dynamic provisioning included. Reports the peak
+// concurrent viewer count alongside wall time; the event engine cannot
+// represent this crowd at all (it would need tens of GB of viewer
+// objects), while the fluid engine's state is O(channels × chunks).
+func BenchmarkFluidMillionViewers(b *testing.B) {
+	sc := simulate.Default(simulate.CloudAssisted, 1)
+	sc = sc.With(
+		WithFidelity(simulate.FidelityFluid),
+		WithViewerScale(1_000_000),
+		WithChannels(20),
+		WithHours(24),
+		WithBudgets(150_000, 100),
+		WithVMClusters(
+			plan.VMCluster{Name: "mega-a", MaxVMs: 120_000, PricePerHour: 0.64, Utility: 1.0},
+			plan.VMCluster{Name: "mega-b", MaxVMs: 120_000, PricePerHour: 0.60, Utility: 0.9},
+		),
+	)
+	var peak, quality float64
+	for i := 0; i < b.N; i++ {
+		peak, quality = 0, 0
+		rep, err := sc.Run(context.Background(), simulate.OnSnapshot(func(snap simulate.Snapshot) {
+			if float64(snap.Users) > peak {
+				peak = float64(snap.Users)
+			}
+		}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		quality = rep.MeanQuality
+	}
+	b.ReportMetric(peak, "peak-viewers")
+	b.ReportMetric(quality, "quality")
+}
+
+// BenchmarkEventParallelChannels measures the event engine's worker-pool
+// sharding: the same 12-channel scenario stepped serially and with the
+// pool (results are identical; only wall time moves).
+func BenchmarkEventParallelChannels(b *testing.B) {
+	base := experiments.DefaultScenario(sim.ClientServer, 2)
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS-bounded
+		name := "serial"
+		if workers == 0 {
+			name = "pool"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				wl := base.Workload
+				wl.Channels = 12
+				transfer, err := viewing.SequentialWithJumps(base.Channel.Chunks, 0.9, 0.3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := sim.New(sim.Config{
+					Mode:     sim.ClientServer,
+					Channel:  base.Channel,
+					Workload: wl,
+					Transfer: transfer,
+					Seed:     7,
+					Workers:  workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for c := 0; c < s.Channels(); c++ {
+					for j := 0; j < base.Channel.Chunks; j++ {
+						if err := s.SetCloudCapacity(c, j, 1e6); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				s.RunUntil(4 * 3600)
+			}
+		})
+	}
 }

@@ -51,14 +51,15 @@ func run(args []string) error {
 	}
 	fs := flag.NewFlagSet("cloudmedia", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "", "experiment ID to run (or 'all')")
-		list   = fs.Bool("list", false, "list experiment IDs and exit")
-		mode   = fs.String("mode", "client-server", "architecture under test: client-server, p2p, or cloud-assisted")
-		scale  = fs.Float64("scale", 2, "workload scale (1 ≈ 250 concurrent users, 10 ≈ paper scale)")
-		hours  = fs.Float64("hours", 24, "simulated duration per run, hours")
-		seed   = fs.Int64("seed", 42, "random seed")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		asJSON = fs.Bool("json", false, "emit JSON instead of aligned text")
+		exp      = fs.String("exp", "", "experiment ID to run (or 'all')")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		mode     = fs.String("mode", "client-server", "architecture under test: client-server, p2p, or cloud-assisted")
+		fidelity = fs.String("fidelity", "event", "simulation engine: event (per-viewer) or fluid (aggregate cohorts, million-viewer scale)")
+		scale    = fs.Float64("scale", 2, "workload scale (1 ≈ 250 concurrent users, 10 ≈ paper scale)")
+		hours    = fs.Float64("hours", 24, "simulated duration per run, hours")
+		seed     = fs.Int64("seed", 42, "random seed")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		asJSON   = fs.Bool("json", false, "emit JSON instead of aligned text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,12 +76,16 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	f, err := simulate.ParseFidelity(*fidelity)
+	if err != nil {
+		return err
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = paper.IDs()
 	}
-	opts := paper.Options{Mode: m, Scale: *scale, Hours: *hours, Seed: *seed}
+	opts := paper.Options{Mode: m, Fidelity: f, Scale: *scale, Hours: *hours, Seed: *seed}
 	for _, id := range ids {
 		res, err := paper.Run(id, opts)
 		if err != nil {

@@ -138,7 +138,7 @@ func emitSweep(w io.Writer, results []sweep.Result, format string, aggregate boo
 }
 
 // axisNames lists the -axis spellings parseAxis accepts.
-var axisNames = []string{"mode", "vm-budget", "storage-budget", "uplink-ratio", "chunks", "channels", "predictor"}
+var axisNames = []string{"mode", "fidelity", "viewer-scale", "vm-budget", "storage-budget", "uplink-ratio", "chunks", "channels", "predictor"}
 
 // parseAxis converts one -axis spec ("vm-budget=50,100,200") into an Axis.
 func parseAxis(spec string) (sweep.Axis, error) {
@@ -158,6 +158,22 @@ func parseAxis(spec string) (sweep.Axis, error) {
 			ms = append(ms, m)
 		}
 		return sweep.Modes(ms...), nil
+	case "fidelity":
+		var fids []simulate.Fidelity
+		for _, v := range values {
+			f, err := simulate.ParseFidelity(v)
+			if err != nil {
+				return sweep.Axis{}, fmt.Errorf("axis %s: %w", name, err)
+			}
+			fids = append(fids, f)
+		}
+		return sweep.Fidelities(fids...), nil
+	case "viewer-scale":
+		fs, err := parseFloats(name, values)
+		if err != nil {
+			return sweep.Axis{}, err
+		}
+		return sweep.ViewerScales(fs...), nil
 	case "vm-budget":
 		fs, err := parseFloats(name, values)
 		if err != nil {

@@ -98,6 +98,8 @@ func TestSweepSubcommandErrors(t *testing.T) {
 func TestParseAxisCoversEveryName(t *testing.T) {
 	specs := map[string]string{
 		"mode":           "mode=cs,p2p",
+		"fidelity":       "fidelity=event,fluid",
+		"viewer-scale":   "viewer-scale=250,1000000",
 		"vm-budget":      "vm-budget=50,100",
 		"storage-budget": "storage-budget=1,2",
 		"uplink-ratio":   "uplink-ratio=0.9,1.2",

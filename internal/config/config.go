@@ -11,6 +11,7 @@ import (
 
 	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/core"
+	"cloudmedia/internal/modes"
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
 	"cloudmedia/internal/workload"
@@ -47,12 +48,14 @@ type Settings struct {
 	Hours       *float64
 	Seed        *int64
 	Scale       *float64
+	ViewerScale *float64
 	Interval    *float64
 	Sample      *float64
 	UplinkRatio *float64
 	Channels    *int
 	Predictor   core.Predictor
 	Scheduling  sim.PeerScheduling
+	Fidelity    modes.Fidelity
 	Workload    *workload.Params
 
 	// Err is the first option conflict observed; builders surface it.
@@ -101,6 +104,7 @@ func (s *Settings) Clone() *Settings {
 	out.Hours = clonePtr(s.Hours)
 	out.Seed = clonePtr(s.Seed)
 	out.Scale = clonePtr(s.Scale)
+	out.ViewerScale = clonePtr(s.ViewerScale)
 	out.Interval = clonePtr(s.Interval)
 	out.Sample = clonePtr(s.Sample)
 	out.UplinkRatio = clonePtr(s.UplinkRatio)

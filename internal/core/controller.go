@@ -99,9 +99,11 @@ type IntervalRecord struct {
 }
 
 // Controller wires the measurement feed, the analysis, the heuristics, the
-// broker, and the running system together.
+// broker, and the running system together. It talks to the simulation only
+// through the sim.Backend seam, so the same control loop drives both the
+// per-viewer discrete-event engine and the aggregate fluid engine.
 type Controller struct {
-	sim    *sim.Simulator
+	sim    sim.Backend
 	broker *cloud.Broker
 	cl     *cloud.Cloud
 	opts   Options
@@ -115,9 +117,9 @@ type Controller struct {
 	storagePlanned    bool
 }
 
-// NewController builds a controller for a simulator and a cloud reached
-// through its broker.
-func NewController(s *sim.Simulator, cl *cloud.Cloud, broker *cloud.Broker, opts Options) (*Controller, error) {
+// NewController builds a controller for a simulation backend and a cloud
+// reached through its broker.
+func NewController(s sim.Backend, cl *cloud.Cloud, broker *cloud.Broker, opts Options) (*Controller, error) {
 	if s == nil || cl == nil || broker == nil {
 		return nil, fmt.Errorf("core: nil simulator, cloud, or broker")
 	}

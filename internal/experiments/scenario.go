@@ -5,15 +5,35 @@ import (
 
 	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/core"
+	"cloudmedia/internal/fluid"
+	"cloudmedia/internal/modes"
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
 	"cloudmedia/internal/viewing"
 	"cloudmedia/internal/workload"
 )
 
+// ViewersPerScale is the approximate steady-state concurrent viewer count
+// one unit of workload scale buys under DefaultScenario's session length
+// (the "scale 1 targets ~250 concurrent viewers" contract of the public
+// API). WithViewerScale converts absolute viewer targets through it.
+const ViewersPerScale = 250
+
+// BaseRateForViewers returns the aggregate base arrival rate that targets
+// the given steady-state concurrent viewer count under DefaultScenario's
+// session length — the absolute counterpart of the relative scale knob
+// (DefaultScenario uses 0.6 users/s per unit of scale).
+func BaseRateForViewers(viewers float64) float64 {
+	return 0.6 * viewers / ViewersPerScale
+}
+
 // Scenario bundles every knob an experiment run needs.
 type Scenario struct {
-	Mode            sim.Mode
+	Mode sim.Mode
+	// Fidelity selects the engine: zero or modes.FidelityEvent builds the
+	// per-viewer discrete-event simulator, modes.FidelityFluid the
+	// aggregate cohort integrator (for million-viewer scale).
+	Fidelity        modes.Fidelity
 	Channel         queueing.Config
 	Workload        workload.Params
 	Hours           float64 // simulated duration
@@ -101,10 +121,12 @@ func (sc Scenario) pinMode(m sim.Mode) Scenario {
 	return sc
 }
 
-// System is one assembled CloudMedia stack.
+// System is one assembled CloudMedia stack. Sim is the engine behind the
+// scenario's fidelity: *sim.Simulator for event mode, *fluid.Backend for
+// fluid mode — callers only see the sim.Backend seam.
 type System struct {
 	Scenario   Scenario
-	Sim        *sim.Simulator
+	Sim        sim.Backend
 	Cloud      *cloud.Cloud
 	Broker     *cloud.Broker
 	Controller *core.Controller
@@ -137,14 +159,23 @@ func Build(sc Scenario) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := sim.New(sim.Config{
+	simCfg := sim.Config{
 		Mode:       sc.Mode,
 		Channel:    sc.Channel,
 		Workload:   sc.Workload,
 		Transfer:   transfer,
 		Scheduling: sc.Scheduling,
 		Seed:       sc.Seed,
-	})
+	}
+	var s sim.Backend
+	switch sc.Fidelity {
+	case 0, modes.FidelityEvent:
+		s, err = sim.New(simCfg)
+	case modes.FidelityFluid:
+		s, err = fluid.New(fluid.Config{Sim: simCfg})
+	default:
+		err = fmt.Errorf("experiments: invalid fidelity %d", int(sc.Fidelity))
+	}
 	if err != nil {
 		return nil, err
 	}

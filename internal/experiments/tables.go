@@ -118,10 +118,11 @@ func Registry() map[string]Runner {
 		"vmlat":    VMLatency,
 		"storcost": StorageCost,
 		"timeline": TimelineReport,
+		"regional": Regional,
 	}
 }
 
 // IDs returns the experiment identifiers in a stable presentation order.
 func IDs() []string {
-	return []string{"tab2", "tab3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "vmlat", "storcost", "timeline"}
+	return []string{"tab2", "tab3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "vmlat", "storcost", "timeline", "regional"}
 }

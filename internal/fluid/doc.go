@@ -1,0 +1,21 @@
+// Package fluid is the aggregate simulation backend: a deterministic
+// fluid-cohort model of the CloudMedia VoD system with O(channels ×
+// chunks) state, independent of the viewer count.
+//
+// Where the discrete-event engine (internal/sim) tracks every viewer as
+// an object — its playback position, cached chunks, and several scheduled
+// events per chunk transition — this package tracks *cohorts*: the
+// expected number of viewers playing each chunk and the expected number
+// waiting on each chunk's download, advanced by explicit Euler
+// integration of the flow-balance equations the paper's Sec. IV Jackson
+// analysis is built on. Arrivals, playback completions, VCR jumps, and
+// departures become continuous flows; download queues become
+// demand-vs-capacity deficits. A million-viewer day integrates in
+// milliseconds because the crowd size only changes the magnitudes of the
+// flows, never the amount of state.
+//
+// The fidelity trade-offs (what the fluid model drops relative to the
+// event engine) are documented in DESIGN.md's "Engine fidelities"
+// section; the cross-validation test in internal/experiments pins the
+// two engines against each other on the paper's Fig. 4/5 scenarios.
+package fluid

@@ -1,0 +1,81 @@
+package fluid
+
+import (
+	"fmt"
+
+	"cloudmedia/internal/queueing"
+)
+
+// feed implements sim.Feed with fractional flow accumulators: where the
+// event engine counts whole arrivals and transitions, the fluid engine
+// accumulates expected flows directly, so the controller sees exact
+// per-interval rates with no rounding noise.
+type feed struct {
+	chunks      int
+	arrivals    float64
+	transitions [][]float64 // transitions[i][j]: flow that finished chunk i then fetched j
+	departures  []float64   // departures[i]: flow that finished chunk i then left
+}
+
+func newFeed(chunks int) *feed {
+	f := &feed{
+		chunks:      chunks,
+		transitions: make([][]float64, chunks),
+		departures:  make([]float64, chunks),
+	}
+	for i := range f.transitions {
+		f.transitions[i] = make([]float64, chunks)
+	}
+	return f
+}
+
+// ArrivalRate returns the accumulated arrival flow divided by the
+// interval length.
+func (f *feed) ArrivalRate(intervalSeconds float64) (float64, error) {
+	if intervalSeconds <= 0 {
+		return 0, fmt.Errorf("fluid: non-positive interval %v", intervalSeconds)
+	}
+	return f.arrivals / intervalSeconds, nil
+}
+
+// Matrix returns the empirical transfer matrix from the accumulated
+// flows; rows with (numerically) no observed mass fall back to the
+// corresponding row of fallback, mirroring viewing.Estimator.Matrix.
+func (f *feed) Matrix(fallback queueing.TransferMatrix) (queueing.TransferMatrix, error) {
+	if fallback != nil {
+		if fallback.Size() != f.chunks {
+			return nil, fmt.Errorf("fluid: fallback size %d != chunks %d", fallback.Size(), f.chunks)
+		}
+		if err := fallback.Validate(); err != nil {
+			return nil, fmt.Errorf("fluid: fallback: %w", err)
+		}
+	}
+	p := queueing.NewTransferMatrix(f.chunks)
+	for i := 0; i < f.chunks; i++ {
+		total := f.departures[i]
+		for _, v := range f.transitions[i] {
+			total += v
+		}
+		if total <= 1e-12 {
+			if fallback != nil {
+				copy(p[i], fallback[i])
+			}
+			continue
+		}
+		for j, v := range f.transitions[i] {
+			p[i][j] = v / total
+		}
+	}
+	return p, nil
+}
+
+// Reset clears the accumulated flows, starting a new interval.
+func (f *feed) Reset() {
+	f.arrivals = 0
+	for i := range f.transitions {
+		for j := range f.transitions[i] {
+			f.transitions[i][j] = 0
+		}
+		f.departures[i] = 0
+	}
+}

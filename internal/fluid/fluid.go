@@ -1,0 +1,559 @@
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/sim"
+	"cloudmedia/internal/workload"
+)
+
+// Config assembles a fluid-mode scenario. The simulation parameters are
+// shared with the event engine (sim.Config); StepSeconds is the only knob
+// specific to the integrator.
+type Config struct {
+	Sim sim.Config
+	// StepSeconds is the Euler integration step. 0 uses 1 s, small enough
+	// for every paper scenario (chunk playback is 75–300 s and jump
+	// intervals minutes). The step is additionally clamped to a quarter of
+	// the chunk playback time and of the mean jump interval so outflow
+	// fractions stay well below 1.
+	StepSeconds float64
+}
+
+// channel is one video channel's aggregate state: O(chunks) floats
+// regardless of how many viewers the flows represent.
+type channel struct {
+	index int
+
+	playing []float64 // viewers currently playing chunk j
+	waiting []float64 // viewers waiting on chunk j's download
+	owners  []float64 // chunk-j copies cached across current viewers
+
+	cloudCap []float64 // Δ per chunk, bytes/s
+	peerCap  []float64 // Γ per chunk, bytes/s (recomputed every step)
+
+	cloudBytesServed float64
+	smooth           float64 // windowed smooth-playback fraction
+	feed             *feed
+
+	// scratch buffers reused across steps.
+	inWait []float64
+	inPlay []float64
+	order  []int
+	demand []float64
+}
+
+func (c *channel) users() float64 {
+	var n float64
+	for j := range c.playing {
+		n += c.playing[j] + c.waiting[j]
+	}
+	return n
+}
+
+// Backend integrates the fluid-cohort model. It implements sim.Backend,
+// so the provisioning controller and the public run loop drive it exactly
+// like the discrete-event engine. The model is fully deterministic: the
+// scenario seed is ignored (there is no sampling to derive from it).
+type Backend struct {
+	cfg  sim.Config
+	wl   workload.Params // pointer-receiver methods cache Zipf weights
+	step float64
+
+	engine *sim.Engine // control callbacks (controller intervals, boots)
+	now    float64
+
+	meanUplink float64
+	channels   []*channel
+}
+
+var _ sim.Backend = (*Backend)(nil)
+
+// New builds a fluid backend for the scenario.
+func New(cfg Config) (*Backend, error) {
+	sc := cfg.Sim
+	// Mirror sim.New's defaulting for the parameters the fluid model uses.
+	if sc.QualityWindowSeconds == 0 {
+		sc.QualityWindowSeconds = 300
+	}
+	if sc.Scheduling == 0 {
+		sc.Scheduling = sim.RarestFirst
+	}
+	if sc.RebalanceSeconds == 0 {
+		sc.RebalanceSeconds = 30
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	step := cfg.StepSeconds
+	if step == 0 {
+		step = 1
+	}
+	if step < 0 {
+		return nil, fmt.Errorf("fluid: negative step %v", step)
+	}
+	if lim := sc.Channel.ChunkSeconds / 4; step > lim {
+		step = lim
+	}
+	if lim := sc.Workload.JumpMeanSeconds / 4; step > lim {
+		step = lim
+	}
+	b := &Backend{
+		cfg:        sc,
+		wl:         sc.Workload.Clone(),
+		step:       step,
+		engine:     sim.NewEngine(),
+		meanUplink: sc.Workload.PeerUplink.Mean(),
+	}
+	b.channels = make([]*channel, sc.Workload.Channels)
+	for i := range b.channels {
+		J := sc.Channel.Chunks
+		b.channels[i] = &channel{
+			index:    i,
+			playing:  make([]float64, J),
+			waiting:  make([]float64, J),
+			owners:   make([]float64, J),
+			cloudCap: make([]float64, J),
+			peerCap:  make([]float64, J),
+			smooth:   1,
+			feed:     newFeed(J),
+			inWait:   make([]float64, J),
+			inPlay:   make([]float64, J),
+			order:    make([]int, J),
+			demand:   make([]float64, J),
+		}
+	}
+	return b, nil
+}
+
+// Now returns the simulated clock in seconds.
+func (b *Backend) Now() float64 { return b.now }
+
+// RunUntil integrates the cohort flows to time t, pausing at every
+// scheduled control event (provisioning rounds, delayed capacity
+// applications) so the controller observes a settled state.
+func (b *Backend) RunUntil(t float64) {
+	for {
+		barrier := t
+		if at, ok := b.engine.NextAt(); ok && at < barrier {
+			barrier = at
+		}
+		b.integrateTo(barrier)
+		b.engine.RunUntil(barrier)
+		if barrier >= t {
+			return
+		}
+	}
+}
+
+// integrateTo advances the ODE state to time t with fixed Euler steps.
+func (b *Backend) integrateTo(t float64) {
+	for b.now < t {
+		dt := b.step
+		if b.now+dt > t {
+			dt = t - b.now
+		}
+		for _, c := range b.channels {
+			b.stepChannel(c, b.now, dt)
+		}
+		b.now += dt
+	}
+	b.now = t
+}
+
+// stepChannel advances one channel by dt seconds starting at time t.
+func (b *Backend) stepChannel(c *channel, t, dt float64) {
+	cfg := b.cfg.Channel
+	J := cfg.Chunks
+	T0 := cfg.ChunkSeconds
+	B := cfg.ChunkBytes()
+	R := cfg.VMBandwidth
+	P := b.cfg.Transfer
+
+	n := c.users()
+
+	// Average fraction of the library a viewer holds: the probability a
+	// VCR jump lands on a cached chunk and replays without a download.
+	ownedFrac := 0.0
+	if n > 0 {
+		var copies float64
+		for _, o := range c.owners {
+			copies += o
+		}
+		ownedFrac = copies / (n * float64(J))
+		if ownedFrac > 1 {
+			ownedFrac = 1
+		}
+	}
+
+	for j := 0; j < J; j++ {
+		c.inWait[j] = 0
+		c.inPlay[j] = 0
+	}
+
+	// 1. External arrivals: chunk 1 with probability α, uniform otherwise.
+	lambda, err := b.wl.ChannelRate(c.index, t)
+	if err != nil {
+		lambda = 0 // unreachable: index from range
+	}
+	arrivals := lambda * dt
+	c.feed.arrivals += arrivals
+	if J == 1 {
+		c.inWait[0] += arrivals
+	} else {
+		c.inWait[0] += arrivals * cfg.EntryFirstChunk
+		rest := arrivals * (1 - cfg.EntryFirstChunk) / float64(J-1)
+		for j := 1; j < J; j++ {
+			c.inWait[j] += rest
+		}
+	}
+
+	// 2. Playback completions flow along the transfer matrix; the
+	// remainder of each row departs. Sequential successors are assumed
+	// uncached (they have not been visited), so they enter the download
+	// queue.
+	var departures float64
+	for j := 0; j < J; j++ {
+		comp := c.playing[j] * dt / T0
+		if comp <= 0 {
+			continue
+		}
+		var rowSum float64
+		for k := 0; k < J; k++ {
+			flow := comp * P[j][k]
+			if flow <= 0 {
+				continue
+			}
+			rowSum += P[j][k]
+			c.feed.transitions[j][k] += flow
+			c.inWait[k] += flow
+		}
+		leave := comp * (1 - rowSum)
+		if leave < 0 {
+			leave = 0
+		}
+		c.feed.departures[j] += leave
+		departures += leave
+		c.playing[j] -= comp
+	}
+
+	// 3. VCR jumps: uniform destination; a cached destination replays
+	// immediately (no download), an uncached one queues.
+	jumpRate := dt / b.cfg.Workload.JumpMeanSeconds
+	var jumpTotal float64
+	for j := 0; j < J; j++ {
+		jump := c.playing[j] * jumpRate
+		if jump <= 0 {
+			continue
+		}
+		jumpTotal += jump
+		c.playing[j] -= jump
+		per := jump / float64(J)
+		for k := 0; k < J; k++ {
+			c.feed.transitions[j][k] += per
+		}
+	}
+	if jumpTotal > 0 {
+		perHit := jumpTotal * ownedFrac / float64(J)
+		perMiss := jumpTotal * (1 - ownedFrac) / float64(J)
+		for k := 0; k < J; k++ {
+			c.inPlay[k] += perHit
+			c.inWait[k] += perMiss
+		}
+	}
+
+	// 4. Remove the departing viewers' cached copies (each departing
+	// viewer holds owners[j]/n of chunk j on average).
+	if departures > 0 && n > 0 {
+		f := departures / n
+		if f > 1 {
+			f = 1
+		}
+		for j := 0; j < J; j++ {
+			c.owners[j] -= c.owners[j] * f
+		}
+	}
+
+	// 5. Allocate peer uplink for this step (P2P only): the fluid
+	// counterpart of the event engine's 30-second rebalance, run every
+	// step because it is O(J).
+	if b.cfg.Mode == sim.P2P {
+		b.allocatePeers(c)
+	}
+
+	// 6. Serve the download queues: each chunk drains at the provisioned
+	// capacity, bounded by a per-download rate of R. Completions move
+	// viewers into the playing cohort and add cached copies.
+	var demandBps, servedBps float64
+	for j := 0; j < J; j++ {
+		queue := c.waiting[j] + c.inWait[j]
+		if queue <= 0 {
+			c.waiting[j] = 0
+			c.playing[j] += c.inPlay[j]
+			continue
+		}
+		cap := c.cloudCap[j] + c.peerCap[j]
+		rate := queue * R
+		if rate > cap {
+			rate = cap
+		}
+		drained := rate * dt / B
+		if drained > queue {
+			drained = queue
+		}
+		bytes := drained * B
+		peerShare := math.Min(bytes, c.peerCap[j]*dt)
+		c.cloudBytesServed += bytes - peerShare
+
+		c.waiting[j] = queue - drained
+		c.playing[j] += drained + c.inPlay[j]
+		c.owners[j] += drained
+
+		// Smoothness pressure: the bandwidth needed to serve this step's
+		// requests plus the backlog within the chunk-playback grace
+		// period, against what the capacity actually delivered.
+		need := (c.inWait[j]/dt + c.waiting[j]/T0) * B
+		got := need
+		if cap < got {
+			got = cap
+		}
+		demandBps += need
+		servedBps += got
+	}
+
+	// 7. Windowed quality: exponential window matching the event engine's
+	// trailing stall window.
+	instant := 1.0
+	if demandBps > 0 {
+		instant = servedBps / demandBps
+	}
+	w := b.cfg.QualityWindowSeconds
+	if w <= 0 {
+		c.smooth = instant
+	} else {
+		a := dt / w
+		if a > 1 {
+			a = 1
+		}
+		c.smooth += a * (instant - c.smooth)
+	}
+}
+
+// allocatePeers splits the channel's aggregate peer uplink across chunks,
+// mirroring the event engine's rebalance: rarest-first visits chunks by
+// ascending copy count; proportional splits by demand. Each chunk draws at
+// most owners×meanUplink (only cached copies can upload) and at most the
+// remaining budget.
+func (b *Backend) allocatePeers(c *channel) {
+	J := len(c.peerCap)
+	n := c.users()
+	if n <= 0 {
+		for j := 0; j < J; j++ {
+			c.peerCap[j] = 0
+		}
+		return
+	}
+	R := b.cfg.Channel.VMBandwidth
+	budget := n * b.meanUplink
+	for j := 0; j < J; j++ {
+		c.demand[j] = (c.waiting[j] + c.inWait[j]) * R
+	}
+
+	if b.cfg.Scheduling == sim.Proportional {
+		var total float64
+		for j := 0; j < J; j++ {
+			if c.owners[j] > 0 {
+				total += c.demand[j]
+			}
+		}
+		for j := 0; j < J; j++ {
+			take := 0.0
+			if c.owners[j] > 0 && total > 0 {
+				share := budget * c.demand[j] / total
+				take = math.Min(c.demand[j], math.Min(share, c.owners[j]*b.meanUplink))
+			}
+			c.peerCap[j] = take
+		}
+		return
+	}
+
+	for j := range c.order {
+		c.order[j] = j
+	}
+	// Allocation-free stable insertion sort: this runs every integration
+	// step, so it must stay off the garbage collector (mirrors
+	// sim.sortByOwners).
+	for i := 1; i < J; i++ {
+		v := c.order[i]
+		k := i - 1
+		for k >= 0 && c.owners[c.order[k]] > c.owners[v] {
+			c.order[k+1] = c.order[k]
+			k--
+		}
+		c.order[k+1] = v
+	}
+	for _, j := range c.order {
+		take := 0.0
+		if c.owners[j] > 0 && budget > 0 {
+			take = math.Min(c.demand[j], math.Min(budget, c.owners[j]*b.meanUplink))
+		}
+		c.peerCap[j] = take
+		budget -= take
+	}
+}
+
+// ScheduleAt runs fn at simulated time t, with the ODE state integrated
+// exactly to t.
+func (b *Backend) ScheduleAt(t float64, fn func(now float64)) error {
+	_, err := b.engine.Schedule(t, func() { fn(b.engine.Now()) })
+	return err
+}
+
+// ScheduleRepeating runs fn at start, start+interval, start+2·interval, …
+func (b *Backend) ScheduleRepeating(start, interval float64, fn func(now float64)) error {
+	if interval <= 0 {
+		return fmt.Errorf("fluid: non-positive repeat interval %v", interval)
+	}
+	var tick func()
+	at := start
+	tick = func() {
+		fn(b.engine.Now())
+		at += interval
+		_, _ = b.engine.Schedule(at, tick) // at > now by construction
+	}
+	_, err := b.engine.Schedule(start, tick)
+	return err
+}
+
+// Mode returns the scenario's streaming mode.
+func (b *Backend) Mode() sim.Mode { return b.cfg.Mode }
+
+// ChannelConfig returns the per-channel parameters.
+func (b *Backend) ChannelConfig() queueing.Config { return b.cfg.Channel }
+
+// Channels returns the number of channels.
+func (b *Backend) Channels() int { return len(b.channels) }
+
+// SetCloudCapacity sets the cloud share Δ for one chunk, bytes/s.
+func (b *Backend) SetCloudCapacity(channel, chunk int, bytesPerSecond float64) error {
+	if channel < 0 || channel >= len(b.channels) {
+		return fmt.Errorf("fluid: channel %d outside [0,%d)", channel, len(b.channels))
+	}
+	if chunk < 0 || chunk >= b.cfg.Channel.Chunks {
+		return fmt.Errorf("fluid: chunk %d outside [0,%d)", chunk, b.cfg.Channel.Chunks)
+	}
+	if bytesPerSecond < 0 {
+		return fmt.Errorf("fluid: negative capacity %v", bytesPerSecond)
+	}
+	b.channels[channel].cloudCap[chunk] = bytesPerSecond
+	return nil
+}
+
+// CloudCapacity returns the channel's provisioned cloud capacity, bytes/s.
+func (b *Backend) CloudCapacity(channel int) (float64, error) {
+	if channel < 0 || channel >= len(b.channels) {
+		return 0, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, len(b.channels))
+	}
+	var total float64
+	for _, v := range b.channels[channel].cloudCap {
+		total += v
+	}
+	return total, nil
+}
+
+// TotalCloudCapacity returns the capacity provisioned across all channels.
+func (b *Backend) TotalCloudCapacity() float64 {
+	var total float64
+	for _, c := range b.channels {
+		for _, v := range c.cloudCap {
+			total += v
+		}
+	}
+	return total
+}
+
+// CloudBytesServed returns the cumulative cloud-attributed bytes.
+func (b *Backend) CloudBytesServed() float64 {
+	var total float64
+	for _, c := range b.channels {
+		total += c.cloudBytesServed
+	}
+	return total
+}
+
+// ChannelCloudBytes splits CloudBytesServed by channel.
+func (b *Backend) ChannelCloudBytes(channel int) (float64, error) {
+	if channel < 0 || channel >= len(b.channels) {
+		return 0, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, len(b.channels))
+	}
+	return b.channels[channel].cloudBytesServed, nil
+}
+
+// Users returns the channel's viewer count, rounded to the nearest whole
+// viewer.
+func (b *Backend) Users(channel int) (int, error) {
+	if channel < 0 || channel >= len(b.channels) {
+		return 0, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, len(b.channels))
+	}
+	return int(b.channels[channel].users() + 0.5), nil
+}
+
+// TotalUsers returns the viewer count across all channels.
+func (b *Backend) TotalUsers() int {
+	var n float64
+	for _, c := range b.channels {
+		n += c.users()
+	}
+	return int(n + 0.5)
+}
+
+// MeanUplink returns the population mean uplink (the distribution mean:
+// cohorts do not track per-viewer draws), or 0 for an empty channel,
+// matching the event engine's convention.
+func (b *Backend) MeanUplink(channel int) (float64, error) {
+	if channel < 0 || channel >= len(b.channels) {
+		return 0, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, len(b.channels))
+	}
+	if b.channels[channel].users() <= 0 {
+		return 0, nil
+	}
+	return b.meanUplink, nil
+}
+
+// Estimator exposes the channel's flow-accumulator feed.
+func (b *Backend) Estimator(channel int) (sim.Feed, error) {
+	if channel < 0 || channel >= len(b.channels) {
+		return nil, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, len(b.channels))
+	}
+	return b.channels[channel].feed, nil
+}
+
+// SampleQuality reports the windowed smooth-playback fraction per channel
+// and overall, weighted by channel population.
+func (b *Backend) SampleQuality() sim.QualitySample {
+	sample := sim.QualitySample{
+		Time:            b.now,
+		PerChannel:      make([]float64, len(b.channels)),
+		UsersPerChannel: make([]int, len(b.channels)),
+	}
+	var weighted, total float64
+	for i, c := range b.channels {
+		n := c.users()
+		sample.UsersPerChannel[i] = int(n + 0.5)
+		if n <= 0 {
+			sample.PerChannel[i] = 1
+		} else {
+			sample.PerChannel[i] = c.smooth
+		}
+		weighted += sample.PerChannel[i] * n
+		total += n
+	}
+	if total <= 0 {
+		sample.Overall = 1
+	} else {
+		sample.Overall = weighted / total
+	}
+	return sample
+}

@@ -1,0 +1,249 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/sim"
+	"cloudmedia/internal/viewing"
+	"cloudmedia/internal/workload"
+)
+
+// smallConfig mirrors the event engine's test scenario: 2 channels of 5
+// chunks, 10-second chunks, steady arrivals.
+func smallConfig(t *testing.T, mode sim.Mode) Config {
+	t.Helper()
+	chCfg := queueing.Config{
+		Chunks:          5,
+		PlaybackRate:    50e3,
+		ChunkSeconds:    10,
+		VMBandwidth:     250e3,
+		EntryFirstChunk: 0.7,
+	}
+	transfer, err := viewing.Sequential(chCfg.Chunks, 0.9)
+	if err != nil {
+		t.Fatalf("Sequential: %v", err)
+	}
+	wl := workload.Default()
+	wl.Channels = 2
+	wl.BaseArrivalRate = 0.2
+	wl.BaseLevel = 1
+	wl.FlashCrowds = nil
+	wl.JumpMeanSeconds = 120
+	return Config{Sim: sim.Config{
+		Mode:     mode,
+		Channel:  chCfg,
+		Workload: wl,
+		Transfer: transfer,
+		Seed:     1,
+	}}
+}
+
+func provisionGenerously(t *testing.T, b *Backend) {
+	t.Helper()
+	for c := 0; c < b.Channels(); c++ {
+		for i := 0; i < b.ChannelConfig().Chunks; i++ {
+			if err := b.SetCloudCapacity(c, i, 100e6); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestPopulationBalance: the viewer stock must equal the integral of
+// arrival flow minus departure flow — the fluid continuity equation.
+func TestPopulationBalance(t *testing.T) {
+	b, err := New(smallConfig(t, sim.ClientServer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	provisionGenerously(t, b)
+	const horizon = 3600.0
+	b.RunUntil(horizon)
+
+	var arrived, departed, stock float64
+	for _, c := range b.channels {
+		arrived += c.feed.arrivals
+		for _, d := range c.feed.departures {
+			departed += d
+		}
+		stock += c.users()
+	}
+	if arrived <= 0 {
+		t.Fatal("no arrival flow accumulated")
+	}
+	if diff := math.Abs(arrived - departed - stock); diff > 1e-6*arrived {
+		t.Errorf("continuity violated: arrived %v − departed %v ≠ stock %v (diff %v)",
+			arrived, departed, stock, diff)
+	}
+}
+
+// TestCloudBytesNeverExceedCapacityIntegral mirrors the event engine's
+// conservation test: with constant capacity C per chunk over T seconds,
+// the cloud cannot serve more than C·T·pools bytes.
+func TestCloudBytesNeverExceedCapacityIntegral(t *testing.T) {
+	b, err := New(smallConfig(t, sim.ClientServer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perChunk = 400e3
+	for c := 0; c < b.Channels(); c++ {
+		for i := 0; i < b.ChannelConfig().Chunks; i++ {
+			if err := b.SetCloudCapacity(c, i, perChunk); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const horizon = 1800.0
+	b.RunUntil(horizon)
+	served := b.CloudBytesServed()
+	bound := perChunk * float64(b.Channels()*b.ChannelConfig().Chunks) * horizon
+	if served > bound+1e-6 {
+		t.Errorf("served %v exceeds capacity integral %v", served, bound)
+	}
+	if served <= 0 {
+		t.Error("no bytes served")
+	}
+}
+
+// TestP2PCloudAttributionBounded: cloud-attributed bytes can never exceed
+// the cloud capacity integral, regardless of peer supply.
+func TestP2PCloudAttributionBounded(t *testing.T) {
+	b, err := New(smallConfig(t, sim.P2P))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perChunk = 200e3
+	for c := 0; c < b.Channels(); c++ {
+		for i := 0; i < b.ChannelConfig().Chunks; i++ {
+			if err := b.SetCloudCapacity(c, i, perChunk); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const horizon = 1800.0
+	b.RunUntil(horizon)
+	bound := perChunk * float64(b.Channels()*b.ChannelConfig().Chunks) * horizon
+	if served := b.CloudBytesServed(); served > bound+1e-6 {
+		t.Errorf("cloud-attributed bytes %v exceed cloud capacity integral %v", served, bound)
+	}
+}
+
+// TestDeterminism: the fluid model has no randomness — two backends over
+// the same scenario must agree bit for bit.
+func TestDeterminism(t *testing.T) {
+	run := func() (float64, float64, int) {
+		b, err := New(smallConfig(t, sim.P2P))
+		if err != nil {
+			t.Fatal(err)
+		}
+		provisionGenerously(t, b)
+		b.RunUntil(7200)
+		q := b.SampleQuality()
+		return q.Overall, b.CloudBytesServed(), b.TotalUsers()
+	}
+	q1, bytes1, n1 := run()
+	q2, bytes2, n2 := run()
+	if q1 != q2 || bytes1 != bytes2 || n1 != n2 {
+		t.Errorf("runs differ: (%v,%v,%d) vs (%v,%v,%d)", q1, bytes1, n1, q2, bytes2, n2)
+	}
+}
+
+// TestGenerousCapacityGivesSmoothPlayback and its starved counterpart pin
+// the quality metric's direction.
+func TestGenerousCapacityGivesSmoothPlayback(t *testing.T) {
+	b, err := New(smallConfig(t, sim.ClientServer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	provisionGenerously(t, b)
+	b.RunUntil(900)
+	if q := b.SampleQuality(); q.Overall < 0.99 {
+		t.Errorf("quality %v with generous capacity, want ≈1", q.Overall)
+	}
+}
+
+func TestStarvedCapacityCausesStalls(t *testing.T) {
+	b, err := New(smallConfig(t, sim.ClientServer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No capacity at all: every download starves.
+	b.RunUntil(900)
+	q := b.SampleQuality()
+	if q.Overall > 0.5 {
+		t.Errorf("quality %v with zero capacity, want low", q.Overall)
+	}
+	if b.TotalUsers() == 0 {
+		t.Error("starved channel lost its viewers")
+	}
+	for _, v := range q.PerChannel {
+		if v < 0 || v > 1 {
+			t.Errorf("per-channel quality %v outside [0,1]", v)
+		}
+	}
+}
+
+// TestFeedMatrixNormalized: the flow-accumulator feed must hand the
+// controller a valid transfer matrix.
+func TestFeedMatrixNormalized(t *testing.T) {
+	b, err := New(smallConfig(t, sim.ClientServer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	provisionGenerously(t, b)
+	b.RunUntil(1800)
+	feed, err := b.Estimator(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, err := feed.ArrivalRate(1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Error("no arrival rate observed")
+	}
+	m, err := feed.Matrix(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("feed matrix invalid: %v", err)
+	}
+	var forward float64
+	for i := 0; i+1 < len(m); i++ {
+		forward += m[i][i+1]
+	}
+	if forward == 0 {
+		t.Error("no forward transition mass observed")
+	}
+	feed.Reset()
+	if r, _ := feed.ArrivalRate(1800); r != 0 {
+		t.Errorf("arrival rate %v after Reset, want 0", r)
+	}
+}
+
+// TestScheduleBarriers: callbacks see the ODE state integrated exactly to
+// their timestamp, and repeating callbacks fire on schedule.
+func TestScheduleBarriers(t *testing.T) {
+	b, err := New(smallConfig(t, sim.ClientServer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	provisionGenerously(t, b)
+	var fires []float64
+	if err := b.ScheduleRepeating(100, 100, func(now float64) {
+		fires = append(fires, now)
+		if b.Now() != now {
+			t.Errorf("callback at %v sees clock %v", now, b.Now())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b.RunUntil(350)
+	if len(fires) != 3 {
+		t.Fatalf("fired %d times in 350 s with period 100, want 3", len(fires))
+	}
+}

@@ -17,6 +17,9 @@ import (
 
 	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/core"
+	"cloudmedia/internal/fluid"
+	"cloudmedia/internal/mathx"
+	"cloudmedia/internal/modes"
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
 	"cloudmedia/internal/workload"
@@ -28,16 +31,53 @@ type Region struct {
 	// Share is the fraction of global arrivals homed to this region.
 	// Shares must be positive and sum to 1 (within tolerance).
 	Share float64
+	// UplinkScale rescales the region's peer upload distribution relative
+	// to the global workload (broadband-rich regions above 1, mobile-heavy
+	// ones below). 0 means 1. This is the regional heterogeneity that
+	// feeds workload.Params.PeerUplink per deployment region.
+	UplinkScale float64
 	// VMClusters and NFSClusters are the regional catalogs; regional price
 	// differences are the interesting knob. Empty slices use Tables II/III.
 	VMClusters  []cloud.VMClusterSpec
 	NFSClusters []cloud.NFSClusterSpec
 }
 
+// DefaultRegions returns a three-region split used by the "regional"
+// experiment preset: half the crowd in a broadband-rich region, the rest
+// across regions with progressively weaker uplinks, so the per-region
+// cloud compensation differs visibly for the same budget.
+func DefaultRegions() []Region {
+	return []Region{
+		{Name: "na", Share: 0.5, UplinkScale: 1.2},
+		{Name: "eu", Share: 0.3, UplinkScale: 1.0},
+		{Name: "apac", Share: 0.2, UplinkScale: 0.7},
+	}
+}
+
+// regionWorkload derives a region's workload from the global trace: the
+// arrival rate is the global rate times the region's share, and the peer
+// uplink distribution is rescaled by the region's UplinkScale.
+func regionWorkload(global workload.Params, r Region) (workload.Params, error) {
+	wl := global.Clone()
+	wl.BaseArrivalRate = global.BaseArrivalRate * r.Share
+	if s := r.UplinkScale; s > 0 && s != 1 {
+		up, err := mathx.NewBoundedPareto(wl.PeerUplink.Lo*s, wl.PeerUplink.Hi*s, wl.PeerUplink.Shape)
+		if err != nil {
+			return workload.Params{}, fmt.Errorf("geo: region %q uplink: %w", r.Name, err)
+		}
+		wl.PeerUplink = up
+	}
+	return wl, nil
+}
+
 // Config assembles a multi-region deployment.
 type Config struct {
-	Regions  []Region
-	Mode     sim.Mode
+	Regions []Region
+	Mode    sim.Mode
+	// Fidelity selects each region's engine: zero or modes.FidelityEvent
+	// builds the per-viewer simulator, modes.FidelityFluid the aggregate
+	// cohort integrator.
+	Fidelity modes.Fidelity
 	Channel  queueing.Config
 	Workload workload.Params // global trace; regional rate = global × share
 
@@ -66,6 +106,9 @@ func (c Config) Validate() error {
 		if r.Share <= 0 {
 			return fmt.Errorf("geo: region %q: non-positive share %v", r.Name, r.Share)
 		}
+		if r.UplinkScale < 0 {
+			return fmt.Errorf("geo: region %q: negative uplink scale %v", r.Name, r.UplinkScale)
+		}
 		total += r.Share
 	}
 	if total < 0.999 || total > 1.001 {
@@ -83,10 +126,11 @@ func (c Config) Validate() error {
 	return c.Transfer.Validate()
 }
 
-// RegionSystem is one region's running stack.
+// RegionSystem is one region's running stack. Sim is the engine behind
+// the deployment's fidelity, seen through the sim.Backend seam.
 type RegionSystem struct {
 	Region     Region
-	Sim        *sim.Simulator
+	Sim        sim.Backend
 	Cloud      *cloud.Cloud
 	Broker     *cloud.Broker
 	Controller *core.Controller
@@ -115,15 +159,26 @@ func New(cfg Config) (*Deployment, error) {
 	}
 	d := &Deployment{cfg: cfg}
 	for i, region := range cfg.Regions {
-		wl := cfg.Workload
-		wl.BaseArrivalRate = cfg.Workload.BaseArrivalRate * region.Share
-		s, err := sim.New(sim.Config{
+		wl, err := regionWorkload(cfg.Workload, region)
+		if err != nil {
+			return nil, err
+		}
+		simCfg := sim.Config{
 			Mode:     cfg.Mode,
 			Channel:  cfg.Channel,
 			Workload: wl,
 			Transfer: cfg.Transfer,
 			Seed:     cfg.Seed + int64(i)*7919, // distinct stream per region
-		})
+		}
+		var s sim.Backend
+		switch cfg.Fidelity {
+		case 0, modes.FidelityEvent:
+			s, err = sim.New(simCfg)
+		case modes.FidelityFluid:
+			s, err = fluid.New(fluid.Config{Sim: simCfg})
+		default:
+			err = fmt.Errorf("invalid fidelity %d", int(cfg.Fidelity))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)
 		}

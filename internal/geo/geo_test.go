@@ -1,6 +1,7 @@
 package geo
 
 import (
+	"math"
 	"testing"
 
 	"cloudmedia/internal/cloud"
@@ -159,5 +160,40 @@ func TestDeploymentDefaultsApplied(t *testing.T) {
 	}
 	if len(d.Regions()) != 2 {
 		t.Error("regions not built")
+	}
+}
+
+func TestRegionWorkloadUplinkHeterogeneity(t *testing.T) {
+	global := workload.Default()
+	weak := Region{Name: "apac", Share: 0.2, UplinkScale: 0.7}
+	strong := Region{Name: "na", Share: 0.5, UplinkScale: 1.2}
+	wWeak, err := regionWorkload(global, weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wStrong, err := regionWorkload(global, strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := global.PeerUplink.Mean()
+	if got := wWeak.PeerUplink.Mean(); math.Abs(got-0.7*base) > 1e-9*base {
+		t.Errorf("weak region mean uplink %v, want %v", got, 0.7*base)
+	}
+	if got := wStrong.PeerUplink.Mean(); math.Abs(got-1.2*base) > 1e-9*base {
+		t.Errorf("strong region mean uplink %v, want %v", got, 1.2*base)
+	}
+	if wWeak.BaseArrivalRate != global.BaseArrivalRate*0.2 {
+		t.Errorf("share not applied: %v", wWeak.BaseArrivalRate)
+	}
+	cfg := testConfig(t, []Region{{Name: "x", Share: 1, UplinkScale: -1}})
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative uplink scale accepted by Validate")
+	}
+}
+
+func TestDefaultRegionsValid(t *testing.T) {
+	cfg := testConfig(t, DefaultRegions())
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("DefaultRegions invalid: %v", err)
 	}
 }

@@ -57,6 +57,49 @@ func Parse(s string) (Mode, error) {
 	}
 }
 
+// Fidelity selects the simulation engine behind a scenario: the
+// per-viewer discrete-event engine or the aggregate fluid-cohort engine.
+// The zero value means FidelityEvent, so existing scenarios are
+// unaffected.
+type Fidelity int
+
+const (
+	// FidelityEvent is the per-viewer discrete-event engine
+	// (internal/sim): every viewer is an object, memory and event count
+	// grow with the crowd. The default, and the reference for accuracy.
+	FidelityEvent Fidelity = iota + 1
+	// FidelityFluid is the aggregate cohort engine (internal/fluid):
+	// O(channels × chunks) state independent of crowd size, so
+	// million-viewer scenarios run in seconds. See DESIGN.md "Engine
+	// fidelities" for what the model drops.
+	FidelityFluid
+)
+
+// String implements fmt.Stringer.
+func (f Fidelity) String() string {
+	switch f {
+	case FidelityEvent:
+		return "event"
+	case FidelityFluid:
+		return "fluid"
+	default:
+		return fmt.Sprintf("Fidelity(%d)", int(f))
+	}
+}
+
+// ParseFidelity converts a command-line spelling into a Fidelity. It
+// accepts "event" (or "discrete") and "fluid" (or "cohort").
+func ParseFidelity(s string) (Fidelity, error) {
+	switch s {
+	case "event", "discrete":
+		return FidelityEvent, nil
+	case "fluid", "cohort":
+		return FidelityFluid, nil
+	default:
+		return 0, fmt.Errorf("unknown fidelity %q (want event or fluid)", s)
+	}
+}
+
 // Engine maps the public mode onto the internal simulator mode and whether
 // the bootstrap rental is held statically (true = no periodic provisioning
 // rounds after t=0).

@@ -97,6 +97,16 @@ func (e *Engine) RunUntil(until float64) {
 	}
 }
 
+// NextAt returns the timestamp of the earliest queued event and whether
+// one exists. Cancelled events still count until popped; a spurious
+// barrier on a cancelled timestamp is harmless.
+func (e *Engine) NextAt() (float64, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // Pending returns the number of queued (possibly cancelled) events; used by
 // tests to detect leaks.
 func (e *Engine) Pending() int { return len(e.queue) }

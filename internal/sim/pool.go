@@ -20,10 +20,13 @@ type download struct {
 // cumulative per-download work counter, and schedules a single event for
 // the head's completion — O(1) amortized per state change instead of
 // rescheduling every member.
+//
+// A pool belongs to exactly one channel: its events live on the channel's
+// engine and its served-byte accounting on the channel's accumulator, so
+// parallel channel stepping never shares pool state across workers.
 type pool struct {
-	sim     *Simulator
-	channel int
-	chunk   int
+	ch    *channelState
+	chunk int
 
 	cloudCap float64 // Δ, bytes/s provisioned from the cloud
 	peerCap  float64 // Γ, bytes/s allocated from peers (P2P mode)
@@ -50,16 +53,14 @@ func (p *pool) settle(now float64) {
 		if peerServed > p.peerCap {
 			peerServed = p.peerCap
 		}
-		cloudServed := (total - peerServed) * dt
-		p.sim.cloudBytesServed += cloudServed
-		p.sim.channels[p.channel].cloudBytesServed += cloudServed
+		p.ch.cloudBytesServed += (total - peerServed) * dt
 	}
 	p.lastUpdate = now
 }
 
 // remainingOf returns the bytes download d still needs.
 func (p *pool) remainingOf(d *download) float64 {
-	rem := p.sim.cfg.Channel.ChunkBytes() - (p.workDone - d.startWork)
+	rem := p.ch.sim.cfg.Channel.ChunkBytes() - (p.workDone - d.startWork)
 	if rem < 0 {
 		return 0
 	}
@@ -77,7 +78,7 @@ func (p *pool) reschedule(now float64) {
 		return
 	}
 	rate := (p.cloudCap + p.peerCap) / float64(n)
-	if cap := p.sim.cfg.Channel.VMBandwidth; rate > cap {
+	if cap := p.ch.sim.cfg.Channel.VMBandwidth; rate > cap {
 		rate = cap
 	}
 	p.rate = rate
@@ -85,7 +86,7 @@ func (p *pool) reschedule(now float64) {
 		return // starved: resumes when capacity arrives
 	}
 	at := now + p.remainingOf(p.active[0])/rate
-	ev, err := p.sim.engine.Schedule(at, p.onHeadComplete)
+	ev, err := p.ch.engine.Schedule(at, p.onHeadComplete)
 	if err != nil {
 		return // unreachable: at >= now by construction
 	}
@@ -97,14 +98,14 @@ func (p *pool) reschedule(now float64) {
 // always completes — the event was armed for exactly its finish time, so
 // float rounding must not leave it re-armed at now+ε forever.
 func (p *pool) onHeadComplete() {
-	now := p.sim.engine.Now()
+	now := p.ch.engine.Now()
 	p.headEvent = nil
 	p.settle(now)
 	if len(p.active) == 0 {
 		p.reschedule(now)
 		return
 	}
-	tol := p.sim.cfg.Channel.ChunkBytes() * 1e-9
+	tol := p.ch.sim.cfg.Channel.ChunkBytes() * 1e-9
 	done := []*download{p.active[0]}
 	p.active = p.active[1:]
 	for len(p.active) > 0 && p.remainingOf(p.active[0]) <= tol {
@@ -122,7 +123,7 @@ func (p *pool) onHeadComplete() {
 
 // add enrolls a new download at the FIFO tail (it has the most bytes left).
 func (p *pool) add(d *download) {
-	now := p.sim.engine.Now()
+	now := p.ch.engine.Now()
 	p.settle(now)
 	d.pool = p
 	d.startWork = p.workDone
@@ -132,7 +133,7 @@ func (p *pool) add(d *download) {
 
 // remove aborts an in-flight download (seek or departure).
 func (p *pool) remove(d *download) {
-	now := p.sim.engine.Now()
+	now := p.ch.engine.Now()
 	p.settle(now)
 	for i, other := range p.active {
 		if other == d {
@@ -147,7 +148,7 @@ func (p *pool) remove(d *download) {
 // setCapacity updates the cloud and/or peer share (negative leaves a share
 // unchanged) and re-splits.
 func (p *pool) setCapacity(cloudCap, peerCap float64) {
-	now := p.sim.engine.Now()
+	now := p.ch.engine.Now()
 	p.settle(now)
 	if cloudCap >= 0 {
 		p.cloudCap = cloudCap

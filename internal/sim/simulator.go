@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/viewing"
@@ -76,8 +78,16 @@ type Config struct {
 	// QualityWindowSeconds is the trailing window of the smooth-playback
 	// metric. Defaults to 300 s (the paper's 5 minutes).
 	QualityWindowSeconds float64
-	// Seed drives all randomness; runs are reproducible per seed.
+	// Seed drives all randomness; runs are reproducible per seed. Each
+	// channel derives an independent stream from (Seed, channel index),
+	// so results do not depend on Workers.
 	Seed int64
+	// Workers bounds the worker pool that steps channels in parallel
+	// between control-event barriers (channels only interact through the
+	// controller at interval boundaries, so their event queues are
+	// independent in between). 0 uses min(GOMAXPROCS, channels); 1 runs
+	// serially. Results are identical for every worker count.
+	Workers int
 }
 
 func (c *Config) applyDefaults() {
@@ -115,15 +125,29 @@ func (c Config) Validate() error {
 	if c.Scheduling != RarestFirst && c.Scheduling != Proportional {
 		return fmt.Errorf("sim: invalid peer scheduling %d", int(c.Scheduling))
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: negative worker count %d", c.Workers)
+	}
 	return nil
 }
 
-// channelState holds one video channel's runtime state: its download pools,
-// live viewers, chunk ownership (the tracker's bitmap aggregate), and the
-// per-interval measurement feed.
+// channelSeed derives an independent deterministic stream per channel so
+// channels can advance in parallel without sharing a rand source. The
+// multiplier is the 64-bit golden-ratio constant (SplitMix64's increment),
+// which decorrelates consecutive channel indices.
+func channelSeed(seed int64, channel int) int64 {
+	return seed + int64(channel+1)*-7046029254386353131 // 0x9E3779B97F4A7C15 as signed
+}
+
+// channelState holds one video channel's runtime state: its own event
+// queue and random stream (so channels can step in parallel), its download
+// pools, live viewers, chunk ownership (the tracker's bitmap aggregate),
+// and the per-interval measurement feed.
 type channelState struct {
-	index int
-	sim   *Simulator
+	index  int
+	sim    *Simulator
+	engine *Engine
+	rng    *rand.Rand
 
 	pools  []*pool
 	users  map[*user]struct{}
@@ -133,6 +157,11 @@ type channelState struct {
 	estimator        *viewing.Estimator
 	cloudBytesServed float64
 	arrivalEvent     *Event
+	userSeq          int
+
+	// rebalanceOrder is the scratch chunk permutation reused across
+	// rebalances so the 30-second rebalance tick stays allocation-free.
+	rebalanceOrder []int
 }
 
 func (ch *channelState) addUser(u *user) {
@@ -149,17 +178,27 @@ func (ch *channelState) removeUser(u *user) {
 	}
 }
 
-// Simulator drives one scenario. It is single-threaded: all interaction
-// must happen from scheduled callbacks or between RunUntil calls.
+// Simulator is the per-viewer discrete-event Backend. It is
+// single-threaded at the API: all interaction must happen from scheduled
+// callbacks or between RunUntil calls. Internally, RunUntil shards the
+// per-channel event queues across a bounded worker pool between control
+// barriers (see Config.Workers).
 type Simulator struct {
-	cfg    Config
-	engine *Engine
-	rng    *rand.Rand
+	cfg     Config
+	workers int
 
-	channels         []*channelState
-	cloudBytesServed float64
-	userSeq          int
+	// control sequences the cross-channel callbacks — controller
+	// intervals, peer rebalances, delayed capacity applications. Channels
+	// advance independently up to the next control event, then the event
+	// fires with every channel settled at that instant.
+	control *Engine
+	now     float64
+
+	channels []*channelState
 }
+
+// Statically assert both engines satisfy the seam.
+var _ Backend = (*Simulator)(nil)
 
 // New builds a simulator, wires per-channel arrival processes, and (in P2P
 // mode) starts the periodic peer-bandwidth rebalancer.
@@ -168,10 +207,17 @@ func New(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Workload.Channels {
+		workers = cfg.Workload.Channels
+	}
 	s := &Simulator{
-		cfg:    cfg,
-		engine: NewEngine(),
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		cfg:     cfg,
+		workers: workers,
+		control: NewEngine(),
 	}
 	s.channels = make([]*channelState, cfg.Workload.Channels)
 	for c := range s.channels {
@@ -180,15 +226,18 @@ func New(cfg Config) (*Simulator, error) {
 			return nil, err
 		}
 		ch := &channelState{
-			index:     c,
-			sim:       s,
-			users:     make(map[*user]struct{}),
-			owners:    make([]int, cfg.Channel.Chunks),
-			estimator: est,
+			index:          c,
+			sim:            s,
+			engine:         NewEngine(),
+			rng:            rand.New(rand.NewSource(channelSeed(cfg.Seed, c))),
+			users:          make(map[*user]struct{}),
+			owners:         make([]int, cfg.Channel.Chunks),
+			estimator:      est,
+			rebalanceOrder: make([]int, cfg.Channel.Chunks),
 		}
 		ch.pools = make([]*pool, cfg.Channel.Chunks)
 		for i := range ch.pools {
-			ch.pools[i] = &pool{sim: s, channel: c, chunk: i}
+			ch.pools[i] = &pool{ch: ch, chunk: i}
 		}
 		s.channels[c] = ch
 		if err := s.scheduleArrival(ch); err != nil {
@@ -208,18 +257,68 @@ func New(cfg Config) (*Simulator, error) {
 }
 
 // Now returns the simulated clock in seconds.
-func (s *Simulator) Now() float64 { return s.engine.Now() }
+func (s *Simulator) Now() float64 { return s.now }
 
-// RunUntil advances the simulation to time t (seconds).
-func (s *Simulator) RunUntil(t float64) { s.engine.RunUntil(t) }
+// RunUntil advances the simulation to time t (seconds). Channels step
+// independently (in parallel when Workers permits) up to each control
+// event — a provisioning round, a peer rebalance, a delayed capacity
+// application — which then runs with every channel settled at its
+// timestamp.
+func (s *Simulator) RunUntil(t float64) {
+	for {
+		barrier := t
+		if at, ok := s.control.NextAt(); ok && at < barrier {
+			barrier = at
+		}
+		if barrier > s.now {
+			s.advanceChannels(barrier)
+			s.now = barrier
+		}
+		s.control.RunUntil(barrier)
+		if barrier >= t {
+			return
+		}
+	}
+}
 
-// ScheduleAt runs fn at simulated time t.
+// advanceChannels runs every channel's private event queue to time t,
+// fanning out across the worker pool. Channel event handlers touch only
+// their own channelState (users, pools, estimator, rng), so the shards
+// share no mutable state; results are bit-identical for any worker count.
+func (s *Simulator) advanceChannels(t float64) {
+	if s.workers <= 1 || len(s.channels) == 1 {
+		for _, ch := range s.channels {
+			ch.engine.RunUntil(t)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.channels) {
+					return
+				}
+				s.channels[i].engine.RunUntil(t)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ScheduleAt runs fn at simulated time t. The callback runs at a control
+// barrier: every channel is settled at t when it fires.
 func (s *Simulator) ScheduleAt(t float64, fn func(now float64)) error {
-	_, err := s.engine.Schedule(t, func() { fn(s.engine.Now()) })
+	_, err := s.control.Schedule(t, func() { fn(s.control.Now()) })
 	return err
 }
 
 // ScheduleRepeating runs fn at start, start+interval, start+2·interval, …
+// at control barriers.
 func (s *Simulator) ScheduleRepeating(start, interval float64, fn func(now float64)) error {
 	if interval <= 0 {
 		return fmt.Errorf("sim: non-positive repeat interval %v", interval)
@@ -227,21 +326,22 @@ func (s *Simulator) ScheduleRepeating(start, interval float64, fn func(now float
 	var tick func()
 	at := start
 	tick = func() {
-		fn(s.engine.Now())
+		fn(s.control.Now())
 		at += interval
-		_, _ = s.engine.Schedule(at, tick) // at > now by construction
+		_, _ = s.control.Schedule(at, tick) // at > now by construction
 	}
-	_, err := s.engine.Schedule(start, tick)
+	_, err := s.control.Schedule(start, tick)
 	return err
 }
 
-// scheduleArrival arms the next NHPP arrival for a channel.
+// scheduleArrival arms the next NHPP arrival for a channel on the
+// channel's own event queue.
 func (s *Simulator) scheduleArrival(ch *channelState) error {
-	now := s.engine.Now()
+	now := ch.engine.Now()
 	// Sample within a one-day horizon; if the thinning run finds nothing
 	// (possible only at negligible rates), re-arm at the horizon.
 	horizon := now + 24*3600
-	next, err := s.cfg.Workload.NextArrival(s.rng, ch.index, now, horizon)
+	next, err := s.cfg.Workload.NextArrival(ch.rng, ch.index, now, horizon)
 	if err != nil {
 		return err
 	}
@@ -251,7 +351,7 @@ func (s *Simulator) scheduleArrival(ch *channelState) error {
 		fire = horizon
 		arrived = false
 	}
-	ev, err := s.engine.Schedule(fire, func() {
+	ev, err := ch.engine.Schedule(fire, func() {
 		if arrived {
 			s.spawnUser(ch)
 		}
@@ -267,17 +367,17 @@ func (s *Simulator) scheduleArrival(ch *channelState) error {
 // spawnUser creates a viewer at the configured entry distribution: chunk 1
 // with probability α, uniform over the others otherwise.
 func (s *Simulator) spawnUser(ch *channelState) {
-	s.userSeq++
+	ch.userSeq++
 	u := &user{
-		id:      s.userSeq,
+		id:      ch.userSeq,
 		channel: ch,
 		sim:     s,
-		uplink:  s.cfg.Workload.SampleUplink(s.rng),
+		uplink:  s.cfg.Workload.SampleUplink(ch.rng),
 		owned:   make([]bool, s.cfg.Channel.Chunks),
 	}
 	start := 0
-	if s.cfg.Channel.Chunks > 1 && s.rng.Float64() >= s.cfg.Channel.EntryFirstChunk {
-		start = 1 + s.rng.Intn(s.cfg.Channel.Chunks-1)
+	if s.cfg.Channel.Chunks > 1 && ch.rng.Float64() >= s.cfg.Channel.EntryFirstChunk {
+		start = 1 + ch.rng.Intn(s.cfg.Channel.Chunks-1)
 	}
 	u.join(start)
 }
@@ -308,13 +408,11 @@ func (s *Simulator) rebalancePeers(ch *channelState) {
 	}
 
 	budget := ch.totalUplink
-	order := make([]int, len(ch.pools))
+	order := ch.rebalanceOrder
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return ch.owners[order[a]] < ch.owners[order[b]]
-	})
+	sortByOwners(order, ch.owners)
 	for _, i := range order {
 		p := ch.pools[i]
 		var take float64
@@ -333,6 +431,22 @@ func (s *Simulator) rebalancePeers(ch *channelState) {
 			p.setCapacity(-1, take)
 		}
 		budget -= take
+	}
+}
+
+// sortByOwners stable-sorts the scratch permutation by ascending owner
+// count. Chunk counts are small (8–20), so insertion sort wins — and
+// unlike sort.SliceStable it allocates nothing, keeping the 30-second
+// rebalance tick off the garbage collector entirely.
+func sortByOwners(order []int, owners []int) {
+	for i := 1; i < len(order); i++ {
+		v := order[i]
+		j := i - 1
+		for j >= 0 && owners[order[j]] > owners[v] {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = v
 	}
 }
 
@@ -389,35 +503,51 @@ func (s *Simulator) CloudCapacity(channel int) (float64, error) {
 	if channel < 0 || channel >= len(s.channels) {
 		return 0, fmt.Errorf("sim: channel %d outside [0,%d)", channel, len(s.channels))
 	}
+	return s.channels[channel].cloudCapacity(), nil
+}
+
+// cloudCapacity sums the channel's per-pool cloud shares. Pool state needs
+// no settling for this: capacities change only through setCapacity.
+func (ch *channelState) cloudCapacity() float64 {
 	var total float64
-	for _, p := range s.channels[channel].pools {
+	for _, p := range ch.pools {
 		total += p.cloudCap
 	}
-	return total, nil
+	return total
 }
 
 // TotalCloudCapacity returns the cloud capacity provisioned across all
-// channels, bytes/s.
+// channels, bytes/s. It iterates the channel list directly rather than
+// going through CloudCapacity's index validation, so there is no error to
+// discard: every index produced by the range is in bounds by construction.
 func (s *Simulator) TotalCloudCapacity() float64 {
 	var total float64
-	for c := range s.channels {
-		v, _ := s.CloudCapacity(c)
-		total += v
+	for _, ch := range s.channels {
+		total += ch.cloudCapacity()
 	}
 	return total
 }
 
 // CloudBytesServed returns the cumulative bytes actually served from cloud
 // capacity since the start of the run (the "used" curve of Fig. 4). Pools
-// are settled to the current clock first.
+// are settled to the current clock first; byte counters are per-channel
+// (each channel's worker owns its own accumulator), so the total is their
+// sum in channel order.
 func (s *Simulator) CloudBytesServed() float64 {
-	now := s.engine.Now()
+	var total float64
 	for _, ch := range s.channels {
-		for _, p := range ch.pools {
-			p.settle(now)
-		}
+		ch.settlePools()
+		total += ch.cloudBytesServed
 	}
-	return s.cloudBytesServed
+	return total
+}
+
+// settlePools advances every pool's byte accounting to the channel clock.
+func (ch *channelState) settlePools() {
+	now := ch.engine.Now()
+	for _, p := range ch.pools {
+		p.settle(now)
+	}
 }
 
 // ChannelCloudBytes returns the cumulative cloud bytes served to a channel.
@@ -425,11 +555,9 @@ func (s *Simulator) ChannelCloudBytes(channel int) (float64, error) {
 	if channel < 0 || channel >= len(s.channels) {
 		return 0, fmt.Errorf("sim: channel %d outside [0,%d)", channel, len(s.channels))
 	}
-	now := s.engine.Now()
-	for _, p := range s.channels[channel].pools {
-		p.settle(now)
-	}
-	return s.channels[channel].cloudBytesServed, nil
+	ch := s.channels[channel]
+	ch.settlePools()
+	return ch.cloudBytesServed, nil
 }
 
 // Users returns the current viewer count of a channel.
@@ -464,7 +592,7 @@ func (s *Simulator) MeanUplink(channel int) (float64, error) {
 
 // Estimator exposes a channel's measurement feed for the controller, which
 // reads it at the end of each interval and then Resets it.
-func (s *Simulator) Estimator(channel int) (*viewing.Estimator, error) {
+func (s *Simulator) Estimator(channel int) (Feed, error) {
 	if channel < 0 || channel >= len(s.channels) {
 		return nil, fmt.Errorf("sim: channel %d outside [0,%d)", channel, len(s.channels))
 	}
@@ -482,7 +610,7 @@ type QualitySample struct {
 // SampleQuality measures streaming quality right now: the fraction of
 // viewers with no stall inside the trailing window (Fig. 5's metric).
 func (s *Simulator) SampleQuality() QualitySample {
-	now := s.engine.Now()
+	now := s.now
 	win := s.cfg.QualityWindowSeconds
 	sample := QualitySample{
 		Time:            now,

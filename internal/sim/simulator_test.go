@@ -97,8 +97,8 @@ func TestUsersArriveAndDepart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if est.Arrivals() == 0 {
-		t.Error("estimator recorded no arrivals")
+	if rate, err := est.ArrivalRate(600); err != nil || rate == 0 {
+		t.Errorf("estimator recorded no arrivals (rate %v, err %v)", rate, err)
 	}
 }
 

@@ -20,7 +20,9 @@ const (
 	stateStalled
 )
 
-// user is one VoD viewer.
+// user is one VoD viewer. All of a user's events live on its channel's
+// private engine and random stream, which is what lets channels step in
+// parallel between control barriers.
 type user struct {
 	id      int
 	channel *channelState
@@ -46,7 +48,7 @@ type user struct {
 
 // join initializes the viewer and starts fetching the entry chunk.
 func (u *user) join(startChunk int) {
-	now := u.sim.engine.Now()
+	now := u.channel.engine.Now()
 	u.joinedAt = now
 	u.lastStallEnd = math.Inf(-1)
 	u.state = stateFetching
@@ -91,7 +93,7 @@ func (u *user) onChunkReady(chunk int) {
 		}
 	case stateStalled:
 		if chunk == u.nextChunk {
-			u.lastStallEnd = u.sim.engine.Now()
+			u.lastStallEnd = u.channel.engine.Now()
 			u.beginPlayback(chunk)
 		}
 	}
@@ -101,7 +103,7 @@ func (u *user) onChunkReady(chunk int) {
 // transfer matrix, records the transition for the tracker, and pipelines
 // the successor's download behind the playback.
 func (u *user) beginPlayback(chunk int) {
-	now := u.sim.engine.Now()
+	now := u.channel.engine.Now()
 	u.state = statePlaying
 	u.playingChunk = chunk
 	u.nextChunk = u.sampleNext(chunk)
@@ -118,7 +120,7 @@ func (u *user) beginPlayback(chunk int) {
 		_ = u.channel.estimator.RecordTransition(chunk, viewing.Departed)
 	}
 
-	ev, err := u.sim.engine.Schedule(now+u.sim.cfg.Channel.ChunkSeconds, u.onPlayEnd)
+	ev, err := u.channel.engine.Schedule(now+u.sim.cfg.Channel.ChunkSeconds, u.onPlayEnd)
 	if err == nil {
 		u.playEnd = ev
 	}
@@ -143,7 +145,7 @@ func (u *user) onPlayEnd() {
 // for departure.
 func (u *user) sampleNext(chunk int) int {
 	row := u.sim.cfg.Transfer[chunk]
-	x := u.sim.rng.Float64()
+	x := u.channel.rng.Float64()
 	for j, p := range row {
 		x -= p
 		if x < 0 {
@@ -155,8 +157,8 @@ func (u *user) sampleNext(chunk int) int {
 
 // scheduleJump arms the next VCR-jump timer.
 func (u *user) scheduleJump() {
-	delay := u.sim.cfg.Workload.NextJump(u.sim.rng)
-	ev, err := u.sim.engine.Schedule(u.sim.engine.Now()+delay, u.onJump)
+	delay := u.sim.cfg.Workload.NextJump(u.channel.rng)
+	ev, err := u.channel.engine.Schedule(u.channel.engine.Now()+delay, u.onJump)
 	if err == nil {
 		u.jumpEv = ev
 	}
@@ -169,7 +171,7 @@ func (u *user) onJump() {
 	u.jumpEv = nil
 	u.scheduleJump()
 
-	target := u.sim.rng.Intn(u.sim.cfg.Channel.Chunks)
+	target := u.channel.rng.Intn(u.sim.cfg.Channel.Chunks)
 	if u.state == statePlaying || u.state == stateStalled {
 		_ = u.channel.estimator.RecordTransition(u.playingChunk, target)
 	}
@@ -181,10 +183,10 @@ func (u *user) onJump() {
 	u.playEnd = nil
 	if u.state == stateStalled {
 		// The seek resolves the stall (the user moved elsewhere).
-		u.lastStallEnd = u.sim.engine.Now()
+		u.lastStallEnd = u.channel.engine.Now()
 	}
 	u.state = stateFetching
-	u.fetchStart = u.sim.engine.Now()
+	u.fetchStart = u.channel.engine.Now()
 	u.nextChunk = -1
 	u.nextReady = false
 	u.startFetch(target)

@@ -174,6 +174,35 @@ func WithChannels(n int) Option {
 	return func(s *config.Settings) { s.Channels = &n }
 }
 
+// WithFidelity selects the simulation engine: FidelityEvent (the default)
+// runs the per-viewer discrete-event simulator, FidelityFluid the
+// aggregate cohort integrator whose cost is independent of the crowd
+// size. Scenario only.
+func WithFidelity(f Fidelity) Option {
+	return func(s *config.Settings) {
+		if f != FidelityEvent && f != FidelityFluid {
+			s.Fail("cloudmedia: invalid fidelity %d", int(f))
+			return
+		}
+		s.Fidelity = f
+	}
+}
+
+// WithViewerScale targets an absolute steady-state crowd size: the
+// workload's arrival rate is set so roughly n viewers are concurrent at
+// the daily baseline. It is the absolute counterpart of the relative
+// WithScale (n = 250 matches scale 1); combine it with
+// WithFidelity(FidelityFluid) for million-viewer runs. Scenario only.
+func WithViewerScale(n float64) Option {
+	return func(s *config.Settings) {
+		if n <= 0 {
+			s.Fail("cloudmedia: non-positive viewer scale %v", n)
+			return
+		}
+		s.ViewerScale = &n
+	}
+}
+
 // WithPredictor replaces the controller's arrival-rate forecaster (default
 // simulate.LastInterval, the paper's rule). Scenario only.
 func WithPredictor(p simulate.Predictor) Option {

@@ -41,6 +41,10 @@ type Options struct {
 	// Comparative figures (fig4, fig5, fig10, …) run the modes they
 	// compare regardless of this setting.
 	Mode simulate.Mode
+	// Fidelity selects the simulation engine; zero means the per-viewer
+	// event engine. Every experiment honours it, including the
+	// comparative figures (both sides run on the chosen engine).
+	Fidelity simulate.Fidelity
 	// Scale is the workload scale: 1 ≈ 250 concurrent viewers, 10 ≈ paper
 	// scale. Zero means 2.
 	Scale float64
@@ -89,6 +93,7 @@ func scenario(o Options) (experiments.Scenario, error) {
 		return experiments.Scenario{}, fmt.Errorf("paper: %w", err)
 	}
 	esc := experiments.DefaultScenario(mode, o.Scale)
+	esc.Fidelity = o.Fidelity
 	if o.Hours != 0 {
 		esc.Hours = o.Hours
 	}

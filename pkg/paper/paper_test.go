@@ -13,8 +13,9 @@ func TestIDs(t *testing.T) {
 	if len(ids) == 0 {
 		t.Fatal("no experiments registered")
 	}
-	// Presentation order: catalogs first, timeline last.
-	if ids[0] != "tab2" || ids[len(ids)-1] != "timeline" {
+	// Presentation order: catalogs first, the mode-sensitive entries
+	// (timeline, regional) last.
+	if ids[0] != "tab2" || ids[len(ids)-1] != "regional" {
 		t.Errorf("presentation order lost: %v", ids)
 	}
 	want := map[string]bool{"tab2": false, "tab3": false, "fig4": false, "fig10": false}

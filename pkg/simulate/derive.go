@@ -2,6 +2,7 @@ package simulate
 
 import (
 	"cloudmedia/internal/config"
+	"cloudmedia/internal/experiments"
 	"cloudmedia/pkg/plan"
 )
 
@@ -33,8 +34,14 @@ func (sc Scenario) With(opts ...Option) Scenario {
 	// Scale first: it rescales the *current* workload, and an explicit
 	// WithWorkload in the same call replaces the workload wholesale (the
 	// replacement is taken as-is, matching NewScenario's precedence).
+	// WithViewerScale is absolute — it pins the base rate to the target
+	// concurrency regardless of the current rate — so it wins over the
+	// relative WithScale when both appear.
 	if s.Scale != nil {
 		out.Workload.BaseArrivalRate *= *s.Scale
+	}
+	if s.ViewerScale != nil {
+		out.Workload.BaseArrivalRate = experiments.BaseRateForViewers(*s.ViewerScale)
 	}
 	if s.Workload != nil {
 		out.Workload = s.Workload.Clone()
@@ -72,6 +79,9 @@ func (sc Scenario) With(opts ...Option) Scenario {
 	}
 	if s.Scheduling != 0 {
 		out.Scheduling = s.Scheduling
+	}
+	if s.Fidelity != 0 {
+		out.Fidelity = s.Fidelity
 	}
 	return out
 }

@@ -202,3 +202,64 @@ func TestCloneDeepCopies(t *testing.T) {
 		t.Error("clone shares VM catalog")
 	}
 }
+
+func TestWithFidelityAndViewerScale(t *testing.T) {
+	base := simulate.Default(simulate.CloudAssisted, 1)
+	derived := base.With(
+		cloudmedia.WithFidelity(simulate.FidelityFluid),
+		cloudmedia.WithViewerScale(1_000_000),
+	)
+	if derived.Fidelity != simulate.FidelityFluid {
+		t.Errorf("fidelity = %v, want fluid", derived.Fidelity)
+	}
+	if base.Fidelity != 0 {
+		t.Errorf("base fidelity mutated to %v", base.Fidelity)
+	}
+	want := simulate.BaseRateForViewers(1_000_000)
+	if got := derived.Workload.BaseArrivalRate; got != want {
+		t.Errorf("base rate = %v, want %v", got, want)
+	}
+	if err := derived.Validate(); err != nil {
+		t.Errorf("derived scenario invalid: %v", err)
+	}
+	// ViewerScale is absolute: it wins over a relative scale in the same
+	// derivation.
+	both := base.With(cloudmedia.WithScale(3), cloudmedia.WithViewerScale(500))
+	if got := both.Workload.BaseArrivalRate; got != simulate.BaseRateForViewers(500) {
+		t.Errorf("scale+viewerScale base rate = %v, want absolute %v", got, simulate.BaseRateForViewers(500))
+	}
+}
+
+func TestWithFidelityRejectsInvalid(t *testing.T) {
+	sc := simulate.Default(simulate.ClientServer, 1).With(cloudmedia.WithFidelity(99))
+	if err := sc.Validate(); !errors.Is(err, simulate.ErrInvalidScenario) {
+		t.Errorf("invalid fidelity: err = %v, want ErrInvalidScenario", err)
+	}
+	sc = simulate.Default(simulate.ClientServer, 1).With(cloudmedia.WithViewerScale(-5))
+	if err := sc.Validate(); !errors.Is(err, simulate.ErrInvalidScenario) {
+		t.Errorf("negative viewer scale: err = %v, want ErrInvalidScenario", err)
+	}
+	direct := simulate.Default(simulate.ClientServer, 1)
+	direct.Fidelity = 99
+	if err := direct.Validate(); !errors.Is(err, simulate.ErrInvalidScenario) {
+		t.Errorf("direct invalid fidelity: err = %v, want ErrInvalidScenario", err)
+	}
+}
+
+func TestParseFidelity(t *testing.T) {
+	for spell, want := range map[string]simulate.Fidelity{
+		"event": simulate.FidelityEvent, "discrete": simulate.FidelityEvent,
+		"fluid": simulate.FidelityFluid, "cohort": simulate.FidelityFluid,
+	} {
+		got, err := simulate.ParseFidelity(spell)
+		if err != nil || got != want {
+			t.Errorf("ParseFidelity(%q) = %v, %v", spell, got, err)
+		}
+	}
+	if _, err := simulate.ParseFidelity("magic"); err == nil {
+		t.Error("ParseFidelity accepted junk")
+	}
+	if simulate.FidelityFluid.String() != "fluid" || simulate.FidelityEvent.String() != "event" {
+		t.Error("fidelity spellings drifted")
+	}
+}

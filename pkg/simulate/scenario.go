@@ -22,6 +22,11 @@ var ErrInvalidScenario = errors.New("simulate: invalid scenario")
 type Scenario struct {
 	// Mode is the architecture under test.
 	Mode Mode
+	// Fidelity selects the simulation engine: zero or FidelityEvent runs
+	// the per-viewer discrete-event simulator, FidelityFluid the
+	// aggregate cohort integrator whose state is O(channels × chunks)
+	// regardless of crowd size — the backend for million-viewer runs.
+	Fidelity Fidelity
 	// Channel holds the per-channel parameters (channels are uniform, as
 	// in the paper).
 	Channel plan.Channel
@@ -96,6 +101,9 @@ func (sc Scenario) internal() (experiments.Scenario, error) {
 	if err != nil {
 		return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
 	}
+	if sc.Fidelity != 0 && sc.Fidelity != FidelityEvent && sc.Fidelity != FidelityFluid {
+		return experiments.Scenario{}, fmt.Errorf("%w: invalid fidelity %d", ErrInvalidScenario, int(sc.Fidelity))
+	}
 	if sc.Hours <= 0 {
 		return experiments.Scenario{}, fmt.Errorf("%w: non-positive duration %v h", ErrInvalidScenario, sc.Hours)
 	}
@@ -113,6 +121,7 @@ func (sc Scenario) internal() (experiments.Scenario, error) {
 	}
 	out := experiments.Scenario{
 		Mode:               engineMode,
+		Fidelity:           sc.Fidelity,
 		Channel:            sc.Channel,
 		Workload:           sc.Workload,
 		Hours:              sc.Hours,

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"cloudmedia/internal/core"
+	"cloudmedia/internal/experiments"
 	"cloudmedia/internal/mathx"
 	"cloudmedia/internal/modes"
 	"cloudmedia/internal/sim"
@@ -51,6 +52,28 @@ func ParseMode(s string) (Mode, error) {
 	return m, nil
 }
 
+// Fidelity selects the simulation engine behind a scenario: the
+// per-viewer discrete-event engine (FidelityEvent, the default and the
+// accuracy reference) or the aggregate fluid-cohort engine
+// (FidelityFluid, O(channels × chunks) state for million-viewer runs).
+// See DESIGN.md "Engine fidelities" for the trade-offs.
+type Fidelity = modes.Fidelity
+
+const (
+	FidelityEvent = modes.FidelityEvent
+	FidelityFluid = modes.FidelityFluid
+)
+
+// ParseFidelity converts a command-line spelling into a Fidelity. It
+// accepts "event" (or "discrete") and "fluid" (or "cohort").
+func ParseFidelity(s string) (Fidelity, error) {
+	f, err := modes.ParseFidelity(s)
+	if err != nil {
+		return 0, fmt.Errorf("simulate: %w", err)
+	}
+	return f, nil
+}
+
 // Workload configures the synthetic PPLive-like arrival trace of
 // Sec. VI-A: Zipf channel popularity, diurnal Poisson arrivals with flash
 // crowds, exponential VCR-jump intervals, and bounded-Pareto peer uplinks.
@@ -72,6 +95,14 @@ func UplinkForRatio(streamingRate, ratio float64) (UplinkDistribution, error) {
 // DefaultWorkload returns the paper's trace parameters: 20 Zipf channels,
 // ~2500 concurrent viewers, two flash crowds, 15-minute jump intervals.
 func DefaultWorkload() Workload { return workload.Default() }
+
+// BaseRateForViewers returns the aggregate base arrival rate that targets
+// the given steady-state concurrent viewer count under the Default
+// scenario's session length — the conversion behind WithViewerScale
+// (250 viewers correspond to scale 1).
+func BaseRateForViewers(viewers float64) float64 {
+	return experiments.BaseRateForViewers(viewers)
+}
 
 // Scheduling selects how the P2P overlay allocates peer uplink across
 // chunks at each rebalance.

@@ -76,6 +76,31 @@ func Modes(modes ...simulate.Mode) Axis {
 	return ax
 }
 
+// Fidelities sweeps the simulation engine behind the scenario — most
+// usefully Fidelities(simulate.FidelityEvent, simulate.FidelityFluid) to
+// cross-validate the aggregate model against the per-viewer reference on
+// the same grid; labels are Fidelity.String().
+func Fidelities(fidelities ...simulate.Fidelity) Axis {
+	ax := Axis{Name: "fidelity"}
+	for _, f := range fidelities {
+		f := f
+		ax.Points = append(ax.Points, Point{
+			Label: f.String(),
+			Set:   func(sc *simulate.Scenario) { sc.Fidelity = f },
+		})
+	}
+	return ax
+}
+
+// ViewerScales sweeps the absolute target crowd size (the WithViewerScale
+// knob): the workload arrival rate is set so roughly n viewers are
+// concurrent at the daily baseline.
+func ViewerScales(viewers ...float64) Axis {
+	return floatAxis("viewer_scale", viewers, func(sc *simulate.Scenario, v float64) {
+		sc.Workload.BaseArrivalRate = simulate.BaseRateForViewers(v)
+	})
+}
+
 // VMBudgets sweeps B_M, the hourly VM rental budget in dollars.
 func VMBudgets(dollarsPerHour ...float64) Axis {
 	return floatAxis("vm_budget", dollarsPerHour, func(sc *simulate.Scenario, v float64) {

@@ -305,3 +305,48 @@ func TestPredictorsAxis(t *testing.T) {
 		t.Errorf("predictor = %T, want LastInterval", sc.Predictor)
 	}
 }
+
+func TestFidelityAxisRunsBothEngines(t *testing.T) {
+	base := simulate.Default(simulate.CloudAssisted, 1)
+	base.Hours = 1
+	grid := sweep.Grid{
+		Base: base,
+		Axes: []sweep.Axis{sweep.Fidelities(simulate.FidelityEvent, simulate.FidelityFluid)},
+	}
+	results, err := sweep.Runner{Workers: 2}.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	labels := map[string]bool{}
+	for _, res := range results {
+		if res.Failed() {
+			t.Fatalf("cell %v failed: %s", res.Cell.Coords, res.Err)
+		}
+		if res.Report == nil || res.Report.MeanQuality <= 0 {
+			t.Errorf("cell %v produced no quality", res.Cell.Coords)
+		}
+		for _, c := range res.Cell.Coords {
+			if c.Axis == "fidelity" {
+				labels[c.Label] = true
+			}
+		}
+	}
+	if !labels["event"] || !labels["fluid"] {
+		t.Errorf("fidelity labels = %v, want event and fluid", labels)
+	}
+}
+
+func TestViewerScaleAxisSetsArrivalRate(t *testing.T) {
+	ax := sweep.ViewerScales(250, 1000)
+	if ax.Name != "viewer_scale" || len(ax.Points) != 2 {
+		t.Fatalf("axis = %+v", ax)
+	}
+	sc := simulate.Default(simulate.ClientServer, 1)
+	ax.Points[1].Set(&sc)
+	if got, want := sc.Workload.BaseArrivalRate, simulate.BaseRateForViewers(1000); got != want {
+		t.Errorf("base rate = %v, want %v", got, want)
+	}
+}

@@ -17,6 +17,19 @@ const (
 	CloudAssisted = simulate.CloudAssisted
 )
 
+// Fidelity selects the simulation engine behind a Scenario; see the
+// simulate.Fidelity constants re-exported below and DESIGN.md "Engine
+// fidelities".
+type Fidelity = simulate.Fidelity
+
+// The two engine fidelities: the per-viewer discrete-event simulator (the
+// default and the accuracy reference) and the aggregate fluid-cohort
+// integrator for million-viewer runs.
+const (
+	FidelityEvent = simulate.FidelityEvent
+	FidelityFluid = simulate.FidelityFluid
+)
+
 // Scenario is a fully assembled simulation configuration; run it with its
 // context-aware Run or Stream methods. See pkg/simulate for the field and
 // streaming documentation.

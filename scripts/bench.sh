@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the key benchmarks and emits a machine-readable BENCH_PR3.json so
+# the perf trajectory is tracked across PRs. Wired into CI as a
+# non-blocking step; run locally with `make bench`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR3.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+# Full-stack scale and throughput benches (root package): one iteration
+# each is enough — they are multi-second, domain-metric-reporting runs.
+go test -run '^$' -bench 'BenchmarkFluidMillionViewers$|BenchmarkEventParallelChannels|BenchmarkSweep3x3$|BenchmarkQueueingSolve$|BenchmarkP2PSolve$' \
+    -benchtime 1x . | tee -a "$TMP"
+
+# Hot-path micro benches: enough iterations for stable ns/op and the
+# allocs/op guard to mean something.
+go test -run '^$' -bench 'BenchmarkRebalancePeers$' -benchtime 2000x ./internal/sim | tee -a "$TMP"
+
+# Convert `go test -bench` lines into JSON:
+#   BenchmarkX-8  20  713 ns/op  0 B/op  0 allocs/op  4.2 quality
+# → {"name":"X","iterations":20,"metrics":{"ns/op":713,...}}
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    out = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", name, $2)
+    sep = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        out = out sprintf("%s\"%s\": %s", sep, $(i + 1), $i)
+        sep = ", "
+    }
+    out = out "}}"
+    lines[n++] = out
+}
+END {
+    printf "{\n  \"generated\": \"%s\",\n  \"benchmarks\": [\n", date
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i + 1 < n ? "," : "")
+    printf "  ]\n}\n"
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
