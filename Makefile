@@ -8,8 +8,9 @@ test:
 race:
 	go test -race ./...
 
-# Key benchmarks → BENCH_PR3.json (the cross-PR perf trajectory).
+# Key benchmarks → BENCH_PR4.json (the cross-PR perf trajectory;
+# BENCH_PR3.json is the committed previous baseline).
 bench:
-	./scripts/bench.sh BENCH_PR3.json
+	./scripts/bench.sh BENCH_PR4.json
 
 verify: test race

@@ -55,6 +55,8 @@ func run(args []string) error {
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		mode     = fs.String("mode", "client-server", "architecture under test: client-server, p2p, or cloud-assisted")
 		fidelity = fs.String("fidelity", "event", "simulation engine: event (per-viewer) or fluid (aggregate cohorts, million-viewer scale)")
+		policy   = fs.String("policy", "greedy", "provisioning policy: greedy, lookahead, oracle, or staticpeak")
+		pricing  = fs.String("pricing", "on-demand", "cloud billing plan: on-demand or reserved")
 		scale    = fs.Float64("scale", 2, "workload scale (1 ≈ 250 concurrent users, 10 ≈ paper scale)")
 		hours    = fs.Float64("hours", 24, "simulated duration per run, hours")
 		seed     = fs.Int64("seed", 42, "random seed")
@@ -80,12 +82,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	pol, err := simulate.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	pri, err := simulate.ParsePricing(*pricing)
+	if err != nil {
+		return err
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = paper.IDs()
 	}
-	opts := paper.Options{Mode: m, Fidelity: f, Scale: *scale, Hours: *hours, Seed: *seed}
+	opts := paper.Options{Mode: m, Fidelity: f, Policy: pol, Pricing: pri, Scale: *scale, Hours: *hours, Seed: *seed}
 	for _, id := range ids {
 		res, err := paper.Run(id, opts)
 		if err != nil {

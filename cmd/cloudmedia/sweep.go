@@ -138,7 +138,7 @@ func emitSweep(w io.Writer, results []sweep.Result, format string, aggregate boo
 }
 
 // axisNames lists the -axis spellings parseAxis accepts.
-var axisNames = []string{"mode", "fidelity", "viewer-scale", "vm-budget", "storage-budget", "uplink-ratio", "chunks", "channels", "predictor"}
+var axisNames = []string{"mode", "fidelity", "policy", "pricing", "viewer-scale", "vm-budget", "storage-budget", "uplink-ratio", "chunks", "channels", "predictor"}
 
 // parseAxis converts one -axis spec ("vm-budget=50,100,200") into an Axis.
 func parseAxis(spec string) (sweep.Axis, error) {
@@ -168,6 +168,26 @@ func parseAxis(spec string) (sweep.Axis, error) {
 			fids = append(fids, f)
 		}
 		return sweep.Fidelities(fids...), nil
+	case "policy":
+		var ps []simulate.Policy
+		for _, v := range values {
+			p, err := simulate.ParsePolicy(v)
+			if err != nil {
+				return sweep.Axis{}, fmt.Errorf("axis %s: %w", name, err)
+			}
+			ps = append(ps, p)
+		}
+		return sweep.Policies(ps...), nil
+	case "pricing":
+		var ps []simulate.PricingPlan
+		for _, v := range values {
+			p, err := simulate.ParsePricing(v)
+			if err != nil {
+				return sweep.Axis{}, fmt.Errorf("axis %s: %w", name, err)
+			}
+			ps = append(ps, p)
+		}
+		return sweep.Pricings(ps...), nil
 	case "viewer-scale":
 		fs, err := parseFloats(name, values)
 		if err != nil {

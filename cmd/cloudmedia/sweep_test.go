@@ -29,7 +29,7 @@ func TestSweepSubcommandCSV(t *testing.T) {
 	if len(lines) != 5 {
 		t.Fatalf("lines = %d, want header + 4 cells:\n%s", len(lines), data)
 	}
-	if lines[0] != "cell,mode,vm_budget,seed,hours,intervals,mean_quality,mean_reserved_mbps,vm_cost_usd,storage_cost_usd,final_users,error" {
+	if lines[0] != "cell,mode,vm_budget,seed,hours,intervals,mean_quality,mean_reserved_mbps,vm_cost_usd,storage_cost_usd,reserved_usd,on_demand_usd,upfront_usd,total_bill_usd,final_users,error" {
 		t.Errorf("header = %q", lines[0])
 	}
 }
@@ -99,6 +99,8 @@ func TestParseAxisCoversEveryName(t *testing.T) {
 	specs := map[string]string{
 		"mode":           "mode=cs,p2p",
 		"fidelity":       "fidelity=event,fluid",
+		"policy":         "policy=greedy,lookahead,oracle,staticpeak",
+		"pricing":        "pricing=on-demand,reserved",
 		"viewer-scale":   "viewer-scale=250,1000000",
 		"vm-budget":      "vm-budget=50,100",
 		"storage-budget": "storage-budget=1,2",

@@ -1,0 +1,72 @@
+// Command policies walks the provisioning-policy frontier: the same
+// cloud-assisted day simulated under the paper's greedy heuristic, the
+// lookahead policy with tear-down hysteresis, the perfect-prediction
+// oracle, and the fixed peak rental — each billed under both the
+// on-demand and the reserved pricing plan.
+//
+// The interesting read is the frontier: Oracle provisions the true
+// demand (best quality at the truth's price — the perfect-prediction
+// bound), Greedy's one-interval prediction lag under-provisions ramps
+// (slightly cheaper, slightly worse), StaticPeak pays roughly double for
+// the peak held all day, and the reserved plan rewards policies whose
+// rental is steady enough to commit.
+//
+// Run with: go run ./examples/policies
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"cloudmedia"
+	"cloudmedia/pkg/paper"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	base, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted,
+		cloudmedia.WithHours(12),
+		cloudmedia.WithScale(2),
+	)
+	if err != nil {
+		return err
+	}
+
+	policies := []cloudmedia.Policy{
+		cloudmedia.Greedy{},
+		cloudmedia.Lookahead{K: 3, Hysteresis: 2},
+		cloudmedia.Oracle{},
+		cloudmedia.StaticPeak{},
+	}
+	pricings := []cloudmedia.PricingPlan{
+		cloudmedia.OnDemandPricing(),
+		cloudmedia.ReservedPricing(),
+	}
+
+	tbl := paper.NewTable("Provisioning-policy frontier (cloud-assisted, 12 h)",
+		"policy", "pricing", "quality", "reserved_usd", "on_demand_usd", "upfront_usd", "total_usd")
+	for _, pol := range policies {
+		for _, pri := range pricings {
+			sc := base.With(
+				cloudmedia.WithPolicy(pol),
+				cloudmedia.WithPricing(pri),
+			)
+			rep, err := sc.Run(ctx)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", pol.Name(), pri.DisplayName(), err)
+			}
+			b := rep.Bill
+			tbl.AddRow(pol.Name(), pri.DisplayName(), rep.MeanQuality,
+				b.ReservedUSD, b.OnDemandUSD, b.UpfrontUSD, b.TotalUSD())
+		}
+	}
+	return tbl.Render(os.Stdout)
+}

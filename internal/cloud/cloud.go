@@ -32,6 +32,12 @@ func WithVMBandwidth(bytesPerSecond float64) Option {
 	return func(c *Cloud) { c.vmBandwidth = bytesPerSecond }
 }
 
+// WithPricing selects the pricing plan the cloud's ledger bills under
+// (default: OnDemandPricing, the paper's literal pay-as-you-go prices).
+func WithPricing(plan PricingPlan) Option {
+	return func(c *Cloud) { c.pricing = plan }
+}
+
 // vmClusterState tracks one virtual cluster at runtime.
 type vmClusterState struct {
 	spec      VMClusterSpec
@@ -60,6 +66,9 @@ type Cloud struct {
 	vmBandwidth     float64
 	bootSeconds     float64
 	shutdownSeconds float64
+
+	pricing PricingPlan
+	ledger  *Ledger
 
 	lastBilled  float64
 	vmCost      float64
@@ -108,8 +117,16 @@ func New(vmSpecs []VMClusterSpec, nfsSpecs []NFSClusterSpec, opts ...Option) (*C
 	if c.bootSeconds < 0 || c.shutdownSeconds < 0 {
 		return nil, fmt.Errorf("cloud: negative lifecycle latency")
 	}
+	if err := c.pricing.Validate(); err != nil {
+		return nil, err
+	}
+	c.ledger = newLedger(c.pricing, vmSpecs)
 	return c, nil
 }
+
+// Ledger returns the billing ledger accruing this cloud's bill under its
+// pricing plan.
+func (c *Cloud) Ledger() *Ledger { return c.ledger }
 
 // VMBandwidth returns R, the bandwidth of every VM in bytes/s.
 func (c *Cloud) VMBandwidth() float64 { return c.vmBandwidth }
@@ -312,6 +329,19 @@ func (c *Cloud) accrueLocked(now float64) {
 	for _, st := range c.nfs {
 		c.storageCost += st.storedGB * st.spec.PricePerGBHour * hours
 	}
+	if c.ledger != nil {
+		vms := make([]vmUsage, 0, len(c.vmOrder))
+		for _, name := range c.vmOrder {
+			st := c.vms[name]
+			vms = append(vms, vmUsage{name: name, price: st.spec.PricePerHour, allocated: st.allocated})
+		}
+		nfs := make([]storageUsage, 0, len(c.nfsOr))
+		for _, name := range c.nfsOr {
+			st := c.nfs[name]
+			nfs = append(nfs, storageUsage{price: st.spec.PricePerGBHour, gb: st.storedGB})
+		}
+		c.ledger.accrue(c.lastBilled, now, vms, nfs)
+	}
 	c.lastBilled = now
 }
 
@@ -323,10 +353,13 @@ func (c *Cloud) Costs() (vmCost, storageCost float64) {
 	return c.vmCost, c.storageCost
 }
 
-// ResetCosts zeroes the accrued costs (used when an experiment discards a
-// warm-up period).
+// ResetCosts zeroes the accrued costs, including the ledger's (used when
+// an experiment discards a warm-up period).
 func (c *Cloud) ResetCosts() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.vmCost, c.storageCost = 0, 0
+	if c.ledger != nil {
+		c.ledger.reset()
+	}
 }

@@ -12,7 +12,12 @@
 //   - VM lifecycle latency — launching a VM takes ~25 s (shutdown is
 //     quicker), and launches proceed in parallel;
 //   - billing — VM rental is charged per allocated VM-hour and storage per
-//     GB-hour, integrated continuously over simulated time.
+//     GB-hour, integrated continuously over simulated time. Alongside the
+//     paper's literal catalog-price accounting (Costs), a Ledger bills the
+//     same allocation trajectory under a PricingPlan with reserved and
+//     on-demand tiers, splitting dollars per tier and per provisioning
+//     interval (Checkpoint) — see DESIGN.md "Pricing and the billing
+//     ledger".
 //
 // Time is an explicit float64 of simulated seconds supplied by the caller;
 // the package never consults the wall clock, keeping experiments

@@ -1,0 +1,243 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPricingValidate(t *testing.T) {
+	good := []PricingPlan{{}, OnDemandPricing(), ReservedPricing()}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%q: %v", p.DisplayName(), err)
+		}
+	}
+	bad := []PricingPlan{
+		{OnDemandRate: -1},
+		{ReservedFraction: 2, TermHours: 24},
+		{ReservedFraction: 0.5}, // reserved tier without a term
+		{ReservedFraction: 0.5, TermHours: 24, ReservedRate: -0.1},
+		{UpfrontFraction: -1},
+		{StorageRate: -1},
+		{TermHours: -3},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestParsePricing(t *testing.T) {
+	for _, name := range PricingNames() {
+		p, err := ParsePricing(name)
+		if err != nil {
+			t.Errorf("ParsePricing(%q): %v", name, err)
+			continue
+		}
+		if p.DisplayName() != name {
+			t.Errorf("ParsePricing(%q).DisplayName() = %q", name, p.DisplayName())
+		}
+	}
+	if _, err := ParsePricing("spot"); err == nil {
+		t.Error("unknown plan accepted")
+	}
+}
+
+// TestLedgerOnDemandMatchesLegacyCosts: under the default plan, the
+// ledger's bill is exactly the Cloud's legacy cost counters.
+func TestLedgerOnDemandMatchesLegacyCosts(t *testing.T) {
+	cl, err := New(DefaultVMClusters(), DefaultNFSClusters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SetVMs(0, "standard", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SetStorage(0, "high", 5); err != nil {
+		t.Fatal(err)
+	}
+	cl.Advance(2 * 3600)
+	if err := cl.SetVMs(2*3600, "standard", 4); err != nil {
+		t.Fatal(err)
+	}
+	cl.Advance(5 * 3600)
+
+	vmCost, storageCost := cl.Costs()
+	bill := cl.Ledger().Totals()
+	if bill.ReservedUSD != 0 || bill.UpfrontUSD != 0 {
+		t.Errorf("on-demand plan accrued reserved dollars: %+v", bill)
+	}
+	if !approx(bill.OnDemandUSD, vmCost, 1e-9) {
+		t.Errorf("ledger VM bill %v != legacy %v", bill.OnDemandUSD, vmCost)
+	}
+	if !approx(bill.StorageUSD, storageCost, 1e-9) {
+		t.Errorf("ledger storage bill %v != legacy %v", bill.StorageUSD, storageCost)
+	}
+	if want := 10*2 + 4*3; !approx(bill.OnDemandVMHours, float64(want), 1e-9) {
+		t.Errorf("VM-hours %v, want %d", bill.OnDemandVMHours, want)
+	}
+	if want := 5 * 5; !approx(bill.GBHours, float64(want), 1e-9) {
+		t.Errorf("GB-hours %v, want %d", bill.GBHours, want)
+	}
+}
+
+// TestLedgerReservedSplit: with a reserved tier, committed capacity bills
+// at the discounted rate whether used or not, overflow bills on demand,
+// and the upfront fee recharges at each term boundary.
+func TestLedgerReservedSplit(t *testing.T) {
+	plan := PricingPlan{
+		Name:             "test-reserved",
+		ReservedFraction: 0.2, // standard 75→15, medium 30→6, advanced 45→9
+		ReservedRate:     0.5,
+		TermHours:        24,
+		UpfrontFraction:  0.1,
+	}
+	cl, err := New(DefaultVMClusters(), DefaultNFSClusters(), WithPricing(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := cl.Ledger()
+	if got := led.ReservedVMs("standard"); got != 15 {
+		t.Errorf("reserved standard = %d, want 15", got)
+	}
+
+	// Upfront for term 1 is charged at construction:
+	// Σ reserved × price × 24 h × 0.1.
+	upfront := (15*0.450 + 6*0.700 + 9*0.800) * 24 * 0.1
+	if b := led.Totals(); !approx(b.UpfrontUSD, upfront, 1e-9) {
+		t.Fatalf("first-term upfront %v, want %v", b.UpfrontUSD, upfront)
+	}
+
+	// 20 standard VMs for 10 hours: 15 reserved at half price, 5 on demand.
+	if err := cl.SetVMs(0, "standard", 20); err != nil {
+		t.Fatal(err)
+	}
+	cl.Advance(10 * 3600)
+	b := led.Totals()
+	// All three clusters' reserved capacity bills, allocated or not.
+	wantReserved := (15*0.450 + 6*0.700 + 9*0.800) * 0.5 * 10
+	if !approx(b.ReservedUSD, wantReserved, 1e-9) {
+		t.Errorf("reserved USD %v, want %v", b.ReservedUSD, wantReserved)
+	}
+	if want := 5 * 0.450 * 10.0; !approx(b.OnDemandUSD, want, 1e-9) {
+		t.Errorf("on-demand USD %v, want %v", b.OnDemandUSD, want)
+	}
+	if want := (15 + 6 + 9) * 10.0; !approx(b.ReservedVMHours, want, 1e-9) {
+		t.Errorf("reserved VM-hours %v, want %v", b.ReservedVMHours, want)
+	}
+
+	// Crossing into day 2 recharges the upfront exactly once more.
+	cl.Advance(30 * 3600)
+	if b := led.Totals(); !approx(b.UpfrontUSD, 2*upfront, 1e-9) {
+		t.Errorf("after term rollover, upfront %v, want %v", b.UpfrontUSD, 2*upfront)
+	}
+}
+
+// TestLedgerCheckpoint: the interval accumulator drains on Checkpoint and
+// the pieces sum to the running totals.
+func TestLedgerCheckpoint(t *testing.T) {
+	cl, err := New(DefaultVMClusters(), DefaultNFSClusters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SetVMs(0, "standard", 8); err != nil {
+		t.Fatal(err)
+	}
+	cl.Advance(3600)
+	first := cl.Ledger().Checkpoint()
+	if !approx(first.OnDemandUSD, 8*0.450, 1e-9) {
+		t.Errorf("interval 1 bill %v, want %v", first.OnDemandUSD, 8*0.450)
+	}
+	cl.Advance(2 * 3600)
+	second := cl.Ledger().Checkpoint()
+	if !approx(second.OnDemandUSD, 8*0.450, 1e-9) {
+		t.Errorf("interval 2 bill %v, want %v", second.OnDemandUSD, 8*0.450)
+	}
+	total := cl.Ledger().Totals()
+	if !approx(first.OnDemandUSD+second.OnDemandUSD, total.OnDemandUSD, 1e-9) {
+		t.Errorf("checkpoints %v + %v != total %v", first.OnDemandUSD, second.OnDemandUSD, total.OnDemandUSD)
+	}
+	if drained := cl.Ledger().Checkpoint(); drained.TotalUSD() != 0 {
+		t.Errorf("third checkpoint not empty: %+v", drained)
+	}
+}
+
+func TestLedgerResetAndDiagnostics(t *testing.T) {
+	cl, err := New(DefaultVMClusters(), DefaultNFSClusters(), WithPricing(ReservedPricing()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := cl.Ledger()
+	led.Notef(42, "storage plan failed: %v", "budget")
+	if notes := led.Diagnostics(); len(notes) != 1 || notes[0].Time != 42 {
+		t.Fatalf("diagnostics = %+v", notes)
+	}
+	if err := cl.SetVMs(0, "standard", 5); err != nil {
+		t.Fatal(err)
+	}
+	cl.Advance(3600)
+	if led.Totals().TotalUSD() == 0 {
+		t.Fatal("nothing accrued")
+	}
+	cl.ResetCosts()
+	if got := led.Totals(); got.TotalUSD() != 0 {
+		t.Errorf("reset left %v dollars", got.TotalUSD())
+	}
+	if notes := led.Diagnostics(); len(notes) != 0 {
+		t.Errorf("reset left %d notes", len(notes))
+	}
+}
+
+// TestLedgerReservedBeatsOnDemandWhenBusy: a fully loaded cluster is
+// cheaper under the reservation plan, an idle one is cheaper on demand —
+// the trade-off the plan models.
+func TestLedgerReservedBeatsOnDemandWhenBusy(t *testing.T) {
+	bill := func(plan PricingPlan, full bool) float64 {
+		cl, err := New(DefaultVMClusters(), nil, WithPricing(plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full {
+			for _, s := range DefaultVMClusters() {
+				if err := cl.SetVMs(0, s.Name, s.MaxVMs); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		cl.Advance(24 * 3600)
+		return cl.Ledger().Totals().TotalUSD()
+	}
+	// Busy: every cluster at capacity for a day, so the whole reserved
+	// tier is utilized.
+	if od, rs := bill(OnDemandPricing(), true), bill(ReservedPricing(), true); rs >= od {
+		t.Errorf("busy day: reserved %v not cheaper than on-demand %v", rs, od)
+	}
+	// Idle: zero allocation; reservations still bill.
+	if od, rs := bill(OnDemandPricing(), false), bill(ReservedPricing(), false); rs <= od {
+		t.Errorf("idle day: reserved %v not dearer than on-demand %v", rs, od)
+	}
+}
+
+// BenchmarkLedgerAccrual measures the per-accrual cost of the billing
+// path (three VM clusters, two NFS clusters), which runs on every
+// SetVMs/SetStorage/Advance.
+func BenchmarkLedgerAccrual(b *testing.B) {
+	cl, err := New(DefaultVMClusters(), DefaultNFSClusters(), WithPricing(ReservedPricing()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.SetVMs(0, "standard", 40); err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.SetStorage(0, "high", 10); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Advance(float64(i+1) * 900)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "accruals/s")
+}

@@ -12,6 +12,7 @@ import (
 	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/core"
 	"cloudmedia/internal/modes"
+	"cloudmedia/internal/provision"
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
 	"cloudmedia/internal/workload"
@@ -54,6 +55,8 @@ type Settings struct {
 	UplinkRatio *float64
 	Channels    *int
 	Predictor   core.Predictor
+	Policy      provision.Policy
+	Pricing     *cloud.PricingPlan
 	Scheduling  sim.PeerScheduling
 	Fidelity    modes.Fidelity
 	Workload    *workload.Params
@@ -82,8 +85,9 @@ func Apply(opts []Option) (*Settings, error) {
 
 // Clone returns a deep copy: every pointer field is re-allocated and every
 // slice reallocated, so mutations through the copy never reach the
-// original. Predictor values are shared (predictors are stateless value
-// types).
+// original. Predictor and Policy values are shared (both are stateless
+// value specs; per-run policy state lives in the planner a controller
+// builds from the spec).
 func (s *Settings) Clone() *Settings {
 	if s == nil {
 		return nil
@@ -109,6 +113,7 @@ func (s *Settings) Clone() *Settings {
 	out.Sample = clonePtr(s.Sample)
 	out.UplinkRatio = clonePtr(s.UplinkRatio)
 	out.Channels = clonePtr(s.Channels)
+	out.Pricing = clonePtr(s.Pricing)
 	if s.Transfer != nil {
 		m := make(queueing.TransferMatrix, len(s.Transfer))
 		for i, row := range s.Transfer {

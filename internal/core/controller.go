@@ -1,9 +1,7 @@
 package core
 
 import (
-	"errors"
 	"fmt"
-	"math"
 
 	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/provision"
@@ -41,6 +39,15 @@ type Options struct {
 	// Predictor forecasts next-interval arrival rates from the observed
 	// history. nil uses LastInterval, the paper's rule.
 	Predictor Predictor
+	// Policy turns predicted demand into rental plans each interval. nil
+	// uses provision.Greedy, the paper's heuristic with infeasibility
+	// scaling.
+	Policy provision.Policy
+	// TrueRates, when non-nil, exposes the workload trace's true mean
+	// arrival rate for a channel over [start, end) — the realized-arrival
+	// source oracle policies (Policy.Oracle() == true) plan on. Policies
+	// that do not ask for it never see it.
+	TrueRates func(channel int, start, end float64) float64
 	// HistoryLimit bounds the per-channel rate history kept for the
 	// predictor; 0 means 168 (a week of hourly intervals).
 	HistoryLimit int
@@ -78,6 +85,9 @@ func (o *Options) applyDefaults() {
 	if o.Predictor == nil {
 		o.Predictor = LastInterval{}
 	}
+	if o.Policy == nil {
+		o.Policy = provision.Greedy{}
+	}
 	if o.HistoryLimit == 0 {
 		o.HistoryLimit = 168
 	}
@@ -87,7 +97,7 @@ func (o *Options) applyDefaults() {
 // experiment harness turns these into the paper's figures.
 type IntervalRecord struct {
 	Time             float64   // when the round ran, seconds
-	ArrivalRates     []float64 // per-channel Λ estimates
+	ArrivalRates     []float64 // per-channel Λ estimates (or true rates, for oracle policies)
 	DemandPerChannel []float64 // per-channel Σ Δ, bytes/s
 	TotalDemand      float64   // Σ over channels, bytes/s
 	TotalPeerSupply  float64   // Σ Γ, bytes/s
@@ -96,25 +106,36 @@ type IntervalRecord struct {
 	// DemandScale < 1 records that the budget was infeasible and demand was
 	// scaled down to fit (the paper's "increase your budget" signal).
 	DemandScale float64
+	// PlanErr records a round whose VM planning failed outright (no plan
+	// was applied; the previous rental stays in force).
+	PlanErr string
+	// StorageErr records a round whose storage planning failed; the
+	// previous storage plan stays applied. Both errors also land in the
+	// cloud ledger's diagnostics.
+	StorageErr string
+	// Cost is the ledger bill accrued over the interval that ended at
+	// Time, split by pricing tier. The bootstrap (t=0) record carries only
+	// the first reservation term's upfront fee, if any.
+	Cost cloud.LedgerTotals
 }
 
-// Controller wires the measurement feed, the analysis, the heuristics, the
-// broker, and the running system together. It talks to the simulation only
-// through the sim.Backend seam, so the same control loop drives both the
-// per-viewer discrete-event engine and the aggregate fluid engine.
+// Controller wires the measurement feed, the analysis, the provisioning
+// policy, the broker, and the running system together. It talks to the
+// simulation only through the sim.Backend seam, so the same control loop
+// drives both the per-viewer discrete-event engine and the aggregate
+// fluid engine; it plans only through the provision.Policy seam, so the
+// same measurement loop drives greedy, lookahead, oracle, and static
+// baselines.
 type Controller struct {
-	sim    sim.Backend
-	broker *cloud.Broker
-	cl     *cloud.Cloud
-	opts   Options
+	sim     sim.Backend
+	broker  *cloud.Broker
+	cl      *cloud.Cloud
+	opts    Options
+	planner provision.Planner
 
 	records     []IntervalRecord
 	lastCaps    map[[2]int]float64 // last applied per-chunk capacity targets
 	rateHistory [][]float64        // per-channel observed arrival rates, oldest first
-
-	lastStoragePlan   provision.StoragePlan
-	lastStorageDemand float64
-	storagePlanned    bool
 }
 
 // NewController builds a controller for a simulation backend and a cloud
@@ -141,11 +162,17 @@ func NewController(s sim.Backend, cl *cloud.Cloud, broker *cloud.Broker, opts Op
 			return nil, err
 		}
 	}
+	if v, ok := opts.Policy.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	return &Controller{
 		sim:         s,
 		broker:      broker,
 		cl:          cl,
 		opts:        opts,
+		planner:     opts.Policy.NewPlanner(),
 		lastCaps:    make(map[[2]int]float64),
 		rateHistory: make([][]float64, s.Channels()),
 	}, nil
@@ -207,12 +234,99 @@ func (c *Controller) forecast(channel int, observed float64) float64 {
 	return c.opts.Predictor.Predict(h)
 }
 
-// Provision derives demand from the given per-channel inputs and applies
-// plans to the cloud and the running system. It is also the bootstrap
-// entry point: experiments call it at t=0 with analytic estimates.
+// oracle reports whether this run plans on true arrival rates: the policy
+// asked for them and a source is configured.
+func (c *Controller) oracle() bool {
+	return c.opts.Policy.Oracle() && c.opts.TrueRates != nil
+}
+
+// wantsFuture reports whether the planner still consumes forecasts this
+// round; planners that don't implement provision.FutureDemander always do.
+func (c *Controller) wantsFuture() bool {
+	if fd, ok := c.planner.(provision.FutureDemander); ok {
+		return fd.NeedsFuture()
+	}
+	return true
+}
+
+// deriveOne runs the demand analysis for one channel and applies the
+// peer-supply trust and provisioning headroom, yielding the per-chunk
+// cloud demand the policy plans on. A channel whose analysis fails (e.g.
+// degenerate estimated matrix) gets zero demand rather than aborting the
+// round.
+func (c *Controller) deriveOne(cfg queueing.Config, in ChannelInput, p2pMode bool) ChannelDemand {
+	if in.Transfer == nil {
+		in.Transfer = c.opts.FallbackTransfer
+	}
+	d, err := DeriveDemand(cfg, in, p2pMode, c.opts.MaxServersPerChunk)
+	if err != nil {
+		return ChannelDemand{
+			CloudDemand: make([]float64, cfg.Chunks),
+			PeerSupply:  make([]float64, cfg.Chunks),
+		}
+	}
+	// Apply peer-supply trust and provisioning headroom against the full
+	// equilibrium capacity (Δ = capacity − trust·Γ, then slack).
+	for i := range d.CloudDemand {
+		delta := d.Equilibrium.Capacity[i] - c.opts.PeerSupplyTrust*d.PeerSupply[i]
+		if delta < 0 {
+			delta = 0
+		}
+		d.CloudDemand[i] = delta * c.opts.ProvisionHeadroom
+	}
+	return d
+}
+
+// futureDemands forecasts per-chunk demand for the k intervals after the
+// upcoming one: from the true trace rates for oracle policies, otherwise
+// by iterating the predictor on its own forecasts. Transfer matrices and
+// uplinks are held at their current estimates, so a step whose forecast
+// rate matches the previous step's reuses that step's demand analysis —
+// with a fixed-point predictor (LastInterval, the default) the whole
+// lookahead costs one analysis, not k+1. current and currentRates are
+// this round's derived demands and the rates that produced them.
+func (c *Controller) futureDemands(cfg queueing.Config, inputs []ChannelInput, current []ChannelDemand, currentRates []float64, p2pMode bool, now float64, k int) [][]provision.ChunkDemand {
+	T := c.opts.IntervalSeconds
+	oracle := c.oracle()
+	var hist [][]float64
+	if !oracle {
+		hist = make([][]float64, len(inputs))
+		for ch, in := range inputs {
+			hist[ch] = append(append([]float64(nil), c.rateHistory[ch]...), in.ArrivalRate)
+		}
+	}
+	prev := append([]ChannelDemand(nil), current...)
+	prevRates := append([]float64(nil), currentRates...)
+	future := make([][]provision.ChunkDemand, k)
+	for step := 1; step <= k; step++ {
+		demands := make([]ChannelDemand, len(inputs))
+		for ch, in := range inputs {
+			if oracle {
+				in.ArrivalRate = c.opts.TrueRates(ch, now+float64(step)*T, now+float64(step+1)*T)
+			} else {
+				in.ArrivalRate = c.opts.Predictor.Predict(hist[ch])
+				hist[ch] = append(hist[ch], in.ArrivalRate)
+			}
+			if in.ArrivalRate == prevRates[ch] {
+				demands[ch] = prev[ch]
+			} else {
+				demands[ch] = c.deriveOne(cfg, in, p2pMode)
+			}
+			prev[ch], prevRates[ch] = demands[ch], in.ArrivalRate
+		}
+		future[step-1] = FlattenDemands(demands)
+	}
+	return future
+}
+
+// Provision derives demand from the given per-channel inputs, asks the
+// provisioning policy for a plan, and applies it to the cloud and the
+// running system. It is also the bootstrap entry point: experiments call
+// it at t=0 with analytic estimates.
 func (c *Controller) Provision(now float64, inputs []ChannelInput) {
 	cfg := c.sim.ChannelConfig()
 	p2pMode := c.sim.Mode() == sim.P2P
+	oracle := c.oracle()
 
 	rec := IntervalRecord{
 		Time:             now,
@@ -222,30 +336,11 @@ func (c *Controller) Provision(now float64, inputs []ChannelInput) {
 	}
 	demands := make([]ChannelDemand, len(inputs))
 	for ch, in := range inputs {
+		if oracle {
+			in.ArrivalRate = c.opts.TrueRates(ch, now, now+c.opts.IntervalSeconds)
+		}
 		rec.ArrivalRates[ch] = in.ArrivalRate
-		if in.Transfer == nil {
-			in.Transfer = c.opts.FallbackTransfer
-		}
-		d, err := DeriveDemand(cfg, in, p2pMode, c.opts.MaxServersPerChunk)
-		if err != nil {
-			// A channel whose analysis fails (e.g. degenerate estimated
-			// matrix) keeps zero demand this interval rather than aborting
-			// the whole round.
-			demands[ch] = ChannelDemand{
-				CloudDemand: make([]float64, cfg.Chunks),
-				PeerSupply:  make([]float64, cfg.Chunks),
-			}
-			continue
-		}
-		// Apply peer-supply trust and provisioning headroom against the
-		// full equilibrium capacity (Δ = capacity − trust·Γ, then slack).
-		for i := range d.CloudDemand {
-			delta := d.Equilibrium.Capacity[i] - c.opts.PeerSupplyTrust*d.PeerSupply[i]
-			if delta < 0 {
-				delta = 0
-			}
-			d.CloudDemand[i] = delta * c.opts.ProvisionHeadroom
-		}
+		d := c.deriveOne(cfg, in, p2pMode)
 		demands[ch] = d
 		for _, delta := range d.CloudDemand {
 			rec.DemandPerChannel[ch] += delta
@@ -266,27 +361,50 @@ func (c *Controller) Provision(now float64, inputs []ChannelInput) {
 		nfsSpecs = append(nfsSpecs, a.Spec)
 	}
 
-	flat := FlattenDemands(demands)
-	vmPlan, scale, err := planWithScaling(flat, catalog.VMBandwidth, vmSpecs, c.opts.VMBudgetPerHour)
+	req := provision.PlanRequest{
+		Time:                   now,
+		IntervalSeconds:        c.opts.IntervalSeconds,
+		Demands:                FlattenDemands(demands),
+		VMBandwidth:            catalog.VMBandwidth,
+		ChunkBytes:             cfg.ChunkBytes(),
+		VMClusters:             vmSpecs,
+		NFSClusters:            nfsSpecs,
+		VMBudgetPerHour:        c.opts.VMBudgetPerHour,
+		StorageBudgetPerHour:   c.opts.StorageBudgetPerHour,
+		StorageChangeThreshold: c.opts.StorageChangeThreshold,
+	}
+	if k := c.opts.Policy.Lookahead(); k > 0 && c.wantsFuture() {
+		req.Future = c.futureDemands(cfg, inputs, demands, rec.ArrivalRates, p2pMode, now, k)
+	}
+
+	res, err := c.planner.Plan(req)
 	if err != nil {
-		// Even fully scaled-down planning failed (no clusters, etc.):
-		// record an empty round.
-		c.record(rec)
+		// Planning failed outright (no clusters, demand unservable even
+		// fully scaled down, …): record the empty round and keep last
+		// interval's rental.
+		rec.PlanErr = err.Error()
+		c.cl.Ledger().Notef(now, "%s policy: VM plan failed: %v", c.opts.Policy.Name(), err)
+		c.finish(now, rec)
 		return
 	}
-	rec.VMPlan = vmPlan
-	rec.DemandScale = scale
-
-	if len(nfsSpecs) > 0 && c.storageStale(rec.TotalDemand) {
-		if sp, err := provision.PlanStorage(flat, cfg.ChunkBytes(), nfsSpecs, c.opts.StorageBudgetPerHour); err == nil {
-			c.lastStoragePlan = sp
-			c.lastStorageDemand = rec.TotalDemand
-			c.storagePlanned = true
-		}
+	rec.VMPlan = res.VMPlan
+	rec.DemandScale = res.DemandScale
+	rec.StoragePlan = res.StoragePlan
+	if res.StorageErr != nil {
+		rec.StorageErr = res.StorageErr.Error()
+		c.cl.Ledger().Notef(now, "%s policy: storage plan failed, previous plan kept: %v",
+			c.opts.Policy.Name(), res.StorageErr)
 	}
-	rec.StoragePlan = c.lastStoragePlan
 
-	c.apply(now, vmPlan, rec.StoragePlan, catalog.VMBandwidth, demands)
+	c.apply(now, res.VMPlan, res.StoragePlan, catalog.VMBandwidth, demands)
+	c.finish(now, rec)
+}
+
+// finish settles the bill for the interval that just ended, stamps it on
+// the record, and delivers the record.
+func (c *Controller) finish(now float64, rec IntervalRecord) {
+	c.cl.Advance(now)
+	rec.Cost = c.cl.Ledger().Checkpoint()
 	c.record(rec)
 }
 
@@ -299,84 +417,6 @@ func (c *Controller) record(rec IntervalRecord) {
 	if !c.opts.DiscardHistory {
 		c.records = append(c.records, rec)
 	}
-}
-
-// storageStale reports whether the storage rental should be recomputed for
-// the given total demand (Sec. V-B: "if the demand for chunks has changed
-// significantly since last interval").
-func (c *Controller) storageStale(totalDemand float64) bool {
-	if !c.storagePlanned {
-		return true
-	}
-	if c.opts.StorageChangeThreshold <= 0 {
-		return true
-	}
-	base := c.lastStorageDemand
-	if base == 0 {
-		return totalDemand > 0
-	}
-	change := totalDemand/base - 1
-	if change < 0 {
-		change = -change
-	}
-	return change > c.opts.StorageChangeThreshold
-}
-
-// planWithScaling runs the VM heuristic, shrinking demand until the plan
-// fits the budget and cluster capacity. The first retry jumps straight to
-// an upper bound on the feasible scale (cost is at least totalVMs × the
-// cheapest price, and VMs are bounded by total cluster capacity), then
-// backs off geometrically. Returns the plan and the final scale.
-func planWithScaling(flat []provision.ChunkDemand, vmBandwidth float64, specs []cloud.VMClusterSpec, budget float64) (provision.VMPlan, float64, error) {
-	plan, err := provision.PlanVMs(flat, vmBandwidth, specs, budget)
-	if err == nil {
-		return plan, 1, nil
-	}
-	if !errors.Is(err, provision.ErrInfeasible) {
-		return provision.VMPlan{}, 1, err
-	}
-
-	var totalNeed float64
-	for _, d := range flat {
-		totalNeed += d.Demand / vmBandwidth
-	}
-	if totalNeed <= 0 {
-		return provision.VMPlan{}, 1, err
-	}
-	var capTotal float64
-	minPrice := math.Inf(1)
-	for _, s := range specs {
-		capTotal += float64(s.MaxVMs)
-		if s.PricePerHour < minPrice {
-			minPrice = s.PricePerHour
-		}
-	}
-	scale := 1.0
-	if bound := capTotal / totalNeed; bound < scale {
-		scale = bound
-	}
-	if minPrice > 0 {
-		if bound := budget / (totalNeed * minPrice); bound < scale {
-			scale = bound
-		}
-	}
-	scale *= 0.98
-
-	for attempt := 0; attempt < 30 && scale > 0; attempt++ {
-		scaled := make([]provision.ChunkDemand, len(flat))
-		for i, d := range flat {
-			scaled[i] = provision.ChunkDemand{Channel: d.Channel, Chunk: d.Chunk, Demand: d.Demand * scale}
-		}
-		plan, err := provision.PlanVMs(scaled, vmBandwidth, specs, budget)
-		if err == nil {
-			return plan, scale, nil
-		}
-		if !errors.Is(err, provision.ErrInfeasible) {
-			return provision.VMPlan{}, scale, err
-		}
-		scale *= 0.9
-	}
-	return provision.VMPlan{}, scale, fmt.Errorf("%w: demand unservable even at %.2f%% scale", provision.ErrInfeasible, scale*100)
 }
 
 // apply submits the SLA reconfiguration and updates the per-chunk serving

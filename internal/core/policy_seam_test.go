@@ -1,0 +1,219 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/provision"
+	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/sim"
+	"cloudmedia/internal/viewing"
+)
+
+// buildStack assembles a simulator + cloud + broker for seam tests,
+// returning the pieces so each test can pick its own controller Options.
+func buildStack(t *testing.T) (*sim.Simulator, *cloud.Cloud, *cloud.Broker, queueing.TransferMatrix) {
+	t.Helper()
+	s, cl, _ := testSystem(t, sim.ClientServer)
+	broker, err := cloud.NewBroker(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, cl, broker, transfer
+}
+
+func flatInputs(s *sim.Simulator, transfer queueing.TransferMatrix, rate float64) []ChannelInput {
+	inputs := make([]ChannelInput, s.Channels())
+	for c := range inputs {
+		inputs[c] = ChannelInput{ArrivalRate: rate, Transfer: transfer}
+	}
+	return inputs
+}
+
+// TestStorageInfeasibilityIsVisible pins the satellite fix: a failed
+// storage plan must land on the IntervalRecord and in the ledger
+// diagnostics instead of being silently swallowed (the controller used to
+// keep the stale plan with no trace).
+func TestStorageInfeasibilityIsVisible(t *testing.T) {
+	s, cl, broker, transfer := buildStack(t)
+	ctl, err := NewController(s, cl, broker, Options{
+		IntervalSeconds:      600,
+		StorageBudgetPerHour: 1e-12, // no chunk is placeable under this budget
+		FallbackTransfer:     transfer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Provision(0, flatInputs(s, transfer, 0.2))
+	recs := ctl.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	rec := recs[0]
+	if rec.StorageErr == "" {
+		t.Fatal("storage infeasibility not recorded on the IntervalRecord")
+	}
+	if !strings.Contains(rec.StorageErr, "unplaceable") {
+		t.Errorf("StorageErr = %q, want the PlanStorage infeasibility", rec.StorageErr)
+	}
+	if len(rec.StoragePlan.Placements) != 0 {
+		t.Errorf("failed round still produced %d placements", len(rec.StoragePlan.Placements))
+	}
+	// The VM side of the round must be unaffected.
+	if rec.PlanErr != "" {
+		t.Errorf("VM planning failed too: %v", rec.PlanErr)
+	}
+	if len(rec.VMPlan.Allocations) == 0 {
+		t.Error("VM plan missing despite a storage-only failure")
+	}
+	// And the ledger diagnostics must carry the event.
+	notes := cl.Ledger().Diagnostics()
+	if len(notes) == 0 {
+		t.Fatal("no ledger diagnostics for the failed storage plan")
+	}
+	if !strings.Contains(notes[0].Msg, "storage plan failed") {
+		t.Errorf("ledger note = %q, want a storage-plan diagnostic", notes[0].Msg)
+	}
+}
+
+// TestVMPlanFailureIsVisible pins the companion path: when VM planning
+// fails outright, the empty round records the error instead of silently
+// keeping the previous rental.
+func TestVMPlanFailureIsVisible(t *testing.T) {
+	s, cl, broker, transfer := buildStack(t)
+	// A negative budget is rejected by PlanVMs with a non-infeasible
+	// error, which planWithScaling passes straight through — the
+	// planning-failed path without any scale search.
+	ctl, err := NewController(s, cl, broker, Options{
+		IntervalSeconds:  600,
+		VMBudgetPerHour:  -1,
+		FallbackTransfer: transfer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Provision(0, flatInputs(s, transfer, 0.5))
+	rec := ctl.Records()[0]
+	if rec.PlanErr == "" {
+		t.Fatal("failed VM planning round recorded no PlanErr")
+	}
+	if len(rec.VMPlan.Allocations) != 0 {
+		t.Error("failed round carries a VM plan")
+	}
+	if len(cl.Ledger().Diagnostics()) == 0 {
+		t.Error("no ledger diagnostic for the failed VM plan")
+	}
+}
+
+// capturePolicy records the PlanRequest the controller builds and
+// delegates planning to Greedy — a seam probe.
+type capturePolicy struct {
+	lookahead int
+	oracle    bool
+	reqs      *[]provision.PlanRequest
+}
+
+func (p capturePolicy) Name() string   { return "capture" }
+func (p capturePolicy) Lookahead() int { return p.lookahead }
+func (p capturePolicy) Oracle() bool   { return p.oracle }
+func (p capturePolicy) NewPlanner() provision.Planner {
+	return &capturePlanner{policy: p, inner: provision.Greedy{}.NewPlanner()}
+}
+
+type capturePlanner struct {
+	policy capturePolicy
+	inner  provision.Planner
+}
+
+func (p *capturePlanner) Plan(req provision.PlanRequest) (provision.PlanResult, error) {
+	*p.policy.reqs = append(*p.policy.reqs, req)
+	return p.inner.Plan(req)
+}
+
+// TestControllerFillsPlanRequest pins the seam contract: budgets, catalog,
+// chunk size, and exactly Lookahead() future forecasts reach the policy.
+func TestControllerFillsPlanRequest(t *testing.T) {
+	s, cl, broker, transfer := buildStack(t)
+	var reqs []provision.PlanRequest
+	ctl, err := NewController(s, cl, broker, Options{
+		IntervalSeconds:  600,
+		VMBudgetPerHour:  42,
+		FallbackTransfer: transfer,
+		Policy:           capturePolicy{lookahead: 2, reqs: &reqs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Provision(0, flatInputs(s, transfer, 0.2))
+	if len(reqs) != 1 {
+		t.Fatalf("policy saw %d requests, want 1", len(reqs))
+	}
+	req := reqs[0]
+	if req.VMBudgetPerHour != 42 {
+		t.Errorf("VMBudgetPerHour = %v", req.VMBudgetPerHour)
+	}
+	if len(req.VMClusters) != len(cl.VMClusters()) || len(req.NFSClusters) != len(cl.NFSClusters()) {
+		t.Error("catalog did not reach the policy")
+	}
+	if req.ChunkBytes != s.ChannelConfig().ChunkBytes() {
+		t.Errorf("ChunkBytes = %v, want %v", req.ChunkBytes, s.ChannelConfig().ChunkBytes())
+	}
+	if want := s.Channels() * s.ChannelConfig().Chunks; len(req.Demands) != want {
+		t.Errorf("demands = %d, want %d", len(req.Demands), want)
+	}
+	if len(req.Future) != 2 {
+		t.Fatalf("future forecasts = %d, want Lookahead() = 2", len(req.Future))
+	}
+	for i, step := range req.Future {
+		if len(step) != len(req.Demands) {
+			t.Errorf("future step %d has %d chunk demands, want %d", i, len(step), len(req.Demands))
+		}
+	}
+}
+
+// TestOraclePolicySeesTrueRates pins the oracle path: when the policy
+// declares Oracle() and a true-rate source exists, the recorded arrival
+// rates are the trace's, not the predictor's.
+func TestOraclePolicySeesTrueRates(t *testing.T) {
+	s, cl, broker, transfer := buildStack(t)
+	const trueRate = 0.123
+	var reqs []provision.PlanRequest
+	ctl, err := NewController(s, cl, broker, Options{
+		IntervalSeconds:  600,
+		FallbackTransfer: transfer,
+		Policy:           capturePolicy{oracle: true, lookahead: 1, reqs: &reqs},
+		TrueRates:        func(int, float64, float64) float64 { return trueRate },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Provision(0, flatInputs(s, transfer, 0.9)) // predictor input says 0.9
+	rec := ctl.Records()[0]
+	for ch, r := range rec.ArrivalRates {
+		if r != trueRate {
+			t.Errorf("channel %d planned on rate %v, want the oracle's %v", ch, r, trueRate)
+		}
+	}
+	// Future forecasts come from the same oracle source.
+	if len(reqs) != 1 || len(reqs[0].Future) != 1 {
+		t.Fatalf("oracle lookahead not filled: %+v", reqs)
+	}
+}
+
+// TestPolicyValidationSurfaces pins that invalid policy parameters fail
+// controller construction.
+func TestPolicyValidationSurfaces(t *testing.T) {
+	s, cl, broker, transfer := buildStack(t)
+	_, err := NewController(s, cl, broker, Options{
+		FallbackTransfer: transfer,
+		Policy:           provision.Lookahead{K: -1},
+	})
+	if err == nil {
+		t.Error("negative lookahead accepted")
+	}
+}

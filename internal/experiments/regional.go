@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/geo"
 	"cloudmedia/internal/metrics"
 	"cloudmedia/internal/viewing"
@@ -33,6 +34,8 @@ func Regional(sc Scenario) (*Result, error) {
 		Regions:              configured,
 		Mode:                 sc.Mode,
 		Fidelity:             sc.Fidelity,
+		Policy:               sc.Policy,
+		Pricing:              sc.Pricing,
 		Channel:              sc.Channel,
 		Workload:             sc.Workload,
 		IntervalSeconds:      sc.IntervalSeconds,
@@ -47,12 +50,24 @@ func Regional(sc Scenario) (*Result, error) {
 	dep.RunUntil(sc.Hours * 3600)
 
 	regions, totalVM, totalStorage := dep.Report()
+	var bill cloud.LedgerTotals
+	for _, r := range dep.Regions() {
+		t := r.Cloud.Ledger().Totals()
+		bill.ReservedUSD += t.ReservedUSD
+		bill.OnDemandUSD += t.OnDemandUSD
+		bill.UpfrontUSD += t.UpfrontUSD
+		bill.StorageUSD += t.StorageUSD
+	}
 	tbl := metrics.NewTable(
 		fmt.Sprintf("Regional deployment — per-region outcome (%v)", sc.Mode),
 		"region", "share", "uplink_scale", "users", "quality", "vm_cost_usd")
 	summary := map[string]float64{
 		"vm_cost_total_usd":      totalVM,
 		"storage_cost_total_usd": totalStorage,
+		"bill_total_usd":         bill.TotalUSD(),
+		"bill_reserved_usd":      bill.ReservedUSD,
+		"bill_on_demand_usd":     bill.OnDemandUSD,
+		"bill_upfront_usd":       bill.UpfrontUSD,
 	}
 	for i, r := range regions {
 		scale := configured[i].UplinkScale

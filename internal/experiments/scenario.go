@@ -7,6 +7,7 @@ import (
 	"cloudmedia/internal/core"
 	"cloudmedia/internal/fluid"
 	"cloudmedia/internal/modes"
+	"cloudmedia/internal/provision"
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
 	"cloudmedia/internal/viewing"
@@ -46,6 +47,12 @@ type Scenario struct {
 	// Predictor overrides the controller's arrival-rate forecaster; nil
 	// uses the paper's last-interval rule.
 	Predictor core.Predictor
+	// Policy selects the provisioning policy; nil uses provision.Greedy,
+	// the paper's heuristic.
+	Policy provision.Policy
+	// Pricing selects the billing plan the cloud ledger accrues under;
+	// the zero value is pure on-demand, the paper's literal pricing.
+	Pricing cloud.PricingPlan
 	// Scheduling overrides the P2P uplink allocation policy; zero uses
 	// rarest-first, the paper's scheme.
 	Scheduling sim.PeerScheduling
@@ -187,7 +194,7 @@ func Build(sc Scenario) (*System, error) {
 	if nfsSpecs == nil {
 		nfsSpecs = cloud.DefaultNFSClusters()
 	}
-	cl, err := cloud.New(vmSpecs, nfsSpecs)
+	cl, err := cloud.New(vmSpecs, nfsSpecs, cloud.WithPricing(sc.Pricing))
 	if err != nil {
 		return nil, err
 	}
@@ -207,8 +214,14 @@ func Build(sc Scenario) (*System, error) {
 		PeerSupplyTrust:   0.7,
 		ProvisionHeadroom: 1.2,
 		Predictor:         sc.Predictor,
-		OnInterval:        sc.OnInterval,
-		DiscardHistory:    sc.DiscardRecords,
+		Policy:            sc.Policy,
+		// Oracle policies plan on the true arrival intensity of the
+		// trace; the source is always wired, and only policies that
+		// declare Oracle() == true ever consult it. It closes over a
+		// private workload copy, so concurrent runs share no state.
+		TrueRates:      sc.Workload.TrueRateSource(),
+		OnInterval:     sc.OnInterval,
+		DiscardHistory: sc.DiscardRecords,
 	})
 	if err != nil {
 		return nil, err

@@ -105,24 +105,25 @@ type Runner func(Scenario) (*Result, error)
 // Registry maps experiment IDs (as used by the CLI) to runners.
 func Registry() map[string]Runner {
 	return map[string]Runner{
-		"tab2":     Table2,
-		"tab3":     Table3,
-		"fig4":     Fig4,
-		"fig5":     Fig5,
-		"fig6":     Fig6,
-		"fig7":     Fig7,
-		"fig8":     Fig8,
-		"fig9":     Fig9,
-		"fig10":    Fig10,
-		"fig11":    Fig11,
-		"vmlat":    VMLatency,
-		"storcost": StorageCost,
-		"timeline": TimelineReport,
-		"regional": Regional,
+		"tab2":         Table2,
+		"tab3":         Table3,
+		"fig4":         Fig4,
+		"fig5":         Fig5,
+		"fig6":         Fig6,
+		"fig7":         Fig7,
+		"fig8":         Fig8,
+		"fig9":         Fig9,
+		"fig10":        Fig10,
+		"fig11":        Fig11,
+		"vmlat":        VMLatency,
+		"storcost":     StorageCost,
+		"timeline":     TimelineReport,
+		"regional":     Regional,
+		"costfrontier": CostFrontier,
 	}
 }
 
 // IDs returns the experiment identifiers in a stable presentation order.
 func IDs() []string {
-	return []string{"tab2", "tab3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "vmlat", "storcost", "timeline", "regional"}
+	return []string{"tab2", "tab3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "vmlat", "storcost", "timeline", "regional", "costfrontier"}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/core"
 	"cloudmedia/internal/metrics"
 )
@@ -36,7 +37,13 @@ type Timeline struct {
 
 	VMCostTotal      float64
 	StorageCostTotal float64
-	MeanQuality      float64
+	// Bill is the ledger's view of the run under the scenario's pricing
+	// plan, dollars split reserved / on-demand / upfront / storage.
+	Bill cloud.LedgerTotals
+	// LedgerNotes carries the ledger diagnostics (infeasible budgets,
+	// failed storage plans) accumulated over the run.
+	LedgerNotes []cloud.Note
+	MeanQuality float64
 }
 
 // bytesPerSecToMbps converts bytes/s to megabits/s, the paper's unit.
@@ -93,6 +100,8 @@ func RunTimeline(sc Scenario) (*Timeline, error) {
 	s.RunUntil(sc.Hours * 3600)
 	sys.Cloud.Advance(s.Now())
 	tl.VMCostTotal, tl.StorageCostTotal = sys.Cloud.Costs()
+	tl.Bill = sys.Cloud.Ledger().Totals()
+	tl.LedgerNotes = sys.Cloud.Ledger().Diagnostics()
 	tl.Records = sys.Controller.Records()
 
 	var qSum float64

@@ -20,6 +20,7 @@ import (
 	"cloudmedia/internal/fluid"
 	"cloudmedia/internal/mathx"
 	"cloudmedia/internal/modes"
+	"cloudmedia/internal/provision"
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
 	"cloudmedia/internal/workload"
@@ -80,6 +81,14 @@ type Config struct {
 	Fidelity modes.Fidelity
 	Channel  queueing.Config
 	Workload workload.Params // global trace; regional rate = global × share
+
+	// Policy selects each regional controller's provisioning policy; nil
+	// uses provision.Greedy. Oracle policies plan on the region's own
+	// share-scaled trace intensity.
+	Policy provision.Policy
+	// Pricing is the billing plan every regional ledger accrues under;
+	// the zero value is pure on-demand.
+	Pricing cloud.PricingPlan
 
 	IntervalSeconds      float64
 	VMBudgetPerHour      float64 // per-region budget
@@ -190,7 +199,7 @@ func New(cfg Config) (*Deployment, error) {
 		if len(nfsSpecs) == 0 {
 			nfsSpecs = cloud.DefaultNFSClusters()
 		}
-		cl, err := cloud.New(vmSpecs, nfsSpecs)
+		cl, err := cloud.New(vmSpecs, nfsSpecs, cloud.WithPricing(cfg.Pricing))
 		if err != nil {
 			return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)
 		}
@@ -206,6 +215,9 @@ func New(cfg Config) (*Deployment, error) {
 			ApplyBootLatency:     true,
 			PeerSupplyTrust:      0.7,
 			ProvisionHeadroom:    1.2,
+			Policy:               cfg.Policy,
+			// Each region's oracle source is its own share-scaled trace.
+			TrueRates: wl.TrueRateSource(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)

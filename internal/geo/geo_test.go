@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/provision"
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
 	"cloudmedia/internal/viewing"
@@ -195,5 +196,37 @@ func TestDefaultRegionsValid(t *testing.T) {
 	cfg := testConfig(t, DefaultRegions())
 	if err := cfg.Validate(); err != nil {
 		t.Errorf("DefaultRegions invalid: %v", err)
+	}
+}
+
+// TestDeploymentHonoursPolicyAndPricing pins the PR 4 plumbing: the
+// configured provisioning policy and billing plan must reach every
+// regional controller and ledger (the regional experiment advertises
+// -policy/-pricing support).
+func TestDeploymentHonoursPolicyAndPricing(t *testing.T) {
+	cfg := testConfig(t, twoRegions())
+	cfg.Policy = provision.StaticPeak{Intervals: 2}
+	cfg.Pricing = cloud.ReservedPricing()
+	dep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.RunUntil(2 * 600)
+	for _, r := range dep.Regions() {
+		led := r.Cloud.Ledger()
+		if got := led.Plan().DisplayName(); got != "reserved" {
+			t.Errorf("region %s billed under %q, want reserved", r.Region.Name, got)
+		}
+		if led.Totals().UpfrontUSD <= 0 {
+			t.Errorf("region %s accrued no upfront under the reserved plan", r.Region.Name)
+		}
+		recs := r.Controller.Records()
+		if len(recs) < 2 {
+			t.Fatalf("region %s: %d records", r.Region.Name, len(recs))
+		}
+		// StaticPeak holds its first plan: later rounds repeat it.
+		if recs[1].VMPlan.TotalVMs() != recs[len(recs)-1].VMPlan.TotalVMs() {
+			t.Errorf("region %s: static plan moved between rounds", r.Region.Name)
+		}
 	}
 }

@@ -17,4 +17,11 @@
 // If a budget or all capacity runs out before every chunk is handled, the
 // problem is infeasible and the heuristics return ErrInfeasible — the
 // paper's signal that the provider must raise its budget.
+//
+// On top of the raw heuristics sits the Policy seam: the per-interval
+// planning surface core.Controller consumes (PlanRequest in, PlanResult
+// out). Greedy wraps the paper's heuristics with the infeasibility
+// scale-down search; Lookahead, Oracle, and StaticPeak are the
+// alternative policies the costfrontier experiment compares. See
+// DESIGN.md "Provisioning policies".
 package provision

@@ -1,0 +1,448 @@
+package provision
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cloudmedia/internal/cloud"
+)
+
+// PlanRequest is everything the controller hands a provisioning policy at
+// one interval boundary: the predicted per-chunk cloud demands, the
+// negotiated cluster catalog, and the budgets. It is the exact planning
+// surface core.Controller consumed before the Policy seam existed, so any
+// policy sees precisely what the paper's greedy heuristic saw.
+type PlanRequest struct {
+	// Time is the simulated time of the round, seconds.
+	Time float64
+	// IntervalSeconds is the provisioning period T.
+	IntervalSeconds float64
+	// Demands is the predicted per-chunk cloud demand for the upcoming
+	// interval (bytes/s), channel-major.
+	Demands []ChunkDemand
+	// Future holds demand forecasts for the intervals after the upcoming
+	// one: Future[0] covers [Time+T, Time+2T), and so on. The controller
+	// fills exactly Policy.Lookahead() entries; myopic policies see nil.
+	Future [][]ChunkDemand
+	// VMBandwidth is R, the per-VM upload bandwidth from the negotiated
+	// catalog (bytes/s).
+	VMBandwidth float64
+	// ChunkBytes is the uniform chunk size rT₀ in bytes (storage planning).
+	ChunkBytes float64
+	// VMClusters and NFSClusters are the negotiated rental catalogs.
+	VMClusters  []cloud.VMClusterSpec
+	NFSClusters []cloud.NFSClusterSpec
+	// VMBudgetPerHour and StorageBudgetPerHour are B_M and B_S in $/hour.
+	VMBudgetPerHour      float64
+	StorageBudgetPerHour float64
+	// StorageChangeThreshold is the Sec. V-B trigger: storage is replanned
+	// only when total demand moved by more than this fraction since the
+	// last storage plan. 0 replans every round.
+	StorageChangeThreshold float64
+}
+
+// totalDemand sums the request's current-interval demand in input order
+// (the same accumulation order the pre-seam controller used, so totals are
+// bit-identical).
+func (r PlanRequest) totalDemand() float64 {
+	var t float64
+	for _, d := range r.Demands {
+		t += d.Demand
+	}
+	return t
+}
+
+// PlanResult is one policy decision: the plans to apply plus diagnostics.
+type PlanResult struct {
+	VMPlan      VMPlan
+	StoragePlan StoragePlan
+	// DemandScale < 1 records that the budget was infeasible and demand
+	// was scaled down to fit (the paper's "increase your budget" signal).
+	DemandScale float64
+	// StorageErr is non-nil when storage planning failed this round; the
+	// returned StoragePlan is then the previous (stale) plan, which stays
+	// applied. The controller surfaces it on the IntervalRecord and in the
+	// ledger diagnostics.
+	StorageErr error
+}
+
+// Policy is the provisioning-policy seam: how predicted demand becomes a
+// rental plan each interval. Implementations are stateless value specs
+// (safe to share across scenarios, like core.Predictor); per-run mutable
+// state lives in the Planner a controller obtains from NewPlanner, so two
+// concurrent runs of one Scenario never share planner state.
+type Policy interface {
+	// Name is the policy's CLI/CSV spelling.
+	Name() string
+	// Lookahead is how many intervals of demand forecasts beyond the
+	// upcoming one the policy wants in PlanRequest.Future; 0 for myopic
+	// policies.
+	Lookahead() int
+	// Oracle reports whether the policy plans on the true (realized)
+	// arrival intensity instead of the predictor's forecasts. The
+	// controller honours it only when a true-rate source is configured.
+	Oracle() bool
+	// NewPlanner returns a fresh per-run planner.
+	NewPlanner() Planner
+}
+
+// Planner carries one run's policy state and produces a plan per round.
+type Planner interface {
+	Plan(req PlanRequest) (PlanResult, error)
+}
+
+// FutureDemander is an optional Planner refinement: a planner whose need
+// for future forecasts changes over the run (e.g. StaticPeak only needs
+// the horizon for its first plan). When implemented and false, the
+// controller skips computing PlanRequest.Future for the round — the
+// forecasts are the expensive part of the control path.
+type FutureDemander interface {
+	NeedsFuture() bool
+}
+
+// ParsePolicy converts a command-line spelling into a Policy with its
+// default parameters. It accepts "greedy", "lookahead", "oracle", and
+// "staticpeak" (or "static-peak").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "greedy":
+		return Greedy{}, nil
+	case "lookahead":
+		return Lookahead{}, nil
+	case "oracle":
+		return Oracle{}, nil
+	case "staticpeak", "static-peak":
+		return StaticPeak{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want greedy, lookahead, oracle, or staticpeak)", s)
+	}
+}
+
+// PolicyNames lists the ParsePolicy spellings, for CLI help and sweeps.
+func PolicyNames() []string { return []string{"greedy", "lookahead", "oracle", "staticpeak"} }
+
+// Greedy is the paper's policy (Sec. V-A/V-B): every interval, run the
+// greedy VM heuristic on the predicted demand, shrinking demand when the
+// budget is infeasible, and replan storage when total demand has moved by
+// more than the change threshold. It is the default, and reproduces the
+// pre-seam controller bit for bit.
+type Greedy struct{}
+
+// Name implements Policy.
+func (Greedy) Name() string { return "greedy" }
+
+// Lookahead implements Policy.
+func (Greedy) Lookahead() int { return 0 }
+
+// Oracle implements Policy.
+func (Greedy) Oracle() bool { return false }
+
+// NewPlanner implements Policy.
+func (Greedy) NewPlanner() Planner { return &greedyPlanner{} }
+
+type greedyPlanner struct {
+	storage storageState
+}
+
+func (p *greedyPlanner) Plan(req PlanRequest) (PlanResult, error) {
+	vmPlan, scale, err := planWithScaling(req.Demands, req.VMBandwidth, req.VMClusters, req.VMBudgetPerHour)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	res := PlanResult{VMPlan: vmPlan, DemandScale: scale}
+	res.StoragePlan, res.StorageErr = p.storage.plan(req, req.totalDemand())
+	return res, nil
+}
+
+// Oracle plans exactly like Greedy but on the true arrival intensity of
+// the workload trace rather than the predictor's forecasts — the
+// perfect-prediction upper bound on the cost/quality frontier. Without a
+// configured true-rate source it degrades to Greedy.
+type Oracle struct{}
+
+// Name implements Policy.
+func (Oracle) Name() string { return "oracle" }
+
+// Lookahead implements Policy.
+func (Oracle) Lookahead() int { return 0 }
+
+// Oracle implements Policy.
+func (Oracle) Oracle() bool { return true }
+
+// NewPlanner implements Policy.
+func (Oracle) NewPlanner() Planner { return &greedyPlanner{} }
+
+// Lookahead provisions for the per-chunk maximum over the upcoming
+// interval and the next K predicted intervals, and tears capacity down
+// only after the lower target has persisted for Hysteresis consecutive
+// rounds — trading rental dollars for robustness to demand ramps and
+// against rent/release thrash. With the paper's last-interval predictor
+// the forecasts are flat, so the lookahead is only informative with a
+// trend-aware predictor (EWMA, DiurnalMemory, …); the hysteresis applies
+// regardless.
+type Lookahead struct {
+	// K is the number of future intervals considered; 0 means 3.
+	K int
+	// Hysteresis is the number of consecutive rounds a smaller plan must
+	// persist before capacity is released; 0 means 2, 1 releases
+	// immediately.
+	Hysteresis int
+}
+
+// Name implements Policy.
+func (Lookahead) Name() string { return "lookahead" }
+
+// Lookahead implements Policy.
+func (l Lookahead) Lookahead() int {
+	if l.K <= 0 {
+		return 3
+	}
+	return l.K
+}
+
+// Oracle implements Policy.
+func (Lookahead) Oracle() bool { return false }
+
+// Validate checks the parameters.
+func (l Lookahead) Validate() error {
+	if l.K < 0 {
+		return fmt.Errorf("provision: negative lookahead %d", l.K)
+	}
+	if l.Hysteresis < 0 {
+		return fmt.Errorf("provision: negative hysteresis %d", l.Hysteresis)
+	}
+	return nil
+}
+
+// NewPlanner implements Policy.
+func (l Lookahead) NewPlanner() Planner {
+	h := l.Hysteresis
+	if h == 0 {
+		h = 2
+	}
+	return &lookaheadPlanner{hysteresis: h}
+}
+
+type lookaheadPlanner struct {
+	hysteresis int
+	storage    storageState
+
+	have      bool
+	lastPlan  VMPlan
+	lastVMs   float64
+	lastScale float64
+	below     int
+}
+
+func (p *lookaheadPlanner) Plan(req PlanRequest) (PlanResult, error) {
+	target := maxDemands(req.Demands, req.Future)
+	vmPlan, scale, err := planWithScaling(target, req.VMBandwidth, req.VMClusters, req.VMBudgetPerHour)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	// Tear-down hysteresis: adopt larger plans immediately, smaller ones
+	// only once the shrink has persisted. A held plan keeps its own
+	// DemandScale so a budget-infeasibility signal is never masked.
+	vms := vmPlan.TotalVMs()
+	if p.have && vms < p.lastVMs {
+		p.below++
+		if p.below < p.hysteresis {
+			vmPlan, vms, scale = p.lastPlan, p.lastVMs, p.lastScale
+		} else {
+			p.below = 0
+		}
+	} else {
+		p.below = 0
+	}
+	p.have, p.lastPlan, p.lastVMs, p.lastScale = true, vmPlan, vms, scale
+
+	res := PlanResult{VMPlan: vmPlan, DemandScale: scale}
+	res.StoragePlan, res.StorageErr = p.storage.plan(req, req.totalDemand())
+	return res, nil
+}
+
+// StaticPeak is the fixed-provisioning baseline generalized: one rental,
+// sized at t=0 for the peak demand over the next Intervals intervals of
+// the true workload trace, held unchanged for the whole run. It is what a
+// provider without elastic provisioning would buy.
+type StaticPeak struct {
+	// Intervals is the horizon whose peak is provisioned; 0 means 24 (a
+	// day of hourly intervals).
+	Intervals int
+}
+
+// Name implements Policy.
+func (StaticPeak) Name() string { return "staticpeak" }
+
+// Lookahead implements Policy.
+func (s StaticPeak) Lookahead() int {
+	if s.Intervals <= 0 {
+		return 24
+	}
+	return s.Intervals
+}
+
+// Oracle implements Policy.
+func (StaticPeak) Oracle() bool { return true }
+
+// Validate checks the parameters.
+func (s StaticPeak) Validate() error {
+	if s.Intervals < 0 {
+		return fmt.Errorf("provision: negative static-peak horizon %d", s.Intervals)
+	}
+	return nil
+}
+
+// NewPlanner implements Policy.
+func (StaticPeak) NewPlanner() Planner { return &staticPeakPlanner{} }
+
+type staticPeakPlanner struct {
+	planned bool
+	first   PlanResult
+}
+
+// NeedsFuture implements FutureDemander: the horizon matters only until
+// the one-shot rental is sized.
+func (p *staticPeakPlanner) NeedsFuture() bool { return !p.planned }
+
+func (p *staticPeakPlanner) Plan(req PlanRequest) (PlanResult, error) {
+	if p.planned {
+		// The one-shot rental holds; replay it (without re-reporting the
+		// first round's storage error, if any).
+		res := p.first
+		res.StorageErr = nil
+		return res, nil
+	}
+	target := maxDemands(req.Demands, req.Future)
+	vmPlan, scale, err := planWithScaling(target, req.VMBandwidth, req.VMClusters, req.VMBudgetPerHour)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	res := PlanResult{VMPlan: vmPlan, DemandScale: scale}
+	var storage storageState
+	res.StoragePlan, res.StorageErr = storage.plan(req, req.totalDemand())
+	p.planned, p.first = true, res
+	return res, nil
+}
+
+// maxDemands returns the per-chunk maximum of the current demands and
+// every future forecast, in the current demands' order. Chunks that only
+// appear in a forecast are ignored: the chunk universe is fixed per run.
+func maxDemands(current []ChunkDemand, future [][]ChunkDemand) []ChunkDemand {
+	out := make([]ChunkDemand, len(current))
+	copy(out, current)
+	index := make(map[[2]int]int, len(current))
+	for i, d := range current {
+		index[[2]int{d.Channel, d.Chunk}] = i
+	}
+	for _, step := range future {
+		for _, d := range step {
+			if i, ok := index[[2]int{d.Channel, d.Chunk}]; ok && d.Demand > out[i].Demand {
+				out[i].Demand = d.Demand
+			}
+		}
+	}
+	return out
+}
+
+// storageState is the Sec. V-B storage-replan trigger shared by the
+// planners: the last plan, the demand it was sized for, and whether one
+// exists yet.
+type storageState struct {
+	lastPlan   StoragePlan
+	lastDemand float64
+	planned    bool
+}
+
+// plan replans storage when the catalog is non-empty and the demand moved
+// past the change threshold; otherwise it returns the previous plan. A
+// planning failure keeps (and returns) the stale plan together with the
+// error, so the caller can surface the infeasibility instead of silently
+// carrying old capacity.
+func (s *storageState) plan(req PlanRequest, totalDemand float64) (StoragePlan, error) {
+	if len(req.NFSClusters) == 0 || !s.stale(req.StorageChangeThreshold, totalDemand) {
+		return s.lastPlan, nil
+	}
+	sp, err := PlanStorage(req.Demands, req.ChunkBytes, req.NFSClusters, req.StorageBudgetPerHour)
+	if err != nil {
+		return s.lastPlan, err
+	}
+	s.lastPlan, s.lastDemand, s.planned = sp, totalDemand, true
+	return sp, nil
+}
+
+func (s *storageState) stale(threshold, totalDemand float64) bool {
+	if !s.planned {
+		return true
+	}
+	if threshold <= 0 {
+		return true
+	}
+	base := s.lastDemand
+	if base == 0 {
+		return totalDemand > 0
+	}
+	change := totalDemand/base - 1
+	if change < 0 {
+		change = -change
+	}
+	return change > threshold
+}
+
+// planWithScaling runs the VM heuristic, shrinking demand until the plan
+// fits the budget and cluster capacity. The first retry jumps straight to
+// an upper bound on the feasible scale (cost is at least totalVMs × the
+// cheapest price, and VMs are bounded by total cluster capacity), then
+// backs off geometrically. Returns the plan and the final scale.
+func planWithScaling(flat []ChunkDemand, vmBandwidth float64, specs []cloud.VMClusterSpec, budget float64) (VMPlan, float64, error) {
+	plan, err := PlanVMs(flat, vmBandwidth, specs, budget)
+	if err == nil {
+		return plan, 1, nil
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		return VMPlan{}, 1, err
+	}
+
+	var totalNeed float64
+	for _, d := range flat {
+		totalNeed += d.Demand / vmBandwidth
+	}
+	if totalNeed <= 0 {
+		return VMPlan{}, 1, err
+	}
+	var capTotal float64
+	minPrice := math.Inf(1)
+	for _, s := range specs {
+		capTotal += float64(s.MaxVMs)
+		if s.PricePerHour < minPrice {
+			minPrice = s.PricePerHour
+		}
+	}
+	scale := 1.0
+	if bound := capTotal / totalNeed; bound < scale {
+		scale = bound
+	}
+	if minPrice > 0 {
+		if bound := budget / (totalNeed * minPrice); bound < scale {
+			scale = bound
+		}
+	}
+	scale *= 0.98
+
+	for attempt := 0; attempt < 30 && scale > 0; attempt++ {
+		scaled := make([]ChunkDemand, len(flat))
+		for i, d := range flat {
+			scaled[i] = ChunkDemand{Channel: d.Channel, Chunk: d.Chunk, Demand: d.Demand * scale}
+		}
+		plan, err := PlanVMs(scaled, vmBandwidth, specs, budget)
+		if err == nil {
+			return plan, scale, nil
+		}
+		if !errors.Is(err, ErrInfeasible) {
+			return VMPlan{}, scale, err
+		}
+		scale *= 0.9
+	}
+	return VMPlan{}, scale, fmt.Errorf("%w: demand unservable even at %.2f%% scale", ErrInfeasible, scale*100)
+}

@@ -1,0 +1,333 @@
+package provision
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cloudmedia/internal/cloud"
+)
+
+// demandGrid builds channels×chunks uniform demands.
+func demandGrid(channels, chunks int, demand float64) []ChunkDemand {
+	out := make([]ChunkDemand, 0, channels*chunks)
+	for c := 0; c < channels; c++ {
+		for i := 0; i < chunks; i++ {
+			out = append(out, ChunkDemand{Channel: c, Chunk: i, Demand: demand})
+		}
+	}
+	return out
+}
+
+func planRequest(demands []ChunkDemand) PlanRequest {
+	return PlanRequest{
+		IntervalSeconds:      3600,
+		Demands:              demands,
+		VMBandwidth:          cloud.DefaultVMBandwidth,
+		ChunkBytes:           50e3 * 75,
+		VMClusters:           cloud.DefaultVMClusters(),
+		NFSClusters:          cloud.DefaultNFSClusters(),
+		VMBudgetPerHour:      100,
+		StorageBudgetPerHour: 1,
+	}
+}
+
+// TestPlanWithScalingFeasible: ample budget needs no scaling.
+func TestPlanWithScalingFeasible(t *testing.T) {
+	demands := demandGrid(2, 4, 2e6)
+	plan, scale, err := planWithScaling(demands, cloud.DefaultVMBandwidth, cloud.DefaultVMClusters(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1 {
+		t.Errorf("scale = %v, want 1 for a feasible budget", scale)
+	}
+	if plan.TotalVMs() <= 0 {
+		t.Error("no VMs planned")
+	}
+}
+
+// TestPlanWithScalingScalesDownToBudget pins the satellite path: a budget
+// far below the demand forces the scale search, which must converge on a
+// plan inside the budget with scale < 1.
+func TestPlanWithScalingScalesDownToBudget(t *testing.T) {
+	demands := demandGrid(3, 5, 5e6) // ≈60 VMs of demand
+	const budget = 2.0               // ≈4 standard VMs
+	plan, scale, err := planWithScaling(demands, cloud.DefaultVMBandwidth, cloud.DefaultVMClusters(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale >= 1 {
+		t.Errorf("scale = %v, want < 1 under a starvation budget", scale)
+	}
+	if scale <= 0 {
+		t.Errorf("scale = %v, want > 0", scale)
+	}
+	if plan.CostPerHour > budget+1e-9 {
+		t.Errorf("plan cost %v exceeds budget %v", plan.CostPerHour, budget)
+	}
+	if plan.TotalVMs() <= 0 {
+		t.Error("scaled plan rents nothing")
+	}
+}
+
+// TestPlanWithScalingInfeasibleWrapsErrInfeasible pins the exhaustion
+// path: when even the scale search cannot fit (zero budget), the error
+// wraps ErrInfeasible so errors.Is works across the seam.
+func TestPlanWithScalingInfeasibleWrapsErrInfeasible(t *testing.T) {
+	demands := demandGrid(2, 4, 5e6)
+	_, scale, err := planWithScaling(demands, cloud.DefaultVMBandwidth, cloud.DefaultVMClusters(), 0)
+	if err == nil {
+		t.Fatal("zero budget produced a plan")
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error %v does not wrap ErrInfeasible", err)
+	}
+	if !strings.Contains(err.Error(), "unservable") {
+		t.Errorf("error %q lacks the exhaustion message", err)
+	}
+	if scale != 0 {
+		t.Errorf("final scale = %v, want 0 after the bound collapses", scale)
+	}
+}
+
+// TestPlanWithScalingPassesThroughOtherErrors: non-infeasibility errors
+// (here a negative budget) must not trigger the scale search.
+func TestPlanWithScalingPassesThroughOtherErrors(t *testing.T) {
+	demands := demandGrid(1, 2, 1e6)
+	_, _, err := planWithScaling(demands, cloud.DefaultVMBandwidth, cloud.DefaultVMClusters(), -5)
+	if err == nil {
+		t.Fatal("negative budget produced a plan")
+	}
+	if errors.Is(err, ErrInfeasible) {
+		t.Errorf("validation error %v wrongly wrapped as infeasible", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("ParsePolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestGreedyMatchesRawHeuristic: the Greedy planner is exactly
+// planWithScaling + threshold-gated storage.
+func TestGreedyMatchesRawHeuristic(t *testing.T) {
+	req := planRequest(demandGrid(2, 4, 2e6))
+	res, err := Greedy{}.NewPlanner().Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVM, wantScale, err := planWithScaling(req.Demands, req.VMBandwidth, req.VMClusters, req.VMBudgetPerHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DemandScale != wantScale || res.VMPlan.TotalVMs() != wantVM.TotalVMs() || res.VMPlan.CostPerHour != wantVM.CostPerHour {
+		t.Errorf("greedy plan diverges from the raw heuristic: %+v vs %+v", res.VMPlan, wantVM)
+	}
+	if len(res.StoragePlan.Placements) != len(req.Demands) {
+		t.Errorf("storage placements = %d, want %d", len(res.StoragePlan.Placements), len(req.Demands))
+	}
+}
+
+// TestGreedyStorageFailureKeepsStalePlan pins the storage diagnostics: a
+// round whose storage replan fails returns the previous plan plus the
+// error.
+func TestGreedyStorageFailureKeepsStalePlan(t *testing.T) {
+	planner := Greedy{}.NewPlanner()
+	req := planRequest(demandGrid(2, 4, 2e6))
+	first, err := planner.Plan(req)
+	if err != nil || first.StorageErr != nil {
+		t.Fatalf("first round: %v / %v", err, first.StorageErr)
+	}
+	// Second round: same demand, but the storage budget collapses.
+	req2 := req
+	req2.StorageBudgetPerHour = 1e-12
+	second, err := planner.Plan(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.StorageErr == nil {
+		t.Fatal("storage failure not reported")
+	}
+	if !errors.Is(second.StorageErr, ErrInfeasible) {
+		t.Errorf("StorageErr %v does not wrap ErrInfeasible", second.StorageErr)
+	}
+	if second.StoragePlan.Utility != first.StoragePlan.Utility {
+		t.Error("failed round did not keep the stale storage plan")
+	}
+}
+
+// TestLookaheadPlansForForecastPeak: with a future spike in the
+// forecasts, the lookahead plan covers the spike now.
+func TestLookaheadPlansForForecastPeak(t *testing.T) {
+	req := planRequest(demandGrid(2, 4, 1e6))
+	spike := demandGrid(2, 4, 3e6)
+	req.Future = [][]ChunkDemand{demandGrid(2, 4, 1e6), spike}
+
+	flat, err := Lookahead{K: 2, Hysteresis: 1}.NewPlanner().Plan(planRequest(demandGrid(2, 4, 1e6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ahead, err := Lookahead{K: 2, Hysteresis: 1}.NewPlanner().Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ahead.VMPlan.TotalVMs() <= flat.VMPlan.TotalVMs() {
+		t.Errorf("lookahead ignored the forecast spike: %v VMs vs %v without it",
+			ahead.VMPlan.TotalVMs(), flat.VMPlan.TotalVMs())
+	}
+}
+
+// TestLookaheadHysteresisDelaysTeardown: after a demand drop, the plan
+// holds for Hysteresis−1 rounds and releases on the Hysteresis-th.
+func TestLookaheadHysteresisDelaysTeardown(t *testing.T) {
+	planner := Lookahead{K: 1, Hysteresis: 2}.NewPlanner()
+	high := planRequest(demandGrid(2, 4, 3e6))
+	low := planRequest(demandGrid(2, 4, 1e6))
+
+	first, err := planner.Plan(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := planner.Plan(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held.VMPlan.TotalVMs() != first.VMPlan.TotalVMs() {
+		t.Errorf("teardown not delayed: %v VMs after one low round, want %v held",
+			held.VMPlan.TotalVMs(), first.VMPlan.TotalVMs())
+	}
+	released, err := planner.Plan(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if released.VMPlan.TotalVMs() >= first.VMPlan.TotalVMs() {
+		t.Errorf("teardown never happened: still %v VMs after two low rounds", released.VMPlan.TotalVMs())
+	}
+}
+
+// TestLookaheadHoldKeepsDemandScale: a held (hysteresis) round must
+// report the held plan's DemandScale, not 1 — the budget-infeasibility
+// signal may not be masked by the hold.
+func TestLookaheadHoldKeepsDemandScale(t *testing.T) {
+	planner := Lookahead{K: 1, Hysteresis: 3}.NewPlanner()
+	high := planRequest(demandGrid(3, 5, 5e6))
+	high.VMBudgetPerHour = 2 // forces scale < 1
+	low := planRequest(demandGrid(3, 5, 1e5))
+	low.VMBudgetPerHour = 2
+
+	first, err := planner.Plan(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.DemandScale >= 1 {
+		t.Fatalf("setup: high round not scaled (%v)", first.DemandScale)
+	}
+	held, err := planner.Plan(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if held.VMPlan.TotalVMs() != first.VMPlan.TotalVMs() {
+		t.Fatalf("setup: plan not held")
+	}
+	if held.DemandScale != first.DemandScale {
+		t.Errorf("held round reports scale %v, want the held plan's %v", held.DemandScale, first.DemandScale)
+	}
+}
+
+// TestStaticPeakStopsNeedingForecasts: after the one-shot plan, the
+// planner tells the controller to skip the expensive future forecasts.
+func TestStaticPeakStopsNeedingForecasts(t *testing.T) {
+	planner := StaticPeak{Intervals: 3}.NewPlanner()
+	fd, ok := planner.(FutureDemander)
+	if !ok {
+		t.Fatal("static-peak planner does not implement FutureDemander")
+	}
+	if !fd.NeedsFuture() {
+		t.Error("first round must request the horizon")
+	}
+	if _, err := planner.Plan(planRequest(demandGrid(2, 4, 1e6))); err != nil {
+		t.Fatal(err)
+	}
+	if fd.NeedsFuture() {
+		t.Error("planner still requests forecasts after the one-shot plan")
+	}
+}
+
+// TestStaticPeakHoldsFirstPlan: the one-shot rental never changes after
+// the first round, whatever demand does.
+func TestStaticPeakHoldsFirstPlan(t *testing.T) {
+	planner := StaticPeak{Intervals: 2}.NewPlanner()
+	req := planRequest(demandGrid(2, 4, 1e6))
+	req.Future = [][]ChunkDemand{demandGrid(2, 4, 2e6), demandGrid(2, 4, 4e6)}
+	first, err := planner.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The peak (4e6/chunk) must be what was rented, not the current 1e6.
+	myopic, _, err := planWithScaling(req.Demands, req.VMBandwidth, req.VMClusters, req.VMBudgetPerHour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.VMPlan.TotalVMs() <= myopic.TotalVMs() {
+		t.Errorf("static peak rented %v VMs, not above the myopic %v", first.VMPlan.TotalVMs(), myopic.TotalVMs())
+	}
+	later, err := planner.Plan(planRequest(demandGrid(2, 4, 9e6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if later.VMPlan.TotalVMs() != first.VMPlan.TotalVMs() {
+		t.Errorf("static plan moved: %v → %v VMs", first.VMPlan.TotalVMs(), later.VMPlan.TotalVMs())
+	}
+}
+
+func TestMaxDemandsIgnoresUnknownChunks(t *testing.T) {
+	current := demandGrid(1, 2, 1)
+	future := [][]ChunkDemand{{
+		{Channel: 0, Chunk: 0, Demand: 5},
+		{Channel: 7, Chunk: 9, Demand: 99}, // not in the chunk universe
+	}}
+	got := maxDemands(current, future)
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].Demand != 5 || got[1].Demand != 1 {
+		t.Errorf("maxDemands = %+v", got)
+	}
+}
+
+// BenchmarkPolicyPlan measures plans/s for each policy on a paper-sized
+// chunk universe (20 channels × 20 chunks), the per-interval control-path
+// cost.
+func BenchmarkPolicyPlan(b *testing.B) {
+	for _, policy := range []Policy{Greedy{}, Lookahead{}, Oracle{}, StaticPeak{}} {
+		b.Run(policy.Name(), func(b *testing.B) {
+			req := planRequest(demandGrid(20, 20, 1e6))
+			if k := policy.Lookahead(); k > 0 {
+				req.Future = make([][]ChunkDemand, k)
+				for i := range req.Future {
+					req.Future[i] = demandGrid(20, 20, 1e6*float64(i+2)/2)
+				}
+			}
+			planner := policy.NewPlanner()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := planner.Plan(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "plans/s")
+		})
+	}
+}

@@ -153,6 +153,39 @@ func (p *Params) ChannelRate(c int, t float64) (float64, error) {
 	return p.BaseArrivalRate * w[c] * p.RateMultiplier(t), nil
 }
 
+// MeanChannelRate approximates channel c's mean arrival rate over
+// [start, end) by midpoint sampling of ChannelRate — the true-intensity
+// source behind oracle provisioning policies.
+func (p *Params) MeanChannelRate(c int, start, end float64) (float64, error) {
+	if end <= start {
+		return 0, nil
+	}
+	const steps = 12
+	dt := (end - start) / steps
+	var sum float64
+	for i := 0; i < steps; i++ {
+		r, err := p.ChannelRate(c, start+(float64(i)+0.5)*dt)
+		if err != nil {
+			return 0, err
+		}
+		sum += r
+	}
+	return sum / steps, nil
+}
+
+// TrueRateSource returns the oracle-policy rate source over a private
+// copy of the parameters: the trace's mean arrival intensity per channel
+// and interval, with errors (bad channel index) reported as zero demand.
+func (p Params) TrueRateSource() func(channel int, start, end float64) float64 {
+	return func(channel int, start, end float64) float64 {
+		r, err := p.MeanChannelRate(channel, start, end)
+		if err != nil {
+			return 0
+		}
+		return r
+	}
+}
+
 // MaxChannelRate returns the thinning envelope for channel c.
 func (p *Params) MaxChannelRate(c int) (float64, error) {
 	w, err := p.ChannelWeights()

@@ -209,6 +209,36 @@ func WithPredictor(p simulate.Predictor) Option {
 	return func(s *config.Settings) { s.Predictor = p }
 }
 
+// WithPolicy selects the provisioning policy that turns predicted demand
+// into rental plans each interval (default simulate.Greedy, the paper's
+// heuristic): simulate.Lookahead plans for the max of the next k
+// forecasts with tear-down hysteresis, simulate.Oracle plans on the true
+// arrival trace (the perfect-prediction bound), and simulate.StaticPeak
+// rents the horizon's peak once and holds it. Scenario only.
+func WithPolicy(p simulate.Policy) Option {
+	return func(s *config.Settings) {
+		if p == nil {
+			s.Fail("cloudmedia: nil policy")
+			return
+		}
+		s.Policy = p
+	}
+}
+
+// WithPricing selects the cloud pricing plan the run is billed under
+// (default simulate.OnDemandPricing, the paper's literal pay-as-you-go
+// prices; simulate.ReservedPricing adds a discounted reserved tier with
+// an upfront fee per term). Scenario only.
+func WithPricing(p simulate.PricingPlan) Option {
+	return func(s *config.Settings) {
+		if err := p.Validate(); err != nil {
+			s.Fail("cloudmedia: %v", err)
+			return
+		}
+		s.Pricing = &p
+	}
+}
+
 // WithScheduling selects the P2P uplink allocation policy (default
 // simulate.RarestFirst, the paper's scheme). Scenario only.
 func WithScheduling(policy simulate.Scheduling) Option {

@@ -45,6 +45,14 @@ type Options struct {
 	// event engine. Every experiment honours it, including the
 	// comparative figures (both sides run on the chosen engine).
 	Fidelity simulate.Fidelity
+	// Policy selects the provisioning policy; nil means greedy, the
+	// paper's heuristic. Like Fidelity, every simulation experiment
+	// honours it (costfrontier pins the policies it compares).
+	Policy simulate.Policy
+	// Pricing selects the cloud billing plan; the zero value is pure
+	// on-demand, the paper's literal prices (costfrontier pins the plans
+	// it compares).
+	Pricing simulate.PricingPlan
 	// Scale is the workload scale: 1 ≈ 250 concurrent viewers, 10 ≈ paper
 	// scale. Zero means 2.
 	Scale float64
@@ -94,6 +102,8 @@ func scenario(o Options) (experiments.Scenario, error) {
 	}
 	esc := experiments.DefaultScenario(mode, o.Scale)
 	esc.Fidelity = o.Fidelity
+	esc.Policy = o.Policy
+	esc.Pricing = o.Pricing
 	if o.Hours != 0 {
 		esc.Hours = o.Hours
 	}

@@ -77,6 +77,12 @@ func (sc Scenario) With(opts ...Option) Scenario {
 	if s.Predictor != nil {
 		out.Predictor = s.Predictor
 	}
+	if s.Policy != nil {
+		out.Policy = s.Policy
+	}
+	if s.Pricing != nil {
+		out.Pricing = *s.Pricing
+	}
 	if s.Scheduling != 0 {
 		out.Scheduling = s.Scheduling
 	}
@@ -89,7 +95,9 @@ func (sc Scenario) With(opts ...Option) Scenario {
 // Clone returns a deep copy of the scenario: the workload (including its
 // flash-crowd list and cached popularity weights) and the rental catalogs
 // are reallocated, so mutating the copy never reaches the original.
-// Predictor values are shared; they are stateless.
+// Predictor and Policy values are shared; both are stateless specs (each
+// run builds its own planner and billing ledger from them, so two clones
+// running concurrently share no ledger or planner state).
 func (sc Scenario) Clone() Scenario {
 	sc.Workload = sc.Workload.Clone()
 	sc.VMClusters = append([]plan.VMCluster(nil), sc.VMClusters...)

@@ -263,3 +263,44 @@ func TestParseFidelity(t *testing.T) {
 		t.Error("fidelity spellings drifted")
 	}
 }
+
+func TestWithPolicyAndPricing(t *testing.T) {
+	base := simulate.Default(simulate.CloudAssisted, 1)
+	derived := base.With(
+		cloudmedia.WithPolicy(simulate.Lookahead{K: 4, Hysteresis: 3}),
+		cloudmedia.WithPricing(simulate.ReservedPricing()),
+	)
+	if derived.Policy == nil || derived.Policy.Name() != "lookahead" {
+		t.Errorf("policy = %v, want lookahead", derived.Policy)
+	}
+	if la, ok := derived.Policy.(simulate.Lookahead); !ok || la.K != 4 || la.Hysteresis != 3 {
+		t.Errorf("policy parameters lost: %+v", derived.Policy)
+	}
+	if derived.Pricing.DisplayName() != "reserved" {
+		t.Errorf("pricing = %q, want reserved", derived.Pricing.DisplayName())
+	}
+	// The base is untouched: nil policy (greedy) and on-demand pricing.
+	if base.Policy != nil || base.Pricing.Name != "" {
+		t.Errorf("base mutated: policy %v, pricing %q", base.Policy, base.Pricing.Name)
+	}
+	if err := derived.Validate(); err != nil {
+		t.Errorf("derived scenario invalid: %v", err)
+	}
+}
+
+func TestWithPolicyAndPricingRejectInvalid(t *testing.T) {
+	sc := simulate.Default(simulate.ClientServer, 1).With(cloudmedia.WithPolicy(nil))
+	if err := sc.Validate(); !errors.Is(err, simulate.ErrInvalidScenario) {
+		t.Errorf("nil policy: err = %v, want ErrInvalidScenario", err)
+	}
+	bad := simulate.PricingPlan{ReservedFraction: 2, TermHours: 24}
+	sc = simulate.Default(simulate.ClientServer, 1).With(cloudmedia.WithPricing(bad))
+	if err := sc.Validate(); !errors.Is(err, simulate.ErrInvalidScenario) {
+		t.Errorf("bad pricing: err = %v, want ErrInvalidScenario", err)
+	}
+	// Invalid policy parameters surface on Validate, not at option time.
+	sc = simulate.Default(simulate.ClientServer, 1).With(cloudmedia.WithPolicy(simulate.Lookahead{K: -2}))
+	if err := sc.Validate(); !errors.Is(err, simulate.ErrInvalidScenario) {
+		t.Errorf("negative lookahead: err = %v, want ErrInvalidScenario", err)
+	}
+}

@@ -40,9 +40,15 @@ type Report struct {
 	// Intervals is the number of provisioning rounds that ran (including
 	// the t=0 bootstrap).
 	Intervals int
-	// VMCostTotal and StorageCostTotal are the run's cloud bill.
+	// VMCostTotal and StorageCostTotal are the run's cloud bill at the
+	// catalog's on-demand prices (the paper's literal accounting).
 	VMCostTotal      float64
 	StorageCostTotal float64
+	// Bill is the ledger's view of the same run under the scenario's
+	// PricingPlan: VM-hours and dollars split reserved / on-demand /
+	// upfront / storage. Under the default on-demand plan Bill.TotalUSD()
+	// equals VMCostTotal + StorageCostTotal.
+	Bill LedgerTotals
 	// MeanQuality averages Snapshot.Quality over the run.
 	MeanQuality float64
 	// MeanReservedMbps averages the provisioned cloud bandwidth.
@@ -169,6 +175,7 @@ func (sc Scenario) Run(ctx context.Context, opts ...RunOption) (*Report, error) 
 	rep.Hours = sys.Sim.Now() / 3600
 	rep.Intervals = intervals
 	rep.VMCostTotal, rep.StorageCostTotal = sys.Cloud.Costs()
+	rep.Bill = sys.Cloud.Ledger().Totals()
 	rep.FinalUsers = sys.Sim.TotalUsers()
 	if samples > 0 {
 		rep.MeanQuality = qualitySum / float64(samples)

@@ -50,6 +50,12 @@ type Scenario struct {
 	// Predictor overrides the controller's arrival-rate forecaster; nil
 	// uses the paper's last-interval rule.
 	Predictor Predictor
+	// Policy selects the provisioning policy (how predicted demand turns
+	// into rental plans); nil uses Greedy, the paper's heuristic.
+	Policy Policy
+	// Pricing selects the cloud billing plan; the zero value is pure
+	// on-demand, the paper's literal pricing.
+	Pricing PricingPlan
 	// Scheduling overrides the P2P uplink allocation policy; zero uses
 	// rarest-first, the paper's scheme.
 	Scheduling Scheduling
@@ -119,6 +125,14 @@ func (sc Scenario) internal() (experiments.Scenario, error) {
 	if err := sc.Workload.Validate(); err != nil {
 		return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
 	}
+	if err := sc.Pricing.Validate(); err != nil {
+		return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
+	}
+	if v, ok := sc.Policy.(interface{ Validate() error }); ok && sc.Policy != nil {
+		if err := v.Validate(); err != nil {
+			return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
+		}
+	}
 	out := experiments.Scenario{
 		Mode:               engineMode,
 		Fidelity:           sc.Fidelity,
@@ -132,6 +146,8 @@ func (sc Scenario) internal() (experiments.Scenario, error) {
 		SampleSeconds:      sc.SampleSeconds,
 		UplinkRatio:        sc.UplinkRatio,
 		Predictor:          sc.Predictor,
+		Policy:             sc.Policy,
+		Pricing:            sc.Pricing,
 		Scheduling:         sc.Scheduling,
 		VMClusters:         sc.VMClusters,
 		NFSClusters:        sc.NFSClusters,

@@ -20,10 +20,12 @@ package simulate
 import (
 	"fmt"
 
+	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/core"
 	"cloudmedia/internal/experiments"
 	"cloudmedia/internal/mathx"
 	"cloudmedia/internal/modes"
+	"cloudmedia/internal/provision"
 	"cloudmedia/internal/sim"
 	"cloudmedia/internal/workload"
 )
@@ -135,7 +137,70 @@ type PeakOfWindow = core.PeakOfWindow
 // DiurnalMemory forecasts with the observation one daily period ago.
 type DiurnalMemory = core.DiurnalMemory
 
+// Policy is the provisioning-policy seam: how predicted per-chunk demand
+// becomes a rental plan each interval. Policies are stateless value specs
+// safe to share across scenarios; see DESIGN.md "Provisioning policies".
+type Policy = provision.Policy
+
+// Greedy is the paper's policy: every interval, run the greedy heuristic
+// on the predicted demand, scaling demand down when the budget is
+// infeasible. The default.
+type Greedy = provision.Greedy
+
+// Lookahead provisions for the per-chunk maximum over the next K
+// predicted intervals and releases capacity only after the lower target
+// persists for Hysteresis rounds — the anti-thrash policy.
+type Lookahead = provision.Lookahead
+
+// Oracle plans like Greedy but on the true arrival intensity of the
+// workload trace: the perfect-prediction cost/quality upper bound.
+type Oracle = provision.Oracle
+
+// StaticPeak rents the horizon's peak demand once at t=0 and holds it for
+// the whole run — the fixed-provisioning baseline generalized.
+type StaticPeak = provision.StaticPeak
+
+// ParsePolicy converts a command-line spelling into a Policy. It accepts
+// "greedy", "lookahead", "oracle", and "staticpeak".
+func ParsePolicy(s string) (Policy, error) {
+	p, err := provision.ParsePolicy(s)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: %w", err)
+	}
+	return p, nil
+}
+
+// PricingPlan describes how rented resources turn into dollars: an
+// on-demand tier plus an optional reserved tier (a committed fraction of
+// every VM cluster at a discounted hourly rate with an upfront fee per
+// term). The zero value is pure on-demand, the paper's literal pricing.
+type PricingPlan = cloud.PricingPlan
+
+// LedgerTotals is a billing aggregate: VM-hours split reserved/on-demand,
+// GB-hours, and dollars per tier. Every IntervalRecord carries the
+// interval's accrual; every Report carries the run's total.
+type LedgerTotals = cloud.LedgerTotals
+
+// OnDemandPricing returns the paper's literal pricing: every VM-hour and
+// GB-hour at the catalog price, no reservations.
+func OnDemandPricing() PricingPlan { return cloud.OnDemandPricing() }
+
+// ReservedPricing returns a reservation-heavy plan: 10% of every VM
+// cluster committed per day at 45% of the catalog rate plus a 25%
+// upfront, overflow on demand.
+func ReservedPricing() PricingPlan { return cloud.ReservedPricing() }
+
+// ParsePricing converts a command-line spelling into a PricingPlan. It
+// accepts "on-demand" and "reserved".
+func ParsePricing(s string) (PricingPlan, error) {
+	p, err := cloud.ParsePricing(s)
+	if err != nil {
+		return PricingPlan{}, fmt.Errorf("simulate: %w", err)
+	}
+	return p, nil
+}
+
 // IntervalRecord captures one provisioning round: the arrival-rate
-// estimates, derived cloud demand, peer supply, and the VM and storage
-// plans applied.
+// estimates, derived cloud demand, peer supply, the VM and storage plans
+// applied, the interval's ledger bill, and any planning failures.
 type IntervalRecord = core.IntervalRecord

@@ -29,7 +29,9 @@ func (s *Stats) add(v float64) {
 }
 
 // Aggregate is the reduction of every successful cell sharing one axis
-// value: streaming quality and total dollar cost (VM + storage), each as
+// value: streaming quality and the total ledger bill under the cell's
+// pricing plan (reserved + on-demand + upfront + storage dollars; under
+// the default on-demand plan this equals VM + storage cost), each as
 // mean/min/max across the other axes.
 type Aggregate struct {
 	Axis    string `json:"axis"`
@@ -70,7 +72,7 @@ func (a *Aggregator) Add(res Result) {
 			continue
 		}
 		agg.Quality.add(res.Report.MeanQuality)
-		agg.CostUSD.add(res.Report.VMCostTotal + res.Report.StorageCostTotal)
+		agg.CostUSD.add(res.Report.Bill.TotalUSD())
 	}
 }
 

@@ -9,11 +9,12 @@ import (
 )
 
 // WriteCSV writes one row per cell, ordered by cell index: the cell
-// number, one column per axis, the derived seed, and the run's headline
-// metrics. The schema is a stable contract (EXPERIMENTS.md documents it
-// and a golden test pins it):
+// number, one column per axis, the derived seed, the run's headline
+// metrics, and the ledger's dollar breakdown under the cell's pricing
+// plan. The schema is a stable contract (EXPERIMENTS.md documents it and
+// a golden test pins it):
 //
-//	cell,<axis>...,seed,hours,intervals,mean_quality,mean_reserved_mbps,vm_cost_usd,storage_cost_usd,final_users,error
+//	cell,<axis>...,seed,hours,intervals,mean_quality,mean_reserved_mbps,vm_cost_usd,storage_cost_usd,reserved_usd,on_demand_usd,upfront_usd,total_bill_usd,final_users,error
 //
 // Because cell seeds are a pure function of the grid, the bytes written
 // are identical regardless of the Runner's worker count.
@@ -29,7 +30,9 @@ func WriteCSV(w io.Writer, results []Result) error {
 	}
 	header := append([]string{"cell"}, axes...)
 	header = append(header, "seed", "hours", "intervals", "mean_quality",
-		"mean_reserved_mbps", "vm_cost_usd", "storage_cost_usd", "final_users", "error")
+		"mean_reserved_mbps", "vm_cost_usd", "storage_cost_usd",
+		"reserved_usd", "on_demand_usd", "upfront_usd", "total_bill_usd",
+		"final_users", "error")
 
 	cw := csv.NewWriter(w)
 	if err := cw.Write(header); err != nil {
@@ -57,10 +60,14 @@ func WriteCSV(w io.Writer, results []Result) error {
 				formatFloat(res.Report.MeanReservedMbps),
 				formatFloat(res.Report.VMCostTotal),
 				formatFloat(res.Report.StorageCostTotal),
+				formatFloat(res.Report.Bill.ReservedUSD),
+				formatFloat(res.Report.Bill.OnDemandUSD),
+				formatFloat(res.Report.Bill.UpfrontUSD),
+				formatFloat(res.Report.Bill.TotalUSD()),
 				strconv.Itoa(res.Report.FinalUsers),
 			)
 		} else {
-			row = append(row, "", "", "", "", "", "", "")
+			row = append(row, "", "", "", "", "", "", "", "", "", "", "")
 		}
 		row = append(row, res.Err)
 		if err := cw.Write(row); err != nil {

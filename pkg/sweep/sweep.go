@@ -137,6 +137,37 @@ func Channels(counts ...int) Axis {
 	})
 }
 
+// Policies sweeps the provisioning policy — the cost-vs-quality frontier
+// axis: Policies(simulate.Greedy{}, simulate.Lookahead{},
+// simulate.Oracle{}, simulate.StaticPeak{}) compares the paper's greedy
+// against the anti-thrash, perfect-prediction, and fixed-peak baselines
+// on the same grid. Labels are Policy.Name().
+func Policies(policies ...simulate.Policy) Axis {
+	ax := Axis{Name: "policy"}
+	for _, p := range policies {
+		p := p
+		ax.Points = append(ax.Points, Point{
+			Label: p.Name(),
+			Set:   func(sc *simulate.Scenario) { sc.Policy = p },
+		})
+	}
+	return ax
+}
+
+// Pricings sweeps the cloud billing plan (on-demand vs reservation-heavy
+// price lists); labels are PricingPlan.DisplayName().
+func Pricings(plans ...simulate.PricingPlan) Axis {
+	ax := Axis{Name: "pricing"}
+	for _, p := range plans {
+		p := p
+		ax.Points = append(ax.Points, Point{
+			Label: p.DisplayName(),
+			Set:   func(sc *simulate.Scenario) { sc.Pricing = p },
+		})
+	}
+	return ax
+}
+
 // Predictors sweeps the controller's arrival-rate forecaster. Points are
 // ordered by name so grids are deterministic.
 func Predictors(named map[string]simulate.Predictor) Axis {

@@ -350,3 +350,53 @@ func TestViewerScaleAxisSetsArrivalRate(t *testing.T) {
 		t.Errorf("base rate = %v, want %v", got, want)
 	}
 }
+
+func TestPolicyPricingAxes(t *testing.T) {
+	base := simulate.Default(simulate.CloudAssisted, 1)
+	base.Hours = 1
+	grid := sweep.Grid{
+		Base: base,
+		Axes: []sweep.Axis{
+			sweep.Policies(simulate.Greedy{}, simulate.StaticPeak{}),
+			sweep.Pricings(simulate.OnDemandPricing(), simulate.ReservedPricing()),
+		},
+	}
+	results, err := sweep.Runner{Workers: 4}.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("cells = %d, want 4", len(results))
+	}
+	for _, res := range results {
+		if res.Failed() {
+			t.Fatalf("cell %d failed: %s", res.Cell.Index, res.Err)
+		}
+		var policy, pricing string
+		for _, c := range res.Cell.Coords {
+			switch c.Axis {
+			case "policy":
+				policy = c.Label
+			case "pricing":
+				pricing = c.Label
+			}
+		}
+		if policy == "" || pricing == "" {
+			t.Fatalf("cell %d missing axis labels: %+v", res.Cell.Index, res.Cell.Coords)
+		}
+		bill := res.Report.Bill
+		switch pricing {
+		case "on-demand":
+			if bill.ReservedUSD != 0 || bill.UpfrontUSD != 0 {
+				t.Errorf("%s/%s: on-demand cell accrued reserved dollars: %+v", policy, pricing, bill)
+			}
+		case "reserved":
+			if bill.ReservedUSD <= 0 || bill.UpfrontUSD <= 0 {
+				t.Errorf("%s/%s: reserved cell missing reserved/upfront dollars: %+v", policy, pricing, bill)
+			}
+		}
+		if bill.TotalUSD() <= 0 {
+			t.Errorf("%s/%s: empty bill", policy, pricing)
+		}
+	}
+}

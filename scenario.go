@@ -30,6 +30,32 @@ const (
 	FidelityFluid = simulate.FidelityFluid
 )
 
+// Policy is the provisioning-policy seam: how predicted demand becomes a
+// rental plan each interval. Pass one to WithPolicy; see the re-exported
+// implementations below and DESIGN.md "Provisioning policies".
+type Policy = simulate.Policy
+
+// The four provisioning policies: the paper's greedy heuristic (the
+// default), lookahead with tear-down hysteresis, the perfect-prediction
+// oracle bound, and the fixed peak rental baseline.
+type (
+	Greedy     = simulate.Greedy
+	Lookahead  = simulate.Lookahead
+	Oracle     = simulate.Oracle
+	StaticPeak = simulate.StaticPeak
+)
+
+// PricingPlan describes how rented resources turn into dollars; pass one
+// to WithPricing. The zero value is pure on-demand billing.
+type PricingPlan = simulate.PricingPlan
+
+// OnDemandPricing returns the paper's literal pay-as-you-go pricing.
+func OnDemandPricing() PricingPlan { return simulate.OnDemandPricing() }
+
+// ReservedPricing returns a reservation-heavy plan: a committed fraction
+// of every VM cluster at a discounted rate plus an upfront fee per term.
+func ReservedPricing() PricingPlan { return simulate.ReservedPricing() }
+
 // Scenario is a fully assembled simulation configuration; run it with its
 // context-aware Run or Stream methods. See pkg/simulate for the field and
 // streaming documentation.

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Runs the key benchmarks and emits a machine-readable BENCH_PR3.json so
-# the perf trajectory is tracked across PRs. Wired into CI as a
-# non-blocking step; run locally with `make bench`.
+# Runs the key benchmarks and emits a machine-readable BENCH_PR4.json so
+# the perf trajectory is tracked across PRs (earlier BENCH_PR*.json files
+# stay committed as baselines). Wired into CI as a non-blocking step; run
+# locally with `make bench`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
@@ -17,6 +18,11 @@ go test -run '^$' -bench 'BenchmarkFluidMillionViewers$|BenchmarkEventParallelCh
 # Hot-path micro benches: enough iterations for stable ns/op and the
 # allocs/op guard to mean something.
 go test -run '^$' -bench 'BenchmarkRebalancePeers$' -benchtime 2000x ./internal/sim | tee -a "$TMP"
+
+# Control-path benches: plans/s per provisioning policy and the billing
+# ledger's accrual rate.
+go test -run '^$' -bench 'BenchmarkPolicyPlan' -benchtime 200x ./internal/provision | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkLedgerAccrual$' -benchtime 5000x ./internal/cloud | tee -a "$TMP"
 
 # Convert `go test -bench` lines into JSON:
 #   BenchmarkX-8  20  713 ns/op  0 B/op  0 allocs/op  4.2 quality
