@@ -21,8 +21,16 @@
 //	    -workers 4 -hours 6 -output sweep.csv
 //	cloudmedia sweep -axis uplink-ratio=0.9,1.0,1.2 -aggregate # Fig. 11 family
 //
-// The command is a thin flag wrapper around the public cloudmedia/pkg/paper
-// and cloudmedia/pkg/sweep packages.
+// The trace subcommand generates synthetic demand traces or records a
+// run's realized arrivals into a replayable one; -trace feeds a trace
+// file back into any experiment:
+//
+//	cloudmedia trace gen -kind weekweekend -days 14 -o fortnight.csv
+//	cloudmedia trace record -mode cloud-assisted -hours 24 -o day.csv
+//	cloudmedia -exp timeline -trace day.csv
+//
+// The command is a thin flag wrapper around the public cloudmedia/pkg/paper,
+// cloudmedia/pkg/sweep, and cloudmedia/pkg/trace packages.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 
 	"cloudmedia/pkg/paper"
 	"cloudmedia/pkg/simulate"
+	"cloudmedia/pkg/trace"
 )
 
 func main() {
@@ -49,6 +58,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "sweep" {
 		return runSweep(args[1:])
 	}
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:])
+	}
 	fs := flag.NewFlagSet("cloudmedia", flag.ContinueOnError)
 	var (
 		exp      = fs.String("exp", "", "experiment ID to run (or 'all')")
@@ -58,6 +70,7 @@ func run(args []string) error {
 		policy   = fs.String("policy", "greedy", "provisioning policy: greedy, lookahead, oracle, or staticpeak")
 		pricing  = fs.String("pricing", "on-demand", "cloud billing plan: on-demand or reserved")
 		scale    = fs.Float64("scale", 2, "workload scale (1 ≈ 250 concurrent users, 10 ≈ paper scale)")
+		traceIn  = fs.String("trace", "", "demand trace file (.csv or .json) replacing the parametric workload; see 'cloudmedia trace'")
 		hours    = fs.Float64("hours", 24, "simulated duration per run, hours")
 		seed     = fs.Int64("seed", 42, "random seed")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
@@ -96,6 +109,13 @@ func run(args []string) error {
 		ids = paper.IDs()
 	}
 	opts := paper.Options{Mode: m, Fidelity: f, Policy: pol, Pricing: pri, Scale: *scale, Hours: *hours, Seed: *seed}
+	if *traceIn != "" {
+		tr, err := trace.ReadFile(*traceIn)
+		if err != nil {
+			return err
+		}
+		opts.Source = tr
+	}
 	for _, id := range ids {
 		res, err := paper.Run(id, opts)
 		if err != nil {

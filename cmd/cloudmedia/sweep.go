@@ -7,11 +7,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"cloudmedia/pkg/simulate"
 	"cloudmedia/pkg/sweep"
+	"cloudmedia/pkg/trace"
 )
 
 // axisFlags collects repeated -axis specs.
@@ -138,7 +140,7 @@ func emitSweep(w io.Writer, results []sweep.Result, format string, aggregate boo
 }
 
 // axisNames lists the -axis spellings parseAxis accepts.
-var axisNames = []string{"mode", "fidelity", "policy", "pricing", "viewer-scale", "vm-budget", "storage-budget", "uplink-ratio", "chunks", "channels", "predictor"}
+var axisNames = []string{"mode", "fidelity", "policy", "pricing", "viewer-scale", "vm-budget", "storage-budget", "uplink-ratio", "chunks", "channels", "predictor", "trace"}
 
 // parseAxis converts one -axis spec ("vm-budget=50,100,200") into an Axis.
 func parseAxis(spec string) (sweep.Axis, error) {
@@ -224,6 +226,22 @@ func parseAxis(spec string) (sweep.Axis, error) {
 			return sweep.Axis{}, err
 		}
 		return sweep.Channels(is...), nil
+	case "trace":
+		// Values are file paths; the point labels are the file basenames
+		// (extension stripped), so sweep output stays readable.
+		named := make(map[string]*trace.Trace, len(values))
+		for _, v := range values {
+			label := strings.TrimSuffix(filepath.Base(v), filepath.Ext(v))
+			if _, dup := named[label]; dup {
+				return sweep.Axis{}, fmt.Errorf("axis %s: duplicate trace label %q", name, label)
+			}
+			tr, err := trace.ReadFile(v)
+			if err != nil {
+				return sweep.Axis{}, fmt.Errorf("axis %s: %w", name, err)
+			}
+			named[label] = tr
+		}
+		return sweep.Traces(named), nil
 	case "predictor":
 		named := make(map[string]simulate.Predictor, len(values))
 		for _, v := range values {

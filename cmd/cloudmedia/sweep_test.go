@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -96,7 +97,17 @@ func TestSweepSubcommandErrors(t *testing.T) {
 }
 
 func TestParseAxisCoversEveryName(t *testing.T) {
+	dir := t.TempDir()
+	tracePaths := make([]string, 2)
+	for i := range tracePaths {
+		tracePaths[i] = filepath.Join(dir, fmt.Sprintf("t%d.csv", i))
+		data := fmt.Sprintf("time_s,ch0\n0,0.%d\n3600,0.%d\n", i+1, i+2)
+		if err := os.WriteFile(tracePaths[i], []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
 	specs := map[string]string{
+		"trace":          "trace=" + strings.Join(tracePaths, ","),
 		"mode":           "mode=cs,p2p",
 		"fidelity":       "fidelity=event,fluid",
 		"policy":         "policy=greedy,lookahead,oracle,staticpeak",

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"cloudmedia/pkg/simulate"
+	"cloudmedia/pkg/trace"
+)
+
+// runTrace dispatches the `cloudmedia trace` subcommand: generate
+// synthetic demand traces or record a run's realized arrivals into one.
+func runTrace(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: cloudmedia trace gen|record [flags] (see cloudmedia trace gen -h)")
+	}
+	switch args[0] {
+	case "gen":
+		return runTraceGen(args[1:])
+	case "record":
+		return runTraceRecord(args[1:])
+	default:
+		return fmt.Errorf("unknown trace subcommand %q (want gen or record)", args[0])
+	}
+}
+
+// runTraceGen is `cloudmedia trace gen`: synthesize a demand trace and
+// write it as CSV or JSON.
+func runTraceGen(args []string) error {
+	fs := flag.NewFlagSet("cloudmedia trace gen", flag.ContinueOnError)
+	var (
+		kind     = fs.String("kind", "diurnal", "generator: diurnal (the paper's parametric day), weekweekend, drift, or launchdecay")
+		channels = fs.Int("channels", 6, "number of channels")
+		hours    = fs.Float64("hours", 24, "trace duration, hours (gen kinds weekweekend use -days instead)")
+		days     = fs.Int("days", 7, "weekweekend: number of days")
+		step     = fs.Float64("step", 900, "sample step, seconds")
+		scale    = fs.Float64("scale", 1, "workload scale (1 ≈ 250 concurrent viewers)")
+		weekend  = fs.Float64("weekend-factor", 1.6, "weekweekend: weekend intensity multiplier")
+		period   = fs.Float64("drift-period", 6, "drift: hours per popularity-rank rotation")
+		ramp     = fs.Float64("ramp", 2, "launchdecay: ramp time constant, hours")
+		halflife = fs.Float64("half-life", 12, "launchdecay: decay half-life, hours")
+		stagger  = fs.Float64("stagger", 3, "launchdecay: hours between channel launches")
+		output   = fs.String("o", "trace.csv", "output path; .csv or .json selects the codec")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: cloudmedia trace gen -kind diurnal|weekweekend|drift|launchdecay [flags]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "\nexample:\n  cloudmedia trace gen -kind weekweekend -days 14 -weekend-factor 2 -o fortnight.csv\n")
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	wl := simulate.DefaultWorkload()
+	wl.Channels = *channels
+	wl.BaseArrivalRate = 0.6 * *scale // the Default scenario's rate-per-scale
+
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	switch *kind {
+	case "diurnal":
+		tr, err = trace.FromSource(wl.Source(), *hours, *step)
+	case "weekweekend":
+		tr, err = trace.WeekdayWeekend(wl, *days, *step, *weekend)
+	case "drift":
+		tr, err = trace.PopularityDrift(*channels, *hours, *step, wl.ZipfExponent, wl.BaseArrivalRate, *period)
+	case "launchdecay":
+		perChannel := wl.BaseArrivalRate / float64(*channels)
+		tr, err = trace.LaunchDecay(*channels, *hours, *step, perChannel, *ramp, *halflife, *stagger)
+	default:
+		return fmt.Errorf("unknown trace kind %q (want diurnal, weekweekend, drift, or launchdecay)", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteFile(*output, tr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d channels × %d samples over %.1f h\n",
+		*output, tr.NumChannels(), len(tr.Times), tr.Duration()/3600)
+	return nil
+}
+
+// runTraceRecord is `cloudmedia trace record`: run a scenario and write
+// its realized arrivals as a replayable trace.
+func runTraceRecord(args []string) error {
+	fs := flag.NewFlagSet("cloudmedia trace record", flag.ContinueOnError)
+	var (
+		mode   = fs.String("mode", "client-server", "architecture under test: client-server, p2p, or cloud-assisted")
+		scale  = fs.Float64("scale", 1, "workload scale")
+		hours  = fs.Float64("hours", 24, "simulated duration, hours")
+		seed   = fs.Int64("seed", 42, "random seed")
+		step   = fs.Float64("step", 900, "recording bin width, seconds")
+		input  = fs.String("trace", "", "optional input trace to replay while recording (record-of-replay)")
+		output = fs.String("o", "recorded.csv", "output path; .csv or .json selects the codec")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: cloudmedia trace record [flags]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "\nexample:\n  cloudmedia trace record -mode cloud-assisted -hours 24 -o day.csv\n")
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := simulate.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
+	sc := simulate.Default(m, *scale)
+	sc.Hours = *hours
+	sc.Seed = *seed
+	if *input != "" {
+		tr, err := trace.ReadFile(*input)
+		if err != nil {
+			return err
+		}
+		sc.Source = tr
+	}
+	channels := sc.Workload.Channels
+	if sc.Source != nil {
+		channels = sc.Source.NumChannels()
+	}
+	rec, err := trace.NewRecorder(channels, *step)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	report, err := sc.Run(ctx, simulate.OnArrivals(rec.Add))
+	if err != nil && report == nil {
+		return err
+	}
+	tr, terr := rec.Trace(report.Hours * 3600)
+	if terr != nil {
+		return terr
+	}
+	if werr := trace.WriteFile(*output, tr); werr != nil {
+		return werr
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d channels × %d samples over %.1f h (mean quality %.4f)\n",
+		*output, tr.NumChannels(), len(tr.Times), tr.Duration()/3600, report.MeanQuality)
+	return err // surfaces a cancelled run after saving the partial trace
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceGenKinds drives every generator kind through the subcommand
+// and re-reads the artifacts through the codec.
+func TestTraceGenKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"diurnal", "weekweekend", "drift", "launchdecay"} {
+		for _, ext := range []string{".csv", ".json"} {
+			out := filepath.Join(dir, kind+ext)
+			args := []string{"trace", "gen", "-kind", kind, "-channels", "3", "-hours", "6", "-step", "1800", "-o", out}
+			if kind == "weekweekend" {
+				args = append(args, "-days", "2")
+			}
+			if err := run(args); err != nil {
+				t.Fatalf("gen %s%s: %v", kind, ext, err)
+			}
+			data, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) == 0 {
+				t.Fatalf("gen %s%s wrote nothing", kind, ext)
+			}
+		}
+	}
+}
+
+// TestTraceRecordThenReplay closes the CLI loop: record a short run,
+// then feed the artifact back through -trace.
+func TestTraceRecordThenReplay(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "rec.csv")
+	if err := run([]string{"trace", "record", "-hours", "2", "-step", "1800", "-o", out}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "time_s,ch0") {
+		t.Fatalf("recorded trace lacks the canonical header: %q", data[:20])
+	}
+	if err := run([]string{"-exp", "timeline", "-hours", "1", "-trace", out}); err != nil {
+		t.Fatalf("replay via -trace: %v", err)
+	}
+}
+
+func TestTraceSubcommandErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no subcommand":  {"trace"},
+		"unknown sub":    {"trace", "replay"},
+		"unknown kind":   {"trace", "gen", "-kind", "chaos"},
+		"bad extension":  {"trace", "gen", "-o", "x.xml"},
+		"bad gen flag":   {"trace", "gen", "-nope"},
+		"missing replay": {"-exp", "timeline", "-trace", "/nonexistent/x.csv"},
+		"record input":   {"trace", "record", "-trace", "/nonexistent/x.csv"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

@@ -28,12 +28,21 @@
 //
 //	cheap := sc.With(cloudmedia.WithBudgets(50, 1))
 //
+// Demand is pluggable: WithTrace (or WithWorkloadSource) replaces the
+// paper's parametric workload with a recorded or synthesized arrival
+// trace from pkg/trace, and simulate.OnArrivals records any run back
+// into a replayable one:
+//
+//	tr, err := trace.ReadFile("day.csv")
+//	sc, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted, cloudmedia.WithTrace(tr))
+//
 // The public subpackages expose the layers individually: pkg/plan the
 // analytic building blocks, pkg/simulate the simulation engine and
-// streaming API, pkg/sweep the concurrent parameter-sweep harness,
-// pkg/paper the table/figure reproduction registry behind
-// cmd/cloudmedia, and pkg/tracker plus pkg/transport the Sec. V-B
-// control/data plane over real TCP. The implementation lives under
+// streaming API, pkg/trace demand traces (codec, generators, recorder),
+// pkg/sweep the concurrent parameter-sweep harness, pkg/paper the
+// table/figure reproduction registry behind cmd/cloudmedia, and
+// pkg/tracker plus pkg/transport the Sec. V-B control/data plane over
+// real TCP. The implementation lives under
 // internal/ (queueing, p2p, provision, cloud, workload, sim, core,
 // experiments) so it can be refactored without breaking importers. See
 // README.md, DESIGN.md, and EXPERIMENTS.md.

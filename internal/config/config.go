@@ -60,6 +60,7 @@ type Settings struct {
 	Scheduling  sim.PeerScheduling
 	Fidelity    modes.Fidelity
 	Workload    *workload.Params
+	Source      workload.Source
 
 	// Err is the first option conflict observed; builders surface it.
 	Err error
@@ -124,6 +125,9 @@ func (s *Settings) Clone() *Settings {
 	if s.Workload != nil {
 		w := s.Workload.Clone()
 		out.Workload = &w
+	}
+	if s.Source != nil {
+		out.Source = s.Source.CloneSource()
 	}
 	return &out
 }

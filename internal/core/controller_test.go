@@ -6,51 +6,24 @@ import (
 	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
-	"cloudmedia/internal/viewing"
+	"cloudmedia/internal/testutil"
 	"cloudmedia/internal/workload"
 )
 
 // testSystem builds a small but complete CloudMedia stack: simulator,
-// cloud, broker, controller.
+// cloud, broker, controller. The scenario pieces come from the shared
+// internal/testutil builders.
 func testSystem(t *testing.T, mode sim.Mode) (*sim.Simulator, *cloud.Cloud, *Controller) {
 	t.Helper()
-	chCfg := queueing.Config{
-		Chunks:          5,
-		PlaybackRate:    50e3,
-		ChunkSeconds:    60,
-		VMBandwidth:     cloud.DefaultVMBandwidth,
-		EntryFirstChunk: 0.7,
-	}
-	transfer, err := viewing.SequentialWithJumps(chCfg.Chunks, 0.9, 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wl := workload.Default()
-	wl.Channels = 3
-	wl.BaseArrivalRate = 0.3
-	wl.BaseLevel = 1
-	wl.FlashCrowds = nil
-	wl.JumpMeanSeconds = 300
-	simCfg := sim.Config{
+	transfer := testutil.SequentialWithJumps(t, 5, 0.9, 0.2)
+	s, cl, broker := testutil.Stack(t, sim.Config{
 		Mode:             mode,
-		Channel:          chCfg,
-		Workload:         wl,
+		Channel:          testutil.ChannelConfig(5, 60),
+		Workload:         testutil.FlatWorkload(3, 0.3, 300),
 		Transfer:         transfer,
 		RebalanceSeconds: 10,
 		Seed:             7,
-	}
-	s, err := sim.New(simCfg)
-	if err != nil {
-		t.Fatalf("sim.New: %v", err)
-	}
-	cl, err := cloud.New(cloud.DefaultVMClusters(), cloud.DefaultNFSClusters())
-	if err != nil {
-		t.Fatalf("cloud.New: %v", err)
-	}
-	broker, err := cloud.NewBroker(cl)
-	if err != nil {
-		t.Fatalf("NewBroker: %v", err)
-	}
+	})
 	ctl, err := NewController(s, cl, broker, Options{
 		IntervalSeconds:  600, // 10-minute rounds keep the test quick
 		FallbackTransfer: transfer,
@@ -100,15 +73,8 @@ func TestNewControllerValidation(t *testing.T) {
 
 func TestControllerEndToEndClientServer(t *testing.T) {
 	s, cl, ctl := testSystem(t, sim.ClientServer)
-	wl := workload.Default()
-	wl.Channels = 3
-	wl.BaseArrivalRate = 0.3
-	wl.BaseLevel = 1
-	wl.FlashCrowds = nil
-	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	wl := testutil.FlatWorkload(3, 0.3, 300)
+	transfer := testutil.SequentialWithJumps(t, 5, 0.9, 0.2)
 
 	ctl.Provision(0, bootstrapInputs(t, s, &wl, transfer))
 	if err := ctl.Start(); err != nil {
@@ -145,38 +111,12 @@ func TestControllerP2PCheaperThanClientServer(t *testing.T) {
 	// Needs a real crowd: peer uplinks (~0.3 Mbps each) only displace
 	// 10 Mbps VMs when many viewers hold chunks.
 	run := func(mode sim.Mode) float64 {
-		chCfg := queueing.Config{
-			Chunks:          5,
-			PlaybackRate:    50e3,
-			ChunkSeconds:    60,
-			VMBandwidth:     cloud.DefaultVMBandwidth,
-			EntryFirstChunk: 0.7,
-		}
-		transfer, err := viewing.SequentialWithJumps(chCfg.Chunks, 0.9, 0.2)
-		if err != nil {
-			t.Fatal(err)
-		}
-		wl := workload.Default()
-		wl.Channels = 3
-		wl.BaseArrivalRate = 2.5 // ≈750 concurrent users
-		wl.BaseLevel = 1
-		wl.FlashCrowds = nil
-		wl.JumpMeanSeconds = 300
-		s, err := sim.New(sim.Config{
-			Mode: mode, Channel: chCfg, Workload: wl, Transfer: transfer,
+		transfer := testutil.SequentialWithJumps(t, 5, 0.9, 0.2)
+		wl := testutil.FlatWorkload(3, 2.5, 300) // ≈750 concurrent users
+		s, cl, broker := testutil.Stack(t, sim.Config{
+			Mode: mode, Channel: testutil.ChannelConfig(5, 60), Workload: wl, Transfer: transfer,
 			RebalanceSeconds: 10, Seed: 7,
 		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		cl, err := cloud.New(cloud.DefaultVMClusters(), cloud.DefaultNFSClusters())
-		if err != nil {
-			t.Fatal(err)
-		}
-		broker, err := cloud.NewBroker(cl)
-		if err != nil {
-			t.Fatal(err)
-		}
 		ctl, err := NewController(s, cl, broker, Options{
 			IntervalSeconds:  600,
 			FallbackTransfer: transfer,
@@ -211,10 +151,7 @@ func TestControllerRecordsDemandScale(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	transfer := testutil.SequentialWithJumps(t, 5, 0.9, 0.2)
 	ctl, err := NewController(s, cl2, broker2, Options{
 		IntervalSeconds:  600,
 		VMBudgetPerHour:  0.5, // ≈1 VM: far below demand
@@ -242,10 +179,7 @@ func TestControllerRecordsDemandScale(t *testing.T) {
 
 func TestControllerZeroTrafficKeepsZeroDemand(t *testing.T) {
 	s, cl, ctl := testSystem(t, sim.ClientServer)
-	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	transfer := testutil.SequentialWithJumps(t, 5, 0.9, 0.2)
 	inputs := make([]ChannelInput, s.Channels())
 	for c := range inputs {
 		inputs[c] = ChannelInput{ArrivalRate: 0, Transfer: transfer}
@@ -268,10 +202,7 @@ func TestStorageRecomputeThreshold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	transfer := testutil.SequentialWithJumps(t, 5, 0.9, 0.2)
 	ctl, err := NewController(s, cl, broker, Options{
 		IntervalSeconds:        600,
 		FallbackTransfer:       transfer,
@@ -309,10 +240,7 @@ func TestStorageRecomputeThreshold(t *testing.T) {
 
 func TestControllerHonorsBootLatencyOnIncrease(t *testing.T) {
 	s, cl, ctl := testSystem(t, sim.ClientServer)
-	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	transfer := testutil.SequentialWithJumps(t, 5, 0.9, 0.2)
 	inputs := make([]ChannelInput, s.Channels())
 	for c := range inputs {
 		inputs[c] = ChannelInput{ArrivalRate: 0.2, Transfer: transfer}
@@ -331,10 +259,7 @@ func TestControllerHonorsBootLatencyOnIncrease(t *testing.T) {
 
 func TestControllerRecoversFromVMFailures(t *testing.T) {
 	s, cl, ctl := testSystem(t, sim.ClientServer)
-	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	transfer := testutil.SequentialWithJumps(t, 5, 0.9, 0.2)
 	inputs := make([]ChannelInput, s.Channels())
 	for c := range inputs {
 		inputs[c] = ChannelInput{ArrivalRate: 0.2, Transfer: transfer}

@@ -8,7 +8,7 @@ import (
 	"cloudmedia/internal/provision"
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
-	"cloudmedia/internal/viewing"
+	"cloudmedia/internal/testutil"
 )
 
 // buildStack assembles a simulator + cloud + broker for seam tests,
@@ -20,11 +20,7 @@ func buildStack(t *testing.T) (*sim.Simulator, *cloud.Cloud, *cloud.Broker, queu
 	if err != nil {
 		t.Fatal(err)
 	}
-	transfer, err := viewing.SequentialWithJumps(5, 0.9, 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return s, cl, broker, transfer
+	return s, cl, broker, testutil.SequentialWithJumps(t, 5, 0.9, 0.2)
 }
 
 func flatInputs(s *sim.Simulator, transfer queueing.TransferMatrix, rate float64) []ChannelInput {

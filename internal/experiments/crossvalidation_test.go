@@ -27,13 +27,20 @@ func relDiff(a, b float64) float64 {
 	return math.Abs(a/b - 1)
 }
 
+// fidelityPair returns the default fig4/5/10 scenario under both engine
+// fidelities — the shared fixture of every cross-validation test.
+func fidelityPair() (event, fluid Scenario) {
+	event = DefaultScenario(0, 1)
+	fluid = event
+	fluid.Fidelity = modes.FidelityFluid
+	return event, fluid
+}
+
 // TestFluidCrossValidatesFig4 pins the fluid engine's provisioning
 // behaviour (reserved bandwidth, coverage, and the P2P-vs-client-server
 // saving — Fig. 4's claims) against the event engine.
 func TestFluidCrossValidatesFig4(t *testing.T) {
-	event := DefaultScenario(0, 1)
-	fluid := event
-	fluid.Fidelity = modes.FidelityFluid
+	event, fluid := fidelityPair()
 
 	re, err := Fig4(event)
 	if err != nil {
@@ -68,9 +75,7 @@ func TestFluidCrossValidatesFig4(t *testing.T) {
 // TestFluidCrossValidatesFig5 pins the fluid engine's streaming-quality
 // curve (Fig. 5's metric) against the event engine.
 func TestFluidCrossValidatesFig5(t *testing.T) {
-	event := DefaultScenario(0, 1)
-	fluid := event
-	fluid.Fidelity = modes.FidelityFluid
+	event, fluid := fidelityPair()
 
 	re, err := Fig5(event)
 	if err != nil {
@@ -96,9 +101,7 @@ func TestFluidCrossValidatesFig5(t *testing.T) {
 // estimates must land within the reserved-bandwidth tolerance of the
 // event-mode bill.
 func TestFluidCostTracksEvent(t *testing.T) {
-	event := DefaultScenario(0, 1)
-	fluid := event
-	fluid.Fidelity = modes.FidelityFluid
+	event, fluid := fidelityPair()
 
 	re, err := Fig10(event)
 	if err != nil {

@@ -65,6 +65,18 @@ type Scenario struct {
 	// run instead of starting the periodic controller — the
 	// fixed-provisioning baseline the paper's dynamic scheme improves on.
 	StaticProvisioning bool
+	// Source overrides the demand side of the workload: per-channel
+	// arrival intensity over time (a recorded trace, a synthetic
+	// generator, …). nil keeps the parametric Workload demand. When set,
+	// the channel count follows the source; Workload still supplies the
+	// behavioural parameters (VCR jumps, peer uplinks) and the oracle
+	// policies' true rates come from the source.
+	Source workload.Source
+	// OnArrivals observes every realized arrival (channel, time, mass) —
+	// the recording seam behind trace.Recorder. Calls for one channel are
+	// serialized; different channels may call concurrently from the event
+	// engine's channel workers.
+	OnArrivals func(channel int, t, n float64)
 	// OnInterval streams each provisioning round to the caller as soon as
 	// it completes; nil disables streaming.
 	OnInterval func(core.IntervalRecord)
@@ -150,6 +162,21 @@ func Build(sc Scenario) (*System, error) {
 	if sc.SampleSeconds <= 0 {
 		sc.SampleSeconds = 900
 	}
+	// Resolve the demand source: the scenario's override (cloned so
+	// concurrent runs share no lazy caches) or the parametric workload.
+	// Everything downstream — the engines' arrival sampling, the
+	// bootstrap estimates, and the oracle policies' true rates — reads
+	// demand through this one seam.
+	var demand workload.Source
+	if sc.Source != nil {
+		demand = sc.Source.CloneSource()
+		if err := demand.Validate(); err != nil {
+			return nil, err
+		}
+		sc.Workload.Channels = demand.NumChannels()
+	} else {
+		demand = sc.Workload.Source()
+	}
 	if sc.UplinkRatio > 0 {
 		up, err := workload.UplinkForRatio(sc.Channel.PlaybackRate, sc.UplinkRatio)
 		if err != nil {
@@ -170,6 +197,8 @@ func Build(sc Scenario) (*System, error) {
 		Mode:       sc.Mode,
 		Channel:    sc.Channel,
 		Workload:   sc.Workload,
+		Source:     demand,
+		OnArrivals: sc.OnArrivals,
 		Transfer:   transfer,
 		Scheduling: sc.Scheduling,
 		Seed:       sc.Seed,
@@ -216,10 +245,17 @@ func Build(sc Scenario) (*System, error) {
 		Predictor:         sc.Predictor,
 		Policy:            sc.Policy,
 		// Oracle policies plan on the true arrival intensity of the
-		// trace; the source is always wired, and only policies that
-		// declare Oracle() == true ever consult it. It closes over a
-		// private workload copy, so concurrent runs share no state.
-		TrueRates:      sc.Workload.TrueRateSource(),
+		// demand source — parametric or trace alike; the feed is always
+		// wired, and only policies that declare Oracle() == true ever
+		// consult it. It closes over the run's private source copy, so
+		// concurrent runs share no state.
+		TrueRates: func(channel int, start, end float64) float64 {
+			r, err := demand.MeanRate(channel, start, end)
+			if err != nil {
+				return 0
+			}
+			return r
+		},
 		OnInterval:     sc.OnInterval,
 		DiscardHistory: sc.DiscardRecords,
 	})
@@ -230,7 +266,7 @@ func Build(sc Scenario) (*System, error) {
 	sys := &System{Scenario: sc, Sim: s, Cloud: cl, Broker: broker, Controller: ctl, Transfer: transfer}
 	inputs := make([]core.ChannelInput, s.Channels())
 	for c := range inputs {
-		rate, err := sc.Workload.ChannelRate(c, 0)
+		rate, err := demand.Rate(c, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -120,10 +120,11 @@ func Registry() map[string]Runner {
 		"timeline":     TimelineReport,
 		"regional":     Regional,
 		"costfrontier": CostFrontier,
+		"tracereplay":  TraceReplay,
 	}
 }
 
 // IDs returns the experiment identifiers in a stable presentation order.
 func IDs() []string {
-	return []string{"tab2", "tab3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "vmlat", "storcost", "timeline", "regional", "costfrontier"}
+	return []string{"tab2", "tab3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "vmlat", "storcost", "timeline", "regional", "costfrontier", "tracereplay"}
 }

@@ -59,7 +59,7 @@ func (c *channel) users() float64 {
 // scenario seed is ignored (there is no sampling to derive from it).
 type Backend struct {
 	cfg  sim.Config
-	wl   workload.Params // pointer-receiver methods cache Zipf weights
+	src  workload.Source // resolved demand source (trace or parametric)
 	step float64
 
 	engine *sim.Engine // control callbacks (controller intervals, boots)
@@ -84,8 +84,16 @@ func New(cfg Config) (*Backend, error) {
 	if sc.RebalanceSeconds == 0 {
 		sc.RebalanceSeconds = 30
 	}
+	if sc.Source != nil {
+		// Mirror sim.New: the demand source owns the channel count.
+		sc.Workload.Channels = sc.Source.NumChannels()
+	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
+	}
+	src := sc.Source
+	if src == nil {
+		src = sc.Workload.Source()
 	}
 	step := cfg.StepSeconds
 	if step == 0 {
@@ -102,10 +110,17 @@ func New(cfg Config) (*Backend, error) {
 	}
 	b := &Backend{
 		cfg:        sc,
-		wl:         sc.Workload.Clone(),
+		src:        src,
 		step:       step,
 		engine:     sim.NewEngine(),
 		meanUplink: sc.Workload.PeerUplink.Mean(),
+	}
+	// Prime any lazy source caches (Zipf weights) while construction is
+	// still serial.
+	for c := 0; c < sc.Workload.Channels; c++ {
+		if _, err := src.MaxRate(c); err != nil {
+			return nil, err
+		}
 	}
 	b.channels = make([]*channel, sc.Workload.Channels)
 	for i := range b.channels {
@@ -194,12 +209,15 @@ func (b *Backend) stepChannel(c *channel, t, dt float64) {
 	}
 
 	// 1. External arrivals: chunk 1 with probability α, uniform otherwise.
-	lambda, err := b.wl.ChannelRate(c.index, t)
+	lambda, err := b.src.Rate(c.index, t)
 	if err != nil {
 		lambda = 0 // unreachable: index from range
 	}
 	arrivals := lambda * dt
 	c.feed.arrivals += arrivals
+	if b.cfg.OnArrivals != nil && arrivals > 0 {
+		b.cfg.OnArrivals(c.index, t, arrivals)
+	}
 	if J == 1 {
 		c.inWait[0] += arrivals
 	} else {

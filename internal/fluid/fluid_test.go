@@ -4,38 +4,21 @@ import (
 	"math"
 	"testing"
 
-	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
-	"cloudmedia/internal/viewing"
-	"cloudmedia/internal/workload"
+	"cloudmedia/internal/testutil"
 )
 
 // smallConfig mirrors the event engine's test scenario: 2 channels of 5
 // chunks, 10-second chunks, steady arrivals.
 func smallConfig(t *testing.T, mode sim.Mode) Config {
 	t.Helper()
-	chCfg := queueing.Config{
-		Chunks:          5,
-		PlaybackRate:    50e3,
-		ChunkSeconds:    10,
-		VMBandwidth:     250e3,
-		EntryFirstChunk: 0.7,
-	}
-	transfer, err := viewing.Sequential(chCfg.Chunks, 0.9)
-	if err != nil {
-		t.Fatalf("Sequential: %v", err)
-	}
-	wl := workload.Default()
-	wl.Channels = 2
-	wl.BaseArrivalRate = 0.2
-	wl.BaseLevel = 1
-	wl.FlashCrowds = nil
-	wl.JumpMeanSeconds = 120
+	chCfg := testutil.ChannelConfig(5, 10)
+	chCfg.VMBandwidth = 250e3
 	return Config{Sim: sim.Config{
 		Mode:     mode,
 		Channel:  chCfg,
-		Workload: wl,
-		Transfer: transfer,
+		Workload: testutil.FlatWorkload(2, 0.2, 120),
+		Transfer: testutil.Sequential(t, chCfg.Chunks, 0.9),
 		Seed:     1,
 	}}
 }

@@ -6,37 +6,24 @@ import (
 
 	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/provision"
-	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
-	"cloudmedia/internal/viewing"
+	"cloudmedia/internal/testutil"
 	"cloudmedia/internal/workload"
 )
 
 func testConfig(t *testing.T, regions []Region) Config {
 	t.Helper()
-	ch := queueing.Config{
-		Chunks:          5,
-		PlaybackRate:    50e3,
-		ChunkSeconds:    60,
-		VMBandwidth:     cloud.DefaultVMBandwidth,
-		EntryFirstChunk: 0.7,
-		SlotsPerVM:      5,
-	}
-	transfer, err := viewing.SequentialWithJumps(ch.Chunks, 0.9, 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wl := workload.Default()
-	wl.Channels = 2
-	wl.BaseArrivalRate = 0.6
-	wl.BaseLevel = 1
-	wl.FlashCrowds = nil
+	ch := testutil.ChannelConfig(5, 60)
+	ch.SlotsPerVM = 5
+	// The paper's default 15-minute jump interval, unlike the shortened
+	// intervals the engine tests use.
+	wl := testutil.FlatWorkload(2, 0.6, workload.Default().JumpMeanSeconds)
 	return Config{
 		Regions:         regions,
 		Mode:            sim.ClientServer,
 		Channel:         ch,
 		Workload:        wl,
-		Transfer:        transfer,
+		Transfer:        testutil.SequentialWithJumps(t, ch.Chunks, 0.9, 0.2),
 		IntervalSeconds: 600,
 		Seed:            5,
 	}

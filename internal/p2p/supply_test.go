@@ -7,17 +7,14 @@ import (
 
 	"cloudmedia/internal/mathx"
 	"cloudmedia/internal/queueing"
+	"cloudmedia/internal/testutil"
 	"cloudmedia/internal/viewing"
 )
 
 func paperConfig() queueing.Config {
-	return queueing.Config{
-		Chunks:          10,
-		PlaybackRate:    50e3,
-		ChunkSeconds:    300,
-		VMBandwidth:     1.25e6,
-		EntryFirstChunk: 0.7,
-	}
+	// testutil's standard shape at the paper's 10×300 s chunk layout
+	// (DefaultVMBandwidth is the paper's 10 Mbps = 1.25e6 B/s).
+	return testutil.ChannelConfig(10, 300)
 }
 
 func solvedChannel(t *testing.T, cfg queueing.Config, cont float64, lambda float64) (queueing.Equilibrium, queueing.TransferMatrix) {

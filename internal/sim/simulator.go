@@ -68,6 +68,22 @@ type Config struct {
 	Workload workload.Params         // arrival trace parameters
 	Transfer queueing.TransferMatrix // ground-truth viewing behaviour
 
+	// Source overrides the demand side of the workload: per-channel
+	// arrival intensity over time (a recorded trace, a synthetic
+	// generator, …). nil derives the parametric source from Workload —
+	// bit-identical to the pre-seam sampling. When set, the channel count
+	// follows the source; Workload still supplies the behavioural
+	// parameters (VCR jumps, peer uplinks).
+	Source workload.Source
+
+	// OnArrivals, when non-nil, observes every realized arrival: the
+	// channel, the simulated time, and the arrival mass (always 1 for
+	// this engine; the fluid engine reports fractional step masses).
+	// Calls for one channel are serialized; different channels may call
+	// concurrently from the channel-stepping workers, so the observer
+	// must keep per-channel state only (trace.Recorder does).
+	OnArrivals func(channel int, t, n float64)
+
 	// Scheduling selects the P2P uplink allocation policy. Defaults to
 	// RarestFirst, the paper's scheme.
 	Scheduling PeerScheduling
@@ -128,6 +144,14 @@ func (c Config) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("sim: negative worker count %d", c.Workers)
 	}
+	if c.Source != nil {
+		if err := c.Source.Validate(); err != nil {
+			return err
+		}
+		if c.Source.NumChannels() <= 0 {
+			return fmt.Errorf("sim: demand source has no channels")
+		}
+	}
 	return nil
 }
 
@@ -187,6 +211,13 @@ type Simulator struct {
 	cfg     Config
 	workers int
 
+	// src is the resolved demand source (Config.Source, or the parametric
+	// source derived from Config.Workload); envelopes caches each
+	// channel's thinning bound, primed serially in New so the per-channel
+	// workers only ever read the source.
+	src       workload.Source
+	envelopes []float64
+
 	// control sequences the cross-channel callbacks — controller
 	// intervals, peer rebalances, delayed capacity applications. Channels
 	// advance independently up to the next control event, then the event
@@ -204,8 +235,17 @@ var _ Backend = (*Simulator)(nil)
 // mode) starts the periodic peer-bandwidth rebalancer.
 func New(cfg Config) (*Simulator, error) {
 	cfg.applyDefaults()
+	if cfg.Source != nil {
+		// The demand source owns the channel count; Workload keeps only
+		// the behavioural role (jumps, uplinks).
+		cfg.Workload.Channels = cfg.Source.NumChannels()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	src := cfg.Source
+	if src == nil {
+		src = cfg.Workload.Source()
 	}
 	workers := cfg.Workers
 	if workers == 0 {
@@ -217,7 +257,18 @@ func New(cfg Config) (*Simulator, error) {
 	s := &Simulator{
 		cfg:     cfg,
 		workers: workers,
+		src:     src,
 		control: NewEngine(),
+	}
+	// Prime the envelopes (and any lazy source caches, e.g. Zipf weights)
+	// serially before the channel workers exist.
+	s.envelopes = make([]float64, cfg.Workload.Channels)
+	for c := range s.envelopes {
+		env, err := src.MaxRate(c)
+		if err != nil {
+			return nil, err
+		}
+		s.envelopes[c] = env
 	}
 	s.channels = make([]*channelState, cfg.Workload.Channels)
 	for c := range s.channels {
@@ -335,16 +386,15 @@ func (s *Simulator) ScheduleRepeating(start, interval float64, fn func(now float
 }
 
 // scheduleArrival arms the next NHPP arrival for a channel on the
-// channel's own event queue.
+// channel's own event queue, thinning against the channel's cached
+// envelope. The rate comes from the resolved demand source, so the same
+// loop replays traces and samples the parametric workload.
 func (s *Simulator) scheduleArrival(ch *channelState) error {
 	now := ch.engine.Now()
 	// Sample within a one-day horizon; if the thinning run finds nothing
 	// (possible only at negligible rates), re-arm at the horizon.
 	horizon := now + 24*3600
-	next, err := s.cfg.Workload.NextArrival(ch.rng, ch.index, now, horizon)
-	if err != nil {
-		return err
-	}
+	next := workload.NextArrivalThinned(ch.rng, s.src, ch.index, s.envelopes[ch.index], now, horizon)
 	fire := next
 	arrived := true
 	if math.IsInf(next, 1) {
@@ -380,6 +430,9 @@ func (s *Simulator) spawnUser(ch *channelState) {
 		start = 1 + ch.rng.Intn(s.cfg.Channel.Chunks-1)
 	}
 	u.join(start)
+	if s.cfg.OnArrivals != nil {
+		s.cfg.OnArrivals(ch.index, ch.engine.Now(), 1)
+	}
 }
 
 // rebalancePeers reallocates the channel's aggregate peer uplink across

@@ -1,0 +1,16 @@
+// Package trace drives the simulation engines from recorded or
+// synthesized demand instead of the paper's single parametric workload.
+//
+// A Trace is a per-channel arrival-intensity series sampled at explicit
+// instants; between samples the intensity is linear, outside them it
+// holds the boundary value. Trace implements workload.Source, so a trace
+// plugs into both simulation engines, the oracle policy's true-rate feed,
+// and the bootstrap estimates exactly like the parametric workload.
+//
+// The package also provides a byte-stable CSV/JSON codec (ParseCSV,
+// EncodeCSV, ParseJSON, EncodeJSON — encode∘parse is the identity on
+// encoder output), resampling/scaling transforms, synthetic generators
+// beyond the paper's diurnal pattern (weekday/weekend cycles, popularity
+// drift, channel launch/decay), and a Recorder that bins a run's realized
+// arrivals back into a replayable Trace for record→replay workflows.
+package trace

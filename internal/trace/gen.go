@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"cloudmedia/internal/mathx"
+	"cloudmedia/internal/workload"
+)
+
+// FromSource samples any demand source onto a uniform grid — the bridge
+// from the parametric workload (or another trace) into the codec:
+// FromSource(params.Source(), 24, 900) materializes the paper's diurnal
+// pattern as a portable CSV/JSON artifact.
+func FromSource(src workload.Source, hours, stepSeconds float64) (*Trace, error) {
+	if src == nil {
+		return nil, fmt.Errorf("trace: nil source")
+	}
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	times, err := uniformGrid(hours, stepSeconds, src.NumChannels())
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Times: times, Rates: make([][]float64, src.NumChannels())}
+	for c := range tr.Rates {
+		row := make([]float64, len(times))
+		for i, t := range times {
+			r, err := src.Rate(c, t)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = r
+		}
+		tr.Rates[c] = row
+	}
+	return tr, nil
+}
+
+// WeekdayWeekend samples the parametric workload over several days with a
+// weekly cycle the paper's single-day pattern cannot express: days 5 and
+// 6 of each week (the weekend) scale the diurnal intensity by
+// weekendFactor (>1 models weekend binge crowds, <1 quiet weekends).
+func WeekdayWeekend(p workload.Params, days int, stepSeconds, weekendFactor float64) (*Trace, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("trace: non-positive day count %d", days)
+	}
+	if weekendFactor < 0 || math.IsNaN(weekendFactor) || math.IsInf(weekendFactor, 0) {
+		return nil, fmt.Errorf("trace: invalid weekend factor %v", weekendFactor)
+	}
+	src := p.Source()
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	times, err := uniformGrid(float64(days)*24, stepSeconds, src.NumChannels())
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Times: times, Rates: make([][]float64, src.NumChannels())}
+	for c := range tr.Rates {
+		row := make([]float64, len(times))
+		for i, t := range times {
+			r, err := src.Rate(c, t)
+			if err != nil {
+				return nil, err
+			}
+			if day := int(t/(24*3600)) % 7; day == 5 || day == 6 {
+				r *= weekendFactor
+			}
+			row[i] = r
+		}
+		tr.Rates[c] = row
+	}
+	return tr, nil
+}
+
+// PopularityDrift generates channels whose Zipf popularity ranking
+// rotates over time: every periodHours the whole ranking shifts by one
+// channel, crossfading linearly so the aggregate rate stays constant at
+// totalRate while individual channels rise from the tail to the head and
+// sink back — the popularity churn of a real catalog.
+func PopularityDrift(channels int, hours, stepSeconds, zipfExponent, totalRate, periodHours float64) (*Trace, error) {
+	if channels <= 0 {
+		return nil, fmt.Errorf("trace: non-positive channel count %v", channels)
+	}
+	if totalRate < 0 || math.IsNaN(totalRate) || math.IsInf(totalRate, 0) {
+		return nil, fmt.Errorf("trace: invalid total rate %v", totalRate)
+	}
+	if periodHours <= 0 {
+		return nil, fmt.Errorf("trace: non-positive drift period %v h", periodHours)
+	}
+	w, err := mathx.ZipfWeights(channels, zipfExponent)
+	if err != nil {
+		return nil, err
+	}
+	times, err := uniformGrid(hours, stepSeconds, channels)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Times: times, Rates: make([][]float64, channels)}
+	for c := range tr.Rates {
+		tr.Rates[c] = make([]float64, len(times))
+	}
+	for i, t := range times {
+		phase := t / (periodHours * 3600)
+		k := int(phase)
+		frac := phase - float64(k)
+		for c := 0; c < channels; c++ {
+			lo := w[(c+k)%channels]
+			hi := w[(c+k+1)%channels]
+			tr.Rates[c][i] = totalRate * ((1-frac)*lo + frac*hi)
+		}
+	}
+	return tr, nil
+}
+
+// LaunchDecay generates a catalog of channel launches: channel c goes
+// live at c × staggerHours, ramps toward peakRate with the given ramp
+// time constant, and decays with the given half-life — the
+// release-then-fade lifecycle of on-demand titles. Channels not yet
+// launched have zero demand, so early intervals exercise the engines'
+// empty-channel paths.
+func LaunchDecay(channels int, hours, stepSeconds, peakRate, rampHours, halfLifeHours, staggerHours float64) (*Trace, error) {
+	if channels <= 0 {
+		return nil, fmt.Errorf("trace: non-positive channel count %v", channels)
+	}
+	if peakRate < 0 || math.IsNaN(peakRate) || math.IsInf(peakRate, 0) {
+		return nil, fmt.Errorf("trace: invalid peak rate %v", peakRate)
+	}
+	if rampHours <= 0 || halfLifeHours <= 0 || staggerHours < 0 {
+		return nil, fmt.Errorf("trace: non-positive launch/decay shape (ramp %v h, half-life %v h, stagger %v h)",
+			rampHours, halfLifeHours, staggerHours)
+	}
+	times, err := uniformGrid(hours, stepSeconds, channels)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Times: times, Rates: make([][]float64, channels)}
+	for c := range tr.Rates {
+		launch := float64(c) * staggerHours * 3600
+		row := make([]float64, len(times))
+		for i, t := range times {
+			if t <= launch {
+				continue
+			}
+			age := (t - launch) / 3600 // hours since launch
+			row[i] = peakRate * (1 - math.Exp(-age/rampHours)) * math.Exp2(-age/halfLifeHours)
+		}
+		tr.Rates[c] = row
+	}
+	return tr, nil
+}
+
+// uniformGrid builds the sample instants for hours of demand at the given
+// step, rejecting degenerate shapes and grids that exceed the codec cap.
+func uniformGrid(hours, stepSeconds float64, channels int) ([]float64, error) {
+	if hours <= 0 || math.IsNaN(hours) || math.IsInf(hours, 0) {
+		return nil, fmt.Errorf("trace: non-positive duration %v h", hours)
+	}
+	if stepSeconds <= 0 || math.IsNaN(stepSeconds) || math.IsInf(stepSeconds, 0) {
+		return nil, fmt.Errorf("trace: non-positive step %v s", stepSeconds)
+	}
+	end := hours * 3600
+	// Bound the grid in float space before the int conversion: for
+	// extreme hours/step ratios int(end/stepSeconds) overflows (to a
+	// negative value), which would slip past an integer-only check and
+	// let the append loop below run essentially forever.
+	samplesF := end/stepSeconds + 2
+	if ch := float64(channels); ch > 0 && samplesF*ch > maxTraceCells {
+		return nil, fmt.Errorf("trace: grid too large (~%g samples × %d channels)", samplesF, channels)
+	}
+	samples := int(samplesF)
+	times := make([]float64, 0, samples)
+	for t := 0.0; t < end; t += stepSeconds {
+		times = append(times, t)
+	}
+	times = append(times, end)
+	return times, nil
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Recorder bins a run's realized arrivals back into a replayable Trace.
+// Wire its Add method into the engines' arrival hook (sim.Config's
+// OnArrivals, or simulate.OnArrivals at the public API) and call Trace
+// with the run's horizon when it finishes:
+//
+//	rec, _ := trace.NewRecorder(channels, 900)
+//	report, _ := sc.Run(ctx, simulate.OnArrivals(rec.Add))
+//	tr, _ := rec.Trace(report.Hours * 3600)
+//
+// Concurrency: the engines invoke the arrival hook from per-channel
+// shards — calls for one channel are serialized, different channels may
+// call concurrently. The recorder therefore keeps strictly per-channel
+// state and shares nothing across channels, matching that contract. It
+// must not be shared between two simultaneous runs.
+type Recorder struct {
+	step float64
+	bins [][]float64 // per-channel arrival counts per bin
+}
+
+// NewRecorder builds a recorder with the given channel count and bin
+// width in seconds. The bin width is the resolution of the recovered
+// trace; the provisioning interval (or the sampling period) is a natural
+// choice.
+func NewRecorder(channels int, stepSeconds float64) (*Recorder, error) {
+	if channels <= 0 {
+		return nil, fmt.Errorf("trace: non-positive recorder channel count %d", channels)
+	}
+	if stepSeconds <= 0 || math.IsNaN(stepSeconds) || math.IsInf(stepSeconds, 0) {
+		return nil, fmt.Errorf("trace: non-positive recorder step %v", stepSeconds)
+	}
+	return &Recorder{step: stepSeconds, bins: make([][]float64, channels)}, nil
+}
+
+// Add records n arrivals on the channel at simulated time t. The event
+// engine calls it with n = 1 per viewer; the fluid engine with the
+// fractional arrival mass of each integration step. Out-of-range
+// channels and non-positive times or counts are ignored: the recorder is
+// an observer and must never fail a run.
+func (r *Recorder) Add(channel int, t, n float64) {
+	if channel < 0 || channel >= len(r.bins) || n <= 0 || t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return
+	}
+	bin := int(t / r.step)
+	row := r.bins[channel]
+	for len(row) <= bin {
+		row = append(row, 0)
+	}
+	row[bin] += n
+	r.bins[channel] = row
+}
+
+// Trace converts the recorded bins into a trace: each bin's count divided
+// by the bin width becomes the intensity at the bin's midpoint, padded
+// with empty bins up to the given horizon so quiet closing intervals
+// replay as quiet instead of being truncated.
+func (r *Recorder) Trace(horizonSeconds float64) (*Trace, error) {
+	bins := 0
+	for _, row := range r.bins {
+		if len(row) > bins {
+			bins = len(row)
+		}
+	}
+	if horizonSeconds > 0 {
+		if want := int(math.Ceil(horizonSeconds / r.step)); want > bins {
+			bins = want
+		}
+	}
+	if bins == 0 {
+		return nil, fmt.Errorf("trace: recorder saw no arrivals and no horizon")
+	}
+	if bins*len(r.bins) > maxTraceCells {
+		return nil, fmt.Errorf("trace: recording too large (%d bins × %d channels)", bins, len(r.bins))
+	}
+	tr := &Trace{Times: make([]float64, bins), Rates: make([][]float64, len(r.bins))}
+	for i := range tr.Times {
+		tr.Times[i] = (float64(i) + 0.5) * r.step
+	}
+	for c, row := range r.bins {
+		rates := make([]float64, bins)
+		for i := 0; i < bins && i < len(row); i++ {
+			rates[i] = row[i] / r.step
+		}
+		tr.Rates[c] = rates
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// arbitraryParams maps arbitrary fuzz scalars onto a valid Params value,
+// so the quick properties range over the whole valid parameter space
+// instead of only the paper's point.
+func arbitraryParams(rng *rand.Rand) Params {
+	p := Default()
+	p.Channels = 1 + rng.Intn(40)
+	p.ZipfExponent = rng.Float64() * 3
+	p.BaseArrivalRate = rng.Float64() * 10
+	p.BaseLevel = rng.Float64() * 2
+	p.JumpMeanSeconds = 1 + rng.Float64()*3600
+	p.FlashCrowds = p.FlashCrowds[:0]
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		p.FlashCrowds = append(p.FlashCrowds, FlashCrowd{
+			PeakHour:   rng.Float64() * 24,
+			WidthHours: 0.1 + rng.Float64()*6,
+			Amplitude:  rng.Float64() * 5,
+		})
+	}
+	return p
+}
+
+// TestQuickRateMultiplierNonNegative: the diurnal multiplier is ≥ 0 at
+// every instant (negative intensities would break Poisson thinning), and
+// never exceeds the MaxRateMultiplier envelope.
+func TestQuickRateMultiplierNonNegative(t *testing.T) {
+	property := func(seed int64, at float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := arbitraryParams(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("arbitraryParams produced invalid params: %v", err)
+		}
+		// Exercise negative and far-future instants too.
+		ts := []float64{at, -at, math.Mod(at, 86400), at * 365}
+		for _, x := range ts {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			m := p.RateMultiplier(x)
+			if m < 0 || math.IsNaN(m) {
+				t.Logf("RateMultiplier(%v) = %v", x, m)
+				return false
+			}
+			if env := p.MaxRateMultiplier(); m > env+1e-12 {
+				t.Logf("RateMultiplier(%v) = %v exceeds envelope %v", x, m, env)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickChannelWeights: Zipf weights sum to 1 and are monotone
+// non-increasing in rank for every valid (channels, exponent) pair.
+func TestQuickChannelWeights(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := arbitraryParams(rng)
+		w, err := p.ChannelWeights()
+		if err != nil {
+			t.Logf("ChannelWeights: %v", err)
+			return false
+		}
+		if len(w) != p.Channels {
+			t.Logf("len(weights) = %d, channels = %d", len(w), p.Channels)
+			return false
+		}
+		var sum float64
+		for i, v := range w {
+			if v < 0 {
+				t.Logf("weight %d = %v < 0", i, v)
+				return false
+			}
+			if i > 0 && v > w[i-1]+1e-15 {
+				t.Logf("weights not monotone at rank %d: %v > %v", i, v, w[i-1])
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Logf("weights sum to %v", sum)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneIndependence: mutating a clone — scalars, flash crowds,
+// and the cached Zipf weights — never perturbs the original.
+func TestQuickCloneIndependence(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := arbitraryParams(rng)
+		// Populate the weight cache before cloning so the clone copies it.
+		if _, err := p.ChannelWeights(); err != nil {
+			t.Logf("ChannelWeights: %v", err)
+			return false
+		}
+		origRate, err := p.ChannelRate(0, 3600)
+		if err != nil {
+			t.Logf("ChannelRate: %v", err)
+			return false
+		}
+		origCrowds := len(p.FlashCrowds)
+
+		c := p.Clone()
+		c.BaseArrivalRate *= 7
+		c.FlashCrowds = append(c.FlashCrowds, FlashCrowd{PeakHour: 1, WidthHours: 1, Amplitude: 1})
+		if w, err := c.ChannelWeights(); err == nil {
+			for i := range w {
+				w[i] = -1 // scribble on the clone's cache
+			}
+		}
+
+		if len(p.FlashCrowds) != origCrowds {
+			t.Log("clone's flash-crowd append reached the original")
+			return false
+		}
+		after, err := p.ChannelRate(0, 3600)
+		if err != nil {
+			t.Logf("ChannelRate after clone mutation: %v", err)
+			return false
+		}
+		if after != origRate {
+			t.Logf("original rate moved after clone mutation: %v → %v", origRate, after)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSourceAgreesWithParams: the paramsSource adapter reports
+// exactly the parametric rates, envelopes, and interval means — the seam
+// introduces no drift.
+func TestQuickSourceAgreesWithParams(t *testing.T) {
+	property := func(seed int64, at, span float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := arbitraryParams(rng)
+		src := p.Source()
+		if src.NumChannels() != p.Channels {
+			return false
+		}
+		// Clamp the instant and span to a finite simulation-sized domain:
+		// beyond ~1e9 s the sum at+span overflows float64 arithmetic into
+		// Inf/NaN, where x != x makes equality meaningless.
+		if math.IsNaN(at) || math.IsInf(at, 0) {
+			at = 0
+		}
+		at = math.Mod(at, 1e9)
+		span = math.Abs(span)
+		if math.IsNaN(span) || math.IsInf(span, 0) || span > 1e9 {
+			span = 3600
+		}
+		c := rng.Intn(p.Channels)
+		r1, err1 := src.Rate(c, at)
+		r2, err2 := p.ChannelRate(c, at)
+		if (err1 == nil) != (err2 == nil) || r1 != r2 {
+			t.Logf("Rate(%d, %v): source %v/%v, params %v/%v", c, at, r1, err1, r2, err2)
+			return false
+		}
+		m1, err1 := src.MaxRate(c)
+		m2, err2 := p.MaxChannelRate(c)
+		if (err1 == nil) != (err2 == nil) || m1 != m2 {
+			return false
+		}
+		a1, err1 := src.MeanRate(c, at, at+span)
+		a2, err2 := p.MeanChannelRate(c, at, at+span)
+		if (err1 == nil) != (err2 == nil) || a1 != a2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cloudmedia/internal/mathx"
+)
+
+// Source is the demand seam: per-channel arrival intensity over time.
+// The parametric Params (Zipf popularity × diurnal pattern, the paper's
+// Sec. VI-A workload) is the default implementation via Params.Source;
+// recorded or synthesized traces (internal/trace) are the other. Both
+// simulation engines, the provisioning controller's oracle rate feed,
+// and the bootstrap estimates all consume demand through this interface,
+// so swapping the demand model never touches the engines.
+//
+// Implementations must be usable read-only from concurrent goroutines
+// after construction: the event engine queries Rate from its per-channel
+// workers. Any lazy caching must happen on the first call, which both
+// engines guarantee to make serially during construction (MaxRate for
+// every channel is primed before workers start).
+type Source interface {
+	// NumChannels returns the number of channels the source describes.
+	NumChannels() int
+	// Rate returns channel c's instantaneous arrival intensity at
+	// simulated time t (seconds since the start of the run), in users/s.
+	Rate(channel int, t float64) (float64, error)
+	// MaxRate returns an upper bound on Rate over all t — the thinning
+	// envelope for non-homogeneous Poisson sampling.
+	MaxRate(channel int) (float64, error)
+	// MeanRate returns the mean arrival intensity over [start, end) — the
+	// true-rate feed behind oracle provisioning policies.
+	MeanRate(channel int, start, end float64) (float64, error)
+	// CloneSource returns a deep, independent copy: mutating or querying
+	// the clone never perturbs the original (including lazy caches).
+	CloneSource() Source
+	// Validate checks the source's invariants.
+	Validate() error
+}
+
+// Source adapts the parametric workload into the demand seam over a
+// private copy of the parameters, so the returned source shares no state
+// (including the cached Zipf weights) with the receiver.
+func (p Params) Source() Source {
+	return &paramsSource{p: p.Clone()}
+}
+
+// paramsSource is the parametric Source: Zipf weights × diurnal
+// multiplier, delegating to the Params methods unchanged so a parametric
+// source is bit-identical to driving the engines from Params directly.
+type paramsSource struct {
+	p Params
+}
+
+func (s *paramsSource) NumChannels() int { return s.p.Channels }
+
+func (s *paramsSource) Rate(channel int, t float64) (float64, error) {
+	return s.p.ChannelRate(channel, t)
+}
+
+func (s *paramsSource) MaxRate(channel int) (float64, error) {
+	return s.p.MaxChannelRate(channel)
+}
+
+func (s *paramsSource) MeanRate(channel int, start, end float64) (float64, error) {
+	return s.p.MeanChannelRate(channel, start, end)
+}
+
+func (s *paramsSource) CloneSource() Source { return &paramsSource{p: s.p.Clone()} }
+
+func (s *paramsSource) Validate() error { return s.p.Validate() }
+
+// NextArrivalFrom samples the next arrival time for channel c after `now`,
+// before `horizon`, from the non-homogeneous Poisson process whose
+// intensity the source describes. It returns +Inf if no arrival occurs
+// before the horizon. For a parametric source this consumes exactly the
+// random stream Params.NextArrival consumes, so replacing one with the
+// other never perturbs a seeded run.
+func NextArrivalFrom(rng *rand.Rand, src Source, c int, now, horizon float64) (float64, error) {
+	envelope, err := src.MaxRate(c)
+	if err != nil {
+		return 0, err
+	}
+	return NextArrivalThinned(rng, src, c, envelope, now, horizon), nil
+}
+
+// NextArrivalThinned is the engine-facing variant of NextArrivalFrom: the
+// event engine precomputes each channel's envelope once at construction
+// and passes it here from the per-channel arrival loop, so the thinning
+// logic lives in exactly one place.
+func NextArrivalThinned(rng *rand.Rand, src Source, c int, envelope, now, horizon float64) float64 {
+	return mathx.NextNHPPArrival(rng, now, horizon, envelope, func(at float64) float64 {
+		r, _ := src.Rate(c, at)
+		return r
+	})
+}
+
+// Scaled returns a source whose intensity is the given source's times
+// factor — how the relative workload-scale knob (WithScale) applies to
+// trace-driven scenarios, where rescaling Params.BaseArrivalRate would
+// be a silent no-op. The wrapped source is cloned, so the caller's copy
+// stays independent.
+func Scaled(src Source, factor float64) (Source, error) {
+	if src == nil {
+		return nil, fmt.Errorf("workload: nil source")
+	}
+	if factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("workload: invalid source scale %v", factor)
+	}
+	return &scaledSource{src: src.CloneSource(), factor: factor}, nil
+}
+
+type scaledSource struct {
+	src    Source
+	factor float64
+}
+
+func (s *scaledSource) NumChannels() int { return s.src.NumChannels() }
+
+func (s *scaledSource) Rate(channel int, t float64) (float64, error) {
+	r, err := s.src.Rate(channel, t)
+	return r * s.factor, err
+}
+
+func (s *scaledSource) MaxRate(channel int) (float64, error) {
+	r, err := s.src.MaxRate(channel)
+	return r * s.factor, err
+}
+
+func (s *scaledSource) MeanRate(channel int, start, end float64) (float64, error) {
+	r, err := s.src.MeanRate(channel, start, end)
+	return r * s.factor, err
+}
+
+func (s *scaledSource) CloneSource() Source {
+	return &scaledSource{src: s.src.CloneSource(), factor: s.factor}
+}
+
+func (s *scaledSource) Validate() error { return s.src.Validate() }
+
+// Weights returns the source's popularity weights at time t: each
+// channel's share of the aggregate arrival intensity, summing to 1. When
+// every channel is idle at t the split is uniform.
+func Weights(src Source, t float64) ([]float64, error) {
+	n := src.NumChannels()
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: source has no channels")
+	}
+	w := make([]float64, n)
+	var total float64
+	for c := 0; c < n; c++ {
+		r, err := src.Rate(c, t)
+		if err != nil {
+			return nil, err
+		}
+		w[c] = r
+		total += r
+	}
+	if total <= 0 {
+		for c := range w {
+			w[c] = 1 / float64(n)
+		}
+		return w, nil
+	}
+	for c := range w {
+		w[c] /= total
+	}
+	return w, nil
+}

@@ -4,6 +4,7 @@ import (
 	"cloudmedia/internal/config"
 	"cloudmedia/pkg/plan"
 	"cloudmedia/pkg/simulate"
+	"cloudmedia/pkg/trace"
 )
 
 // Option configures a Pipeline or a Scenario. Options are shared between
@@ -249,6 +250,45 @@ func WithScheduling(policy simulate.Scheduling) Option {
 // only; combine with simulate.DefaultWorkload to start from the paper's.
 func WithWorkload(w simulate.Workload) Option {
 	return func(s *config.Settings) { s.Workload = &w }
+}
+
+// WithWorkloadSource overrides the demand side of the workload with an
+// arbitrary arrival-intensity source (simulate.Source): a recorded or
+// generated trace, or any custom implementation. The channel count then
+// follows the source, the engines sample arrivals from it, and oracle
+// policies plan on its true rates; the parametric workload keeps
+// supplying the behavioural knobs (VCR jumps, peer uplinks). Scenario
+// only. Mutually exclusive with WithTrace.
+func WithWorkloadSource(src simulate.Source) Option {
+	return func(s *config.Settings) {
+		if src == nil {
+			s.Fail("cloudmedia: nil workload source")
+			return
+		}
+		if s.Source != nil {
+			s.Fail("cloudmedia: WithWorkloadSource conflicts with an earlier demand source option")
+			return
+		}
+		s.Source = src
+	}
+}
+
+// WithTrace drives the scenario's arrivals from a demand trace — a
+// recorded run, a parsed CSV/JSON artifact, or a synthetic generator
+// from pkg/trace. Sugar for WithWorkloadSource(t). Scenario only.
+// Mutually exclusive with WithWorkloadSource.
+func WithTrace(t *trace.Trace) Option {
+	return func(s *config.Settings) {
+		if t == nil {
+			s.Fail("cloudmedia: nil trace")
+			return
+		}
+		if s.Source != nil {
+			s.Fail("cloudmedia: WithTrace conflicts with an earlier demand source option")
+			return
+		}
+		s.Source = t
+	}
 }
 
 // apply runs the options and returns the accumulated settings.

@@ -177,3 +177,41 @@ func TestNewScenarioInvalid(t *testing.T) {
 		t.Error("negative hours: want error")
 	}
 }
+
+// TestNewScenarioWithTrace pins the root-level demand-source options:
+// WithTrace installs the trace (channel count and all), nil and
+// conflicting sources fail, and the built scenario runs.
+func TestNewScenarioWithTrace(t *testing.T) {
+	tr := &cloudmedia.Trace{
+		Times: []float64{0, 1800, 3600},
+		Rates: [][]float64{{0.3, 0.5, 0.3}, {0.1, 0.1, 0.1}},
+	}
+	sc, err := cloudmedia.NewScenario(cloudmedia.ClientServer,
+		cloudmedia.WithTrace(tr),
+		cloudmedia.WithHours(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Source == nil {
+		t.Fatal("WithTrace did not install the demand source")
+	}
+	rep, err := sc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanQuality <= 0 {
+		t.Errorf("trace-driven run quality %v", rep.MeanQuality)
+	}
+
+	if _, err := cloudmedia.NewScenario(cloudmedia.ClientServer, cloudmedia.WithTrace(nil)); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := cloudmedia.NewScenario(cloudmedia.ClientServer, cloudmedia.WithWorkloadSource(nil)); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := cloudmedia.NewScenario(cloudmedia.ClientServer,
+		cloudmedia.WithTrace(tr), cloudmedia.WithWorkloadSource(tr)); err == nil {
+		t.Error("conflicting demand-source options accepted")
+	}
+}

@@ -53,6 +53,11 @@ type Options struct {
 	// on-demand, the paper's literal prices (costfrontier pins the plans
 	// it compares).
 	Pricing simulate.PricingPlan
+	// Source, when non-nil, replaces the parametric demand with a trace
+	// or custom arrival-intensity source (the CLI's -trace flag); the
+	// channel count follows the source. Experiments that synthesize their
+	// own workloads (regional) ignore it.
+	Source simulate.Source
 	// Scale is the workload scale: 1 ≈ 250 concurrent viewers, 10 ≈ paper
 	// scale. Zero means 2.
 	Scale float64
@@ -104,6 +109,7 @@ func scenario(o Options) (experiments.Scenario, error) {
 	esc.Fidelity = o.Fidelity
 	esc.Policy = o.Policy
 	esc.Pricing = o.Pricing
+	esc.Source = o.Source
 	if o.Hours != 0 {
 		esc.Hours = o.Hours
 	}

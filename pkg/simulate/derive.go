@@ -1,8 +1,11 @@
 package simulate
 
 import (
+	"fmt"
+
 	"cloudmedia/internal/config"
 	"cloudmedia/internal/experiments"
+	"cloudmedia/internal/workload"
 	"cloudmedia/pkg/plan"
 )
 
@@ -31,20 +34,40 @@ func (sc Scenario) With(opts ...Option) Scenario {
 		out.err = err
 		return out
 	}
-	// Scale first: it rescales the *current* workload, and an explicit
-	// WithWorkload in the same call replaces the workload wholesale (the
-	// replacement is taken as-is, matching NewScenario's precedence).
-	// WithViewerScale is absolute — it pins the base rate to the target
-	// concurrency regardless of the current rate — so it wins over the
-	// relative WithScale when both appear.
+	// Scale first: it rescales the *current* workload (or the current
+	// demand source — a trace's arrival intensity is multiplied, since
+	// rescaling the unused parametric base rate would be a silent no-op),
+	// and an explicit WithWorkload or demand-source option in the same
+	// call replaces the demand wholesale (the replacement is taken as-is,
+	// matching NewScenario's precedence). WithViewerScale is absolute —
+	// it pins the base rate to the target concurrency regardless of the
+	// current rate — so it wins over the relative WithScale when both
+	// appear; it is defined only for the parametric workload, so
+	// combining it with a demand source is a recorded conflict.
 	if s.Scale != nil {
-		out.Workload.BaseArrivalRate *= *s.Scale
+		if out.Source != nil {
+			scaled, err := workload.Scaled(out.Source, *s.Scale)
+			if err != nil {
+				out.err = err
+				return out
+			}
+			out.Source = scaled
+		} else {
+			out.Workload.BaseArrivalRate *= *s.Scale
+		}
 	}
 	if s.ViewerScale != nil {
+		if out.Source != nil || s.Source != nil {
+			out.err = fmt.Errorf("simulate: WithViewerScale targets the parametric workload and conflicts with a demand source (scale the trace instead: Trace.Scale or WithScale)")
+			return out
+		}
 		out.Workload.BaseArrivalRate = experiments.BaseRateForViewers(*s.ViewerScale)
 	}
 	if s.Workload != nil {
 		out.Workload = s.Workload.Clone()
+	}
+	if s.Source != nil {
+		out.Source = s.Source.CloneSource()
 	}
 	out.Channel = s.Channel(out.Channel)
 	if s.Channels != nil {
@@ -100,6 +123,9 @@ func (sc Scenario) With(opts ...Option) Scenario {
 // running concurrently share no ledger or planner state).
 func (sc Scenario) Clone() Scenario {
 	sc.Workload = sc.Workload.Clone()
+	if sc.Source != nil {
+		sc.Source = sc.Source.CloneSource()
+	}
 	sc.VMClusters = append([]plan.VMCluster(nil), sc.VMClusters...)
 	sc.NFSClusters = append([]plan.NFSCluster(nil), sc.NFSClusters...)
 	return sc

@@ -9,6 +9,7 @@ import (
 	"cloudmedia"
 	"cloudmedia/pkg/plan"
 	"cloudmedia/pkg/simulate"
+	"cloudmedia/pkg/trace"
 )
 
 func TestWithDerivesIndependentScenario(t *testing.T) {
@@ -302,5 +303,75 @@ func TestWithPolicyAndPricingRejectInvalid(t *testing.T) {
 	sc = simulate.Default(simulate.ClientServer, 1).With(cloudmedia.WithPolicy(simulate.Lookahead{K: -2}))
 	if err := sc.Validate(); !errors.Is(err, simulate.ErrInvalidScenario) {
 		t.Errorf("negative lookahead: err = %v, want ErrInvalidScenario", err)
+	}
+}
+
+// TestDeriveClonesDemandSource pins Source handling in With/Clone: the
+// derived scenario owns an independent copy of the trace, and a source
+// installed through options survives derivation.
+func TestDeriveClonesDemandSource(t *testing.T) {
+	tr := &trace.Trace{
+		Times: []float64{0, 3600},
+		Rates: [][]float64{{0.3, 0.5}, {0.1, 0.1}},
+	}
+	base := simulate.Default(simulate.ClientServer, 1)
+	base.Source = tr
+
+	derived := base.With(cloudmedia.WithHours(2))
+	if derived.Source == nil {
+		t.Fatal("derivation dropped the demand source")
+	}
+	cl := base.Clone()
+	tr.Rates[0][0] = 42 // scribble on the original
+	for name, sc := range map[string]simulate.Scenario{"with": derived, "clone": cl} {
+		r, err := sc.Source.Rate(0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r == 42 {
+			t.Errorf("%s: derived scenario shares the caller's trace", name)
+		}
+	}
+
+	if err := derived.Validate(); err != nil {
+		t.Fatalf("trace-driven scenario invalid: %v", err)
+	}
+	bad := base
+	bad.Source = &trace.Trace{Times: []float64{0}, Rates: [][]float64{{-1}}}
+	if err := bad.Validate(); !errors.Is(err, simulate.ErrInvalidScenario) {
+		t.Errorf("invalid source: err = %v, want ErrInvalidScenario", err)
+	}
+}
+
+// TestScaleAppliesToDemandSource pins the review fix: WithScale on a
+// trace-driven scenario multiplies the source's intensity (it used to
+// rescale the unused parametric base rate — a silent no-op), and the
+// absolute WithViewerScale is a recorded conflict instead.
+func TestScaleAppliesToDemandSource(t *testing.T) {
+	tr := &trace.Trace{Times: []float64{0, 3600}, Rates: [][]float64{{0.2, 0.4}}}
+	base := simulate.Default(simulate.ClientServer, 1)
+	base.Source = tr
+
+	doubled := base.With(cloudmedia.WithScale(2))
+	if err := doubled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := doubled.Source.Rate(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0.4 {
+		t.Errorf("scaled trace rate = %v, want 0.4 (2 × 0.2)", r)
+	}
+	m, err := doubled.Source.MaxRate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0.8 {
+		t.Errorf("scaled envelope = %v, want 0.8", m)
+	}
+
+	if err := base.With(cloudmedia.WithViewerScale(1000)).Validate(); !errors.Is(err, simulate.ErrInvalidScenario) {
+		t.Errorf("WithViewerScale on a trace: err = %v, want ErrInvalidScenario", err)
 	}
 }

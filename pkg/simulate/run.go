@@ -68,6 +68,7 @@ type RunOption func(*runConfig)
 type runConfig struct {
 	onInterval  []func(IntervalRecord)
 	onSnapshot  []func(Snapshot)
+	onArrivals  []func(channel int, t, n float64)
 	keepHistory bool
 }
 
@@ -82,6 +83,18 @@ func OnInterval(fn func(IntervalRecord)) RunOption {
 // Multiple OnSnapshot options all fire, in order.
 func OnSnapshot(fn func(Snapshot)) RunOption {
 	return func(rc *runConfig) { rc.onSnapshot = append(rc.onSnapshot, fn) }
+}
+
+// OnArrivals observes every realized arrival of the run: the channel,
+// the simulated time, and the arrival mass (1 per viewer on the event
+// engine, fractional step masses on the fluid engine). Wire a
+// trace.Recorder's Add here to capture the run as a replayable trace.
+// Calls for one channel are serialized, but different channels may call
+// concurrently from the event engine's channel workers — fn must keep
+// per-channel state only (trace.Recorder does). Multiple OnArrivals
+// options all fire, in order.
+func OnArrivals(fn func(channel int, t, n float64)) RunOption {
+	return func(rc *runConfig) { rc.onArrivals = append(rc.onArrivals, fn) }
 }
 
 // KeepHistory retains every IntervalRecord and Snapshot in the Report.
@@ -112,6 +125,14 @@ func (sc Scenario) Run(ctx context.Context, opts ...RunOption) (*Report, error) 
 	// The OnInterval hook below captures every round, so the controller
 	// never needs its own in-memory history.
 	esc.DiscardRecords = true
+	if len(rc.onArrivals) > 0 {
+		fns := rc.onArrivals
+		esc.OnArrivals = func(channel int, t, n float64) {
+			for _, fn := range fns {
+				fn(channel, t, n)
+			}
+		}
+	}
 	esc.OnInterval = func(rec IntervalRecord) {
 		intervals++
 		for _, fn := range rc.onInterval {

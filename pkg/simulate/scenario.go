@@ -32,6 +32,13 @@ type Scenario struct {
 	Channel plan.Channel
 	// Workload drives the arrival trace.
 	Workload Workload
+	// Source, when non-nil, overrides the demand side of the workload
+	// with an arbitrary arrival-intensity source — most usefully a
+	// recorded or generated *trace.Trace (pkg/trace). The channel count
+	// then follows the source; Workload keeps supplying the behavioural
+	// parameters (VCR jumps, peer uplinks), and oracle policies plan on
+	// the source's true rates.
+	Source Source
 	// Hours is the simulated duration.
 	Hours float64
 	// IntervalSeconds is the provisioning period T; 0 means hourly.
@@ -125,6 +132,14 @@ func (sc Scenario) internal() (experiments.Scenario, error) {
 	if err := sc.Workload.Validate(); err != nil {
 		return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
 	}
+	if sc.Source != nil {
+		if err := sc.Source.Validate(); err != nil {
+			return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
+		}
+		if sc.Source.NumChannels() <= 0 {
+			return experiments.Scenario{}, fmt.Errorf("%w: demand source has no channels", ErrInvalidScenario)
+		}
+	}
 	if err := sc.Pricing.Validate(); err != nil {
 		return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
 	}
@@ -138,6 +153,7 @@ func (sc Scenario) internal() (experiments.Scenario, error) {
 		Fidelity:           sc.Fidelity,
 		Channel:            sc.Channel,
 		Workload:           sc.Workload,
+		Source:             sc.Source,
 		Hours:              sc.Hours,
 		IntervalSeconds:    sc.IntervalSeconds,
 		VMBudget:           sc.VMBudget,

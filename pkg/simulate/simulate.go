@@ -81,6 +81,14 @@ func ParseFidelity(s string) (Fidelity, error) {
 // crowds, exponential VCR-jump intervals, and bounded-Pareto peer uplinks.
 type Workload = workload.Params
 
+// Source is the demand seam: per-channel arrival intensity over time.
+// Scenario.Source accepts any implementation — a recorded or generated
+// trace (pkg/trace), or the parametric workload via Workload.Source —
+// and both simulation engines, the bootstrap estimates, and the oracle
+// policies' true-rate feed consume demand through it. See DESIGN.md
+// "Workload sources and traces".
+type Source = workload.Source
+
 // FlashCrowd is one Gaussian arrival surge in the daily pattern.
 type FlashCrowd = workload.FlashCrowd
 

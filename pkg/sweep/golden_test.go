@@ -19,10 +19,8 @@ var update = flag.Bool("update", false, "rewrite the golden file")
 // plotting scripts parse, and per-cell seeds make the content fully
 // deterministic. Refresh with `go test ./pkg/sweep -update`.
 func TestWriteCSVGolden(t *testing.T) {
-	base := simulate.Default(simulate.ClientServer, 1)
-	base.Hours = 1
 	grid := sweep.Grid{
-		Base: base,
+		Base: shortBase(),
 		Axes: []sweep.Axis{
 			sweep.Modes(simulate.ClientServer, simulate.CloudAssisted),
 			sweep.VMBudgets(50, 100),

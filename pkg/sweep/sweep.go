@@ -33,6 +33,7 @@ import (
 	"strconv"
 
 	"cloudmedia/pkg/simulate"
+	"cloudmedia/pkg/trace"
 )
 
 // Point is one value along an Axis: a label for reports plus the mutation
@@ -94,7 +95,9 @@ func Fidelities(fidelities ...simulate.Fidelity) Axis {
 
 // ViewerScales sweeps the absolute target crowd size (the WithViewerScale
 // knob): the workload arrival rate is set so roughly n viewers are
-// concurrent at the daily baseline.
+// concurrent at the daily baseline. Like WithViewerScale, it targets the
+// parametric workload — do not combine it with Traces (scale the traces
+// themselves with Trace.Scale instead).
 func ViewerScales(viewers ...float64) Axis {
 	return floatAxis("viewer_scale", viewers, func(sc *simulate.Scenario, v float64) {
 		sc.Workload.BaseArrivalRate = simulate.BaseRateForViewers(v)
@@ -163,6 +166,28 @@ func Pricings(plans ...simulate.PricingPlan) Axis {
 		ax.Points = append(ax.Points, Point{
 			Label: p.DisplayName(),
 			Set:   func(sc *simulate.Scenario) { sc.Pricing = p },
+		})
+	}
+	return ax
+}
+
+// Traces sweeps the demand source: each point replays one named trace
+// (pkg/trace) through the scenario, so recorded days, weekday/weekend
+// cycles, and launch/decay catalogs run on one grid. Points are ordered
+// by name so grids are deterministic; each cell receives its own clone
+// of the trace.
+func Traces(named map[string]*trace.Trace) Axis {
+	names := make([]string, 0, len(named))
+	for name := range named {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ax := Axis{Name: "trace"}
+	for _, name := range names {
+		tr := named[name]
+		ax.Points = append(ax.Points, Point{
+			Label: name,
+			Set:   func(sc *simulate.Scenario) { sc.Source = tr.Clone() },
 		})
 	}
 	return ax

@@ -12,6 +12,7 @@ import (
 
 	"cloudmedia/pkg/simulate"
 	"cloudmedia/pkg/sweep"
+	"cloudmedia/pkg/trace"
 )
 
 func shortBase() simulate.Scenario {
@@ -398,5 +399,62 @@ func TestPolicyPricingAxes(t *testing.T) {
 		if bill.TotalUSD() <= 0 {
 			t.Errorf("%s/%s: empty bill", policy, pricing)
 		}
+	}
+}
+
+// TestTracesAxisSweepsDemandSources runs a grid over two synthetic
+// demand traces: each cell must pick up its trace's channel count and
+// produce a sane report, and the axis must order its points by name.
+func TestTracesAxisSweepsDemandSources(t *testing.T) {
+	flat := &trace.Trace{
+		Times: []float64{0, 1800, 3600},
+		Rates: [][]float64{{0.2, 0.2, 0.2}, {0.1, 0.1, 0.1}},
+	}
+	surge := &trace.Trace{
+		Times: []float64{0, 1800, 3600},
+		Rates: [][]float64{{0.05, 0.6, 0.05}, {0.05, 0.05, 0.05}, {0, 0.1, 0}},
+	}
+	grid := sweep.Grid{
+		Base: shortBase(),
+		Axes: []sweep.Axis{sweep.Traces(map[string]*trace.Trace{
+			"surge": surge,
+			"flat":  flat,
+		})},
+	}
+	cells, err := grid.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+	if cells[0].Coords[0].Label != "flat" || cells[1].Coords[0].Label != "surge" {
+		t.Fatalf("trace axis not name-ordered: %v", cells)
+	}
+	results, err := sweep.Runner{Workers: 2}.Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.Err != "" {
+			t.Fatalf("cell %v failed: %s", res.Cell.Coords, res.Err)
+		}
+		if res.Report.MeanQuality < 0 || res.Report.MeanQuality > 1 {
+			t.Errorf("cell %v quality %v", res.Cell.Coords, res.Report.MeanQuality)
+		}
+	}
+	// The axis hands each cell a clone: scribbling on the original after
+	// expansion must not disturb a derived scenario.
+	sc, err := grid.Scenario(cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat.Rates[0][0] = 99
+	r, err := sc.Source.Rate(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == 99 {
+		t.Error("sweep cell shares the caller's trace instead of a clone")
 	}
 }

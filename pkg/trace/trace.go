@@ -1,0 +1,94 @@
+// Package trace is the public facade of the trace-driven workload
+// subsystem (internal/trace): per-channel arrival-intensity series that
+// plug into any Scenario as its demand source, with a byte-stable
+// CSV/JSON codec, synthetic generators beyond the paper's single diurnal
+// pattern, and a Recorder that captures a run's realized arrivals back
+// into a replayable trace.
+//
+// A Trace implements simulate.Source, so replaying a recorded day is one
+// assignment (or one option):
+//
+//	tr, err := trace.ReadFile("day.csv")
+//	sc, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted, cloudmedia.WithTrace(tr))
+//
+// and recording one is one run option:
+//
+//	rec, err := trace.NewRecorder(6, 900)
+//	report, err := sc.Run(ctx, simulate.OnArrivals(rec.Add))
+//	tr, err := rec.Trace(report.Hours * 3600)
+//
+// See DESIGN.md "Workload sources and traces" and the examples/traces
+// walkthrough.
+package trace
+
+import (
+	"cloudmedia/internal/trace"
+	"cloudmedia/internal/workload"
+)
+
+// Trace is a per-channel arrival-intensity series: Rates[c][i] is
+// channel c's arrival rate in users/s at instant Times[i], linear
+// between samples and flat outside them. It implements Source.
+type Trace = trace.Trace
+
+// Recorder bins a run's realized arrivals into a replayable Trace; wire
+// its Add into simulate.OnArrivals.
+type Recorder = trace.Recorder
+
+// Source is the demand seam every trace satisfies — the same type as
+// simulate.Source.
+type Source = workload.Source
+
+// Workload is the parametric workload configuration — the same type as
+// simulate.Workload; its Source method adapts it into a Source.
+type Workload = workload.Params
+
+// NewRecorder builds a recorder for the given channel count and bin
+// width in seconds.
+func NewRecorder(channels int, stepSeconds float64) (*Recorder, error) {
+	return trace.NewRecorder(channels, stepSeconds)
+}
+
+// ParseCSV parses the canonical trace CSV schema (header
+// `time_s,ch0,…`, one row per sample); see EXPERIMENTS.md.
+func ParseCSV(data []byte) (*Trace, error) { return trace.ParseCSV(data) }
+
+// EncodeCSV renders the trace in the canonical, byte-stable CSV schema.
+func EncodeCSV(tr *Trace) []byte { return trace.EncodeCSV(tr) }
+
+// ParseJSON parses the JSON schema {"times":[…],"rates":[[…],…]}.
+func ParseJSON(data []byte) (*Trace, error) { return trace.ParseJSON(data) }
+
+// EncodeJSON renders the trace as canonical single-line JSON.
+func EncodeJSON(tr *Trace) ([]byte, error) { return trace.EncodeJSON(tr) }
+
+// ReadFile loads a trace from a .csv or .json file by extension.
+func ReadFile(path string) (*Trace, error) { return trace.ReadFile(path) }
+
+// WriteFile writes a trace to a .csv or .json file by extension.
+func WriteFile(path string, tr *Trace) error { return trace.WriteFile(path, tr) }
+
+// FromSource samples any demand source onto a uniform grid —
+// FromSource(workload.Source(), 24, 900) materializes the paper's
+// parametric day as a portable artifact.
+func FromSource(src Source, hours, stepSeconds float64) (*Trace, error) {
+	return trace.FromSource(src, hours, stepSeconds)
+}
+
+// WeekdayWeekend samples a parametric workload over several days,
+// scaling days 5 and 6 of each week by weekendFactor.
+func WeekdayWeekend(w Workload, days int, stepSeconds, weekendFactor float64) (*Trace, error) {
+	return trace.WeekdayWeekend(w, days, stepSeconds, weekendFactor)
+}
+
+// PopularityDrift generates channels whose Zipf ranking rotates once per
+// periodHours, holding the aggregate rate at totalRate.
+func PopularityDrift(channels int, hours, stepSeconds, zipfExponent, totalRate, periodHours float64) (*Trace, error) {
+	return trace.PopularityDrift(channels, hours, stepSeconds, zipfExponent, totalRate, periodHours)
+}
+
+// LaunchDecay generates staggered channel launches that ramp to peakRate
+// and decay with the given half-life.
+func LaunchDecay(channels int, hours, stepSeconds, peakRate, rampHours, halfLifeHours, staggerHours float64) (*Trace, error) {
+	return trace.LaunchDecay(channels, hours, stepSeconds, peakRate, rampHours, halfLifeHours, staggerHours)
+}

@@ -2,6 +2,7 @@ package cloudmedia
 
 import (
 	"cloudmedia/pkg/simulate"
+	"cloudmedia/pkg/trace"
 )
 
 // Mode selects the VoD architecture a Scenario simulates; see the
@@ -55,6 +56,16 @@ func OnDemandPricing() PricingPlan { return simulate.OnDemandPricing() }
 // ReservedPricing returns a reservation-heavy plan: a committed fraction
 // of every VM cluster at a discounted rate plus an upfront fee per term.
 func ReservedPricing() PricingPlan { return simulate.ReservedPricing() }
+
+// Source is the pluggable demand seam: per-channel arrival intensity
+// over time. Pass one to WithWorkloadSource — most usefully a *Trace —
+// and the engines, the bootstrap, and the oracle policies all follow it.
+type Source = simulate.Source
+
+// Trace is a per-channel arrival-intensity series (pkg/trace): recorded
+// from a run, parsed from CSV/JSON, or synthesized. Pass one to
+// WithTrace.
+type Trace = trace.Trace
 
 // Scenario is a fully assembled simulation configuration; run it with its
 // context-aware Run or Stream methods. See pkg/simulate for the field and
