@@ -8,9 +8,11 @@ test:
 race:
 	go test -race ./...
 
-# Key benchmarks → BENCH_PR4.json (the cross-PR perf trajectory;
-# BENCH_PR3.json is the committed previous baseline).
+# Key benchmarks → BENCH_PR6.json (the cross-PR perf trajectory;
+# BENCH_PR4.json is the committed previous baseline), then the gate:
+# fail on >20% ns/op regression against the baseline.
 bench:
-	./scripts/bench.sh BENCH_PR4.json
+	./scripts/bench.sh BENCH_PR6.json
+	go run ./scripts/benchgate BENCH_PR4.json BENCH_PR6.json
 
 verify: test race

@@ -29,8 +29,17 @@
 //	cloudmedia trace record -mode cloud-assisted -hours 24 -o day.csv
 //	cloudmedia -exp timeline -trace day.csv
 //
+// The serve subcommand runs one scenario as a live control plane, paced
+// against the wall clock with a time-compression factor, with demand
+// replayed from a trace or streamed over stdin and a /metrics + /state
+// observability endpoint; SIGINT drains gracefully:
+//
+//	cloudmedia serve -trace day.csv -time-scale 24 -metrics :9090
+//	cloudmedia serve -stdin -channels 6 -time-scale 3600 < live.csv
+//
 // The command is a thin flag wrapper around the public cloudmedia/pkg/paper,
-// cloudmedia/pkg/sweep, and cloudmedia/pkg/trace packages.
+// cloudmedia/pkg/sweep, cloudmedia/pkg/trace, and cloudmedia/pkg/serve
+// packages.
 package main
 
 import (
@@ -60,6 +69,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "trace" {
 		return runTrace(args[1:])
+	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], os.Stdout)
 	}
 	fs := flag.NewFlagSet("cloudmedia", flag.ContinueOnError)
 	var (

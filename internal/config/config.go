@@ -62,6 +62,11 @@ type Settings struct {
 	Workload    *workload.Params
 	Source      workload.Source
 
+	// Live-serving knobs (pkg/serve; ignored by batch Run).
+	Clock       modes.ClockMode
+	TimeScale   *float64
+	MetricsAddr *string
+
 	// Err is the first option conflict observed; builders surface it.
 	Err error
 }
@@ -115,6 +120,8 @@ func (s *Settings) Clone() *Settings {
 	out.UplinkRatio = clonePtr(s.UplinkRatio)
 	out.Channels = clonePtr(s.Channels)
 	out.Pricing = clonePtr(s.Pricing)
+	out.TimeScale = clonePtr(s.TimeScale)
+	out.MetricsAddr = clonePtr(s.MetricsAddr)
 	if s.Transfer != nil {
 		m := make(queueing.TransferMatrix, len(s.Transfer))
 		for i, row := range s.Transfer {

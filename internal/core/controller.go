@@ -136,6 +136,16 @@ type Controller struct {
 	records     []IntervalRecord
 	lastCaps    map[[2]int]float64 // last applied per-chunk capacity targets
 	rateHistory [][]float64        // per-channel observed arrival rates, oldest first
+
+	// Per-round scratch, reused across intervals so the steady control
+	// path stops allocating: the measurement inputs, the derived
+	// per-channel demands, and the flattened chunk-demand list handed to
+	// the planner. Safe because nothing downstream retains them — records
+	// get their own slices, planners copy before sorting, and apply reads
+	// synchronously within the round.
+	scratchInputs  []ChannelInput
+	scratchDemands []ChannelDemand
+	scratchFlat    []provision.ChunkDemand
 }
 
 // NewController builds a controller for a simulation backend and a cloud
@@ -198,7 +208,11 @@ func (c *Controller) Start() error {
 // runInterval executes one provisioning round using the statistics the
 // tracker accumulated since the previous round.
 func (c *Controller) runInterval(now float64) {
-	inputs := make([]ChannelInput, c.sim.Channels())
+	n := c.sim.Channels()
+	if cap(c.scratchInputs) < n {
+		c.scratchInputs = make([]ChannelInput, n)
+	}
+	inputs := c.scratchInputs[:n]
 	for ch := range inputs {
 		est, err := c.sim.Estimator(ch)
 		if err != nil {
@@ -334,7 +348,10 @@ func (c *Controller) Provision(now float64, inputs []ChannelInput) {
 		DemandPerChannel: make([]float64, len(inputs)),
 		DemandScale:      1,
 	}
-	demands := make([]ChannelDemand, len(inputs))
+	if cap(c.scratchDemands) < len(inputs) {
+		c.scratchDemands = make([]ChannelDemand, len(inputs))
+	}
+	demands := c.scratchDemands[:len(inputs)]
 	for ch, in := range inputs {
 		if oracle {
 			in.ArrivalRate = c.opts.TrueRates(ch, now, now+c.opts.IntervalSeconds)
@@ -361,10 +378,11 @@ func (c *Controller) Provision(now float64, inputs []ChannelInput) {
 		nfsSpecs = append(nfsSpecs, a.Spec)
 	}
 
+	c.scratchFlat = FlattenDemandsInto(c.scratchFlat, demands)
 	req := provision.PlanRequest{
 		Time:                   now,
 		IntervalSeconds:        c.opts.IntervalSeconds,
-		Demands:                FlattenDemands(demands),
+		Demands:                c.scratchFlat,
 		VMBandwidth:            catalog.VMBandwidth,
 		ChunkBytes:             cfg.ChunkBytes(),
 		VMClusters:             vmSpecs,

@@ -62,11 +62,21 @@ func DeriveDemand(cfg queueing.Config, in ChannelInput, p2pMode bool, maxServers
 // FlattenDemands converts per-channel demands into the flat chunk-demand
 // list the provisioning heuristics consume.
 func FlattenDemands(demands []ChannelDemand) []provision.ChunkDemand {
-	var out []provision.ChunkDemand
+	return FlattenDemandsInto(nil, demands)
+}
+
+// FlattenDemandsInto is FlattenDemands appending into a reused scratch
+// buffer: dst is truncated and refilled, growing only when the demand set
+// outgrows its capacity, so a controller that flattens every interval
+// allocates nothing in steady state. Safe to reuse across rounds because
+// no planner retains the request's demand slice (Greedy copies before
+// sorting, Lookahead/StaticPeak copy their per-chunk maxima).
+func FlattenDemandsInto(dst []provision.ChunkDemand, demands []ChannelDemand) []provision.ChunkDemand {
+	dst = dst[:0]
 	for c, d := range demands {
 		for i, delta := range d.CloudDemand {
-			out = append(out, provision.ChunkDemand{Channel: c, Chunk: i, Demand: delta})
+			dst = append(dst, provision.ChunkDemand{Channel: c, Chunk: i, Demand: delta})
 		}
 	}
-	return out
+	return dst
 }

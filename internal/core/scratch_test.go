@@ -1,0 +1,46 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func demandFixture() []ChannelDemand {
+	return []ChannelDemand{
+		{CloudDemand: []float64{1e6, 2e6, 0}},
+		{CloudDemand: []float64{5e5}},
+		{CloudDemand: nil},
+		{CloudDemand: []float64{3e6, 4e6}},
+	}
+}
+
+// The scratch-reusing flatten must produce exactly what the allocating
+// one does, and refill (not append past) a dirty buffer.
+func TestFlattenDemandsIntoMatchesFlatten(t *testing.T) {
+	demands := demandFixture()
+	want := FlattenDemands(demands)
+	got := FlattenDemandsInto(nil, demands)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("fresh scratch differs:\n%v\nvs\n%v", got, want)
+	}
+	// Reuse with stale contents and excess capacity: same result.
+	dirty := FlattenDemandsInto(nil, demandFixture())
+	dirty = append(dirty, dirty...)
+	got = FlattenDemandsInto(dirty, demands)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("reused scratch differs:\n%v\nvs\n%v", got, want)
+	}
+}
+
+// Once the scratch has grown to the round's size, flattening allocates
+// nothing — the per-interval control path stays allocation-free.
+func TestFlattenDemandsIntoAllocFree(t *testing.T) {
+	demands := demandFixture()
+	scratch := FlattenDemandsInto(nil, demands)
+	allocs := testing.AllocsPerRun(200, func() {
+		scratch = FlattenDemandsInto(scratch, demands)
+	})
+	if allocs > 0 {
+		t.Fatalf("FlattenDemandsInto allocates %.1f times per round", allocs)
+	}
+}

@@ -80,6 +80,11 @@ type Scenario struct {
 	// OnInterval streams each provisioning round to the caller as soon as
 	// it completes; nil disables streaming.
 	OnInterval func(core.IntervalRecord)
+	// Pacer is forwarded to the engine's pacing hook (sim.Config.Pacer):
+	// called once per control barrier, before state advances, so a live
+	// serving layer can sleep the run against a wall clock. nil runs the
+	// engines at full speed.
+	Pacer func(simNow float64)
 	// DiscardRecords drops the controller's in-memory interval history so
 	// long streaming runs hold only the current round.
 	DiscardRecords bool
@@ -199,6 +204,7 @@ func Build(sc Scenario) (*System, error) {
 		Workload:   sc.Workload,
 		Source:     demand,
 		OnArrivals: sc.OnArrivals,
+		Pacer:      sc.Pacer,
 		Transfer:   transfer,
 		Scheduling: sc.Scheduling,
 		Seed:       sc.Seed,

@@ -67,6 +67,12 @@ type Backend struct {
 
 	meanUplink float64
 	channels   []*channel
+
+	// rates is the per-step arrival-rate scratch: filled once per Euler
+	// step via workload.RatesInto (one batched source query instead of one
+	// Rate call per channel), then read by every stepChannel. Reused across
+	// steps so steady integration stays allocation-free.
+	rates []float64
 }
 
 var _ sim.Backend = (*Backend)(nil)
@@ -122,6 +128,7 @@ func New(cfg Config) (*Backend, error) {
 			return nil, err
 		}
 	}
+	b.rates = make([]float64, sc.Workload.Channels)
 	b.channels = make([]*channel, sc.Workload.Channels)
 	for i := range b.channels {
 		J := sc.Channel.Chunks
@@ -155,6 +162,9 @@ func (b *Backend) RunUntil(t float64) {
 		if at, ok := b.engine.NextAt(); ok && at < barrier {
 			barrier = at
 		}
+		if b.cfg.Pacer != nil && barrier > b.now {
+			b.cfg.Pacer(barrier)
+		}
 		b.integrateTo(barrier)
 		b.engine.RunUntil(barrier)
 		if barrier >= t {
@@ -169,6 +179,14 @@ func (b *Backend) integrateTo(t float64) {
 		dt := b.step
 		if b.now+dt > t {
 			dt = t - b.now
+		}
+		// One batched rate query per step: every channel reads the same
+		// instant, so the source resolves shared work (the diurnal
+		// multiplier, the trace's interpolation segment) once.
+		if err := workload.RatesInto(b.src, b.now, b.rates); err != nil {
+			for i := range b.rates {
+				b.rates[i] = 0 // unreachable: channel count matches the source
+			}
 		}
 		for _, c := range b.channels {
 			b.stepChannel(c, b.now, dt)
@@ -209,10 +227,8 @@ func (b *Backend) stepChannel(c *channel, t, dt float64) {
 	}
 
 	// 1. External arrivals: chunk 1 with probability α, uniform otherwise.
-	lambda, err := b.src.Rate(c.index, t)
-	if err != nil {
-		lambda = 0 // unreachable: index from range
-	}
+	// The rate was batched into b.rates for this step by integrateTo.
+	lambda := b.rates[c.index]
 	arrivals := lambda * dt
 	c.feed.arrivals += arrivals
 	if b.cfg.OnArrivals != nil && arrivals > 0 {

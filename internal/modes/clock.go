@@ -1,0 +1,47 @@
+package modes
+
+import "fmt"
+
+// ClockMode selects how a live serving run (internal/serve, pkg/serve)
+// paces simulated time against real time. The zero value means "unset":
+// consumers apply their own default (the serve daemon defaults to
+// ClockReal, tests to ClockSimulated).
+type ClockMode int
+
+const (
+	// ClockReal paces the engines against the wall clock: one simulated
+	// second takes 1/timeScale real seconds. Time-scales of 1–24× cover
+	// the paper's day-long traces (24× replays a day in an hour); higher
+	// factors are supported for tests and smoke runs.
+	ClockReal ClockMode = iota + 1
+	// ClockSimulated applies no pacing: the run proceeds as fast as the
+	// engines can step, exactly like a batch Run. The deterministic choice
+	// for tests — interval decisions are identical either way, only the
+	// wall-clock schedule differs.
+	ClockSimulated
+)
+
+// String implements fmt.Stringer.
+func (c ClockMode) String() string {
+	switch c {
+	case ClockReal:
+		return "real"
+	case ClockSimulated:
+		return "simulated"
+	default:
+		return fmt.Sprintf("ClockMode(%d)", int(c))
+	}
+}
+
+// ParseClock converts a command-line spelling into a ClockMode. It
+// accepts "real" (or "wall") and "simulated" (or "sim").
+func ParseClock(s string) (ClockMode, error) {
+	switch s {
+	case "real", "wall":
+		return ClockReal, nil
+	case "simulated", "sim":
+		return ClockSimulated, nil
+	default:
+		return 0, fmt.Errorf("unknown clock %q (want real or simulated)", s)
+	}
+}

@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"cloudmedia/internal/cloud"
+)
+
+// SnapshotUpdate is one periodic measurement pushed into the metric
+// store (pkg/serve maps simulate.Snapshot onto it).
+type SnapshotUpdate struct {
+	Time              float64
+	Quality           float64
+	PerChannelQuality []float64
+	Users             int
+	PerChannelUsers   []int
+	ReservedMbps      float64
+	CloudServedGB     float64
+}
+
+// IntervalUpdate is one provisioning round pushed into the metric store
+// (pkg/serve maps simulate.IntervalRecord onto it).
+type IntervalUpdate struct {
+	Time             float64
+	IntervalSeconds  float64
+	ArrivalRates     []float64
+	DemandPerChannel []float64 // bytes/s
+	TotalDemand      float64
+	TotalPeerSupply  float64
+	VMs              map[string]int     // plan per cluster
+	CapacityPerChunk map[[2]int]float64 // provisioned bytes/s per (channel, chunk)
+	StorageGB        float64
+	DemandScale      float64
+	PlanErr          bool
+	StorageErr       bool
+	Cost             cloud.LedgerTotals // the interval's accrual
+}
+
+// State is the /state JSON snapshot: the latest of everything the store
+// tracks, plus the cumulative counters.
+type State struct {
+	SimSeconds  float64 `json:"sim_seconds"`
+	RealSeconds float64 `json:"real_seconds"`
+	TimeScale   float64 `json:"time_scale"`
+
+	Viewers           int       `json:"viewers"`
+	ViewersPerChannel []int     `json:"viewers_per_channel,omitempty"`
+	Quality           float64   `json:"quality"`
+	QualityPerChannel []float64 `json:"quality_per_channel,omitempty"`
+	ReservedMbps      float64   `json:"reserved_mbps"`
+	CloudServedGB     float64   `json:"cloud_served_gb"`
+
+	ArrivalRates     []float64      `json:"arrival_rates,omitempty"`
+	DemandPerChannel []float64      `json:"demand_bytes_per_second,omitempty"`
+	TotalDemand      float64        `json:"total_demand_bytes_per_second"`
+	PeerSupply       float64        `json:"peer_supply_bytes_per_second"`
+	VMs              map[string]int `json:"vm_plan,omitempty"`
+	StorageGB        float64        `json:"storage_gb"`
+	DemandScale      float64        `json:"demand_scale"`
+
+	Plans              int     `json:"plan_rounds"`
+	PlanErrors         int     `json:"plan_errors"`
+	StorageErrors      int     `json:"storage_errors"`
+	LastPlanLatency    float64 `json:"last_plan_latency_seconds"`
+	TotalPlanLatency   float64 `json:"total_plan_latency_seconds"`
+	CostUSD            float64 `json:"cost_usd"`
+	CostReservedUSD    float64 `json:"cost_reserved_usd"`
+	CostOnDemandUSD    float64 `json:"cost_on_demand_usd"`
+	CostUpfrontUSD     float64 `json:"cost_upfront_usd"`
+	CostStorageUSD     float64 `json:"cost_storage_usd"`
+	CostRatePerHourUSD float64 `json:"cost_usd_per_hour"`
+}
+
+// Metrics is the live run's metric store: updated from the run loop's
+// callbacks, read concurrently by the HTTP handlers. Everything is
+// plain last-value gauges plus a few monotonic counters — deliberately
+// no time series, which live in Rolling.
+type Metrics struct {
+	mu sync.Mutex
+	st State
+
+	capacity map[[2]int]float64
+	cost     cloud.LedgerTotals
+}
+
+// NewMetrics builds an empty store.
+func NewMetrics() *Metrics {
+	return &Metrics{st: State{DemandScale: 1, Quality: 1}}
+}
+
+// ObserveClock records the pacing state: simulated seconds, real seconds
+// since the clock started, and the configured time scale.
+func (m *Metrics) ObserveClock(simSeconds, realSeconds, timeScale float64) {
+	m.mu.Lock()
+	m.st.SimSeconds = simSeconds
+	m.st.RealSeconds = realSeconds
+	m.st.TimeScale = timeScale
+	m.mu.Unlock()
+}
+
+// ObserveSnapshot records one periodic measurement.
+func (m *Metrics) ObserveSnapshot(s SnapshotUpdate) {
+	m.mu.Lock()
+	if s.Time > m.st.SimSeconds {
+		m.st.SimSeconds = s.Time
+	}
+	m.st.Viewers = s.Users
+	m.st.ViewersPerChannel = append(m.st.ViewersPerChannel[:0], s.PerChannelUsers...)
+	m.st.Quality = s.Quality
+	m.st.QualityPerChannel = append(m.st.QualityPerChannel[:0], s.PerChannelQuality...)
+	m.st.ReservedMbps = s.ReservedMbps
+	m.st.CloudServedGB = s.CloudServedGB
+	m.mu.Unlock()
+}
+
+// ObserveInterval records one provisioning round, accumulating the
+// interval's bill into the cumulative cost and deriving the cost ticker
+// rate ($/h over the interval that just ended).
+func (m *Metrics) ObserveInterval(u IntervalUpdate) {
+	m.mu.Lock()
+	if u.Time > m.st.SimSeconds {
+		m.st.SimSeconds = u.Time
+	}
+	m.st.ArrivalRates = append(m.st.ArrivalRates[:0], u.ArrivalRates...)
+	m.st.DemandPerChannel = append(m.st.DemandPerChannel[:0], u.DemandPerChannel...)
+	m.st.TotalDemand = u.TotalDemand
+	m.st.PeerSupply = u.TotalPeerSupply
+	m.st.VMs = u.VMs
+	m.capacity = u.CapacityPerChunk
+	m.st.StorageGB = u.StorageGB
+	m.st.DemandScale = u.DemandScale
+	m.st.Plans++
+	if u.PlanErr {
+		m.st.PlanErrors++
+	}
+	if u.StorageErr {
+		m.st.StorageErrors++
+	}
+	m.cost.ReservedVMHours += u.Cost.ReservedVMHours
+	m.cost.OnDemandVMHours += u.Cost.OnDemandVMHours
+	m.cost.GBHours += u.Cost.GBHours
+	m.cost.ReservedUSD += u.Cost.ReservedUSD
+	m.cost.OnDemandUSD += u.Cost.OnDemandUSD
+	m.cost.UpfrontUSD += u.Cost.UpfrontUSD
+	m.cost.StorageUSD += u.Cost.StorageUSD
+	m.st.CostUSD = m.cost.TotalUSD()
+	m.st.CostReservedUSD = m.cost.ReservedUSD
+	m.st.CostOnDemandUSD = m.cost.OnDemandUSD
+	m.st.CostUpfrontUSD = m.cost.UpfrontUSD
+	m.st.CostStorageUSD = m.cost.StorageUSD
+	if u.IntervalSeconds > 0 {
+		m.st.CostRatePerHourUSD = u.Cost.TotalUSD() / (u.IntervalSeconds / 3600)
+	}
+	m.mu.Unlock()
+}
+
+// ObservePlanLatency records one policy Plan call's wall-clock duration.
+func (m *Metrics) ObservePlanLatency(seconds float64) {
+	m.mu.Lock()
+	m.st.LastPlanLatency = seconds
+	m.st.TotalPlanLatency += seconds
+	m.mu.Unlock()
+}
+
+// State returns a copy of the current state (slices and maps included).
+func (m *Metrics) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stateLocked()
+}
+
+// stateLocked deep-copies the state; the caller must hold m.mu. The
+// copy matters: observers refill the slice fields in place, so a
+// shallow copy would alias live backing arrays.
+func (m *Metrics) stateLocked() State {
+	st := m.st
+	st.ViewersPerChannel = append([]int(nil), m.st.ViewersPerChannel...)
+	st.QualityPerChannel = append([]float64(nil), m.st.QualityPerChannel...)
+	st.ArrivalRates = append([]float64(nil), m.st.ArrivalRates...)
+	st.DemandPerChannel = append([]float64(nil), m.st.DemandPerChannel...)
+	if m.st.VMs != nil {
+		st.VMs = make(map[string]int, len(m.st.VMs))
+		for k, v := range m.st.VMs {
+			st.VMs[k] = v
+		}
+	}
+	return st
+}
+
+// WriteJSON writes the /state document.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.State())
+}
+
+// WriteProm writes the store in the Prometheus text exposition format
+// (version 0.0.4), hand-rolled so the module stays dependency-free.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	m.mu.Lock()
+	st := m.stateLocked()
+	caps := m.capacity
+	m.mu.Unlock()
+
+	p := promWriter{w: w}
+	p.gauge("cloudmedia_up", "Whether the serve control plane is running.", 1)
+	p.gauge("cloudmedia_sim_seconds", "Simulated time reached by the paced run.", st.SimSeconds)
+	p.gauge("cloudmedia_real_seconds", "Wall-clock seconds since the pacing clock started.", st.RealSeconds)
+	p.gauge("cloudmedia_time_scale", "Configured time compression factor (simulated/real).", st.TimeScale)
+	p.gauge("cloudmedia_viewers", "Concurrent viewers across all channels.", float64(st.Viewers))
+	p.head("cloudmedia_channel_viewers", "Concurrent viewers per channel.", "gauge")
+	for c, n := range st.ViewersPerChannel {
+		p.row("cloudmedia_channel_viewers", channelLabel(c), float64(n))
+	}
+	p.gauge("cloudmedia_quality", "Fraction of viewers with smooth playback in the trailing window.", st.Quality)
+	p.head("cloudmedia_channel_quality", "Smooth-playback fraction per channel.", "gauge")
+	for c, q := range st.QualityPerChannel {
+		p.row("cloudmedia_channel_quality", channelLabel(c), q)
+	}
+	p.head("cloudmedia_arrival_rate", "Estimated per-channel arrival rate, users/s.", "gauge")
+	for c, r := range st.ArrivalRates {
+		p.row("cloudmedia_arrival_rate", channelLabel(c), r)
+	}
+	p.head("cloudmedia_demand_bytes_per_second", "Derived per-channel cloud demand.", "gauge")
+	for c, d := range st.DemandPerChannel {
+		p.row("cloudmedia_demand_bytes_per_second", channelLabel(c), d)
+	}
+	p.gauge("cloudmedia_demand_bytes_per_second_total", "Derived cloud demand across channels.", st.TotalDemand)
+	p.gauge("cloudmedia_peer_supply_bytes_per_second", "Analytic peer supply across channels.", st.PeerSupply)
+	p.head("cloudmedia_provisioned_bytes_per_second", "Provisioned cloud capacity per chunk.", "gauge")
+	for _, k := range sortedChunkKeys(caps) {
+		p.row("cloudmedia_provisioned_bytes_per_second",
+			fmt.Sprintf(`channel="%d",chunk="%d"`, k[0], k[1]), caps[k])
+	}
+	p.head("cloudmedia_vm_plan", "VMs rented per cluster in the applied plan.", "gauge")
+	for _, name := range sortedClusterNames(st.VMs) {
+		p.row("cloudmedia_vm_plan", fmt.Sprintf(`cluster=%q`, name), float64(st.VMs[name]))
+	}
+	p.gauge("cloudmedia_storage_gb", "NFS storage rented in the applied plan.", st.StorageGB)
+	p.gauge("cloudmedia_reserved_mbps", "Cloud capacity provisioned at the last sample.", st.ReservedMbps)
+	p.gauge("cloudmedia_cloud_served_gigabytes", "Cumulative cloud traffic delivered.", st.CloudServedGB)
+	p.gauge("cloudmedia_demand_scale", "Demand scale applied by the last plan (<1 = budget infeasible).", st.DemandScale)
+	p.counter("cloudmedia_plan_rounds_total", "Provisioning rounds completed.", float64(st.Plans))
+	p.counter("cloudmedia_plan_errors_total", "Provisioning rounds whose VM planning failed.", float64(st.PlanErrors))
+	p.counter("cloudmedia_storage_errors_total", "Provisioning rounds whose storage planning failed.", float64(st.StorageErrors))
+	p.gauge("cloudmedia_plan_latency_seconds", "Wall-clock duration of the last policy Plan call.", st.LastPlanLatency)
+	p.counter("cloudmedia_plan_latency_seconds_total", "Cumulative wall-clock time in policy Plan calls.", st.TotalPlanLatency)
+	p.head("cloudmedia_cost_usd", "Cumulative ledger bill by pricing tier.", "counter")
+	p.row("cloudmedia_cost_usd", `tier="reserved"`, st.CostReservedUSD)
+	p.row("cloudmedia_cost_usd", `tier="on_demand"`, st.CostOnDemandUSD)
+	p.row("cloudmedia_cost_usd", `tier="upfront"`, st.CostUpfrontUSD)
+	p.row("cloudmedia_cost_usd", `tier="storage"`, st.CostStorageUSD)
+	p.counter("cloudmedia_cost_usd_total", "Cumulative ledger bill, all tiers.", st.CostUSD)
+	p.gauge("cloudmedia_cost_usd_per_hour", "Ledger accrual rate over the last provisioning interval.", st.CostRatePerHourUSD)
+	return p.err
+}
+
+// promWriter accumulates exposition lines, remembering the first write
+// error so call sites stay linear.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *promWriter) head(name, help, kind string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+func (p *promWriter) row(name, labels string, v float64) {
+	p.printf("%s{%s} %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (p *promWriter) scalar(name, help, kind string, v float64) {
+	p.head(name, help, kind)
+	p.printf("%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (p *promWriter) gauge(name, help string, v float64)   { p.scalar(name, help, "gauge", v) }
+func (p *promWriter) counter(name, help string, v float64) { p.scalar(name, help, "counter", v) }
+
+func channelLabel(c int) string { return fmt.Sprintf(`channel="%d"`, c) }
+
+func sortedClusterNames(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedChunkKeys(m map[[2]int]float64) [][2]int {
+	keys := make([][2]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	return keys
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"testing"
+)
+
+func pacedConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := smallConfig(t, P2P)
+	cfg.Seed = 7
+	return cfg
+}
+
+// The pacing hook fires once per control barrier, before state advances
+// past the current instant, with nondecreasing barrier times bounded by
+// the RunUntil target.
+func TestPacerCalledPerBarrier(t *testing.T) {
+	cfg := pacedConfig(t)
+	var barriers []float64
+	var s *Simulator
+	cfg.Pacer = func(simNow float64) {
+		if s.Now() >= simNow {
+			t.Fatalf("pacer at %v called after state advanced to %v", simNow, s.Now())
+		}
+		barriers = append(barriers, simNow)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 600.0
+	s.RunUntil(horizon)
+	if len(barriers) == 0 {
+		t.Fatal("pacer never called")
+	}
+	for i, b := range barriers {
+		if b > horizon {
+			t.Fatalf("barrier %v beyond the RunUntil target %v", b, horizon)
+		}
+		if i > 0 && b < barriers[i-1] {
+			t.Fatalf("barriers went backwards: %v after %v", b, barriers[i-1])
+		}
+	}
+	if last := barriers[len(barriers)-1]; last != horizon {
+		t.Fatalf("final barrier %v, want the target %v", last, horizon)
+	}
+}
+
+// A pacer that only observes must not change the run: same seed, same
+// outcome with and without the hook.
+func TestPacerDoesNotPerturbRun(t *testing.T) {
+	run := func(withPacer bool) (int, float64) {
+		cfg := pacedConfig(t)
+		if withPacer {
+			cfg.Pacer = func(float64) {}
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RunUntil(3600)
+		return s.TotalUsers(), s.CloudBytesServed()
+	}
+	users0, bytes0 := run(false)
+	users1, bytes1 := run(true)
+	if users0 != users1 || bytes0 != bytes1 {
+		t.Fatalf("pacer perturbed the run: (%d, %v) vs (%d, %v)", users0, bytes0, users1, bytes1)
+	}
+}

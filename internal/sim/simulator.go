@@ -84,6 +84,14 @@ type Config struct {
 	// must keep per-channel state only (trace.Recorder does).
 	OnArrivals func(channel int, t, n float64)
 
+	// Pacer, when non-nil, is called once per control barrier with the
+	// simulated time the engine is about to advance to, before any state
+	// moves past the current instant. A live control plane (internal/serve)
+	// blocks here against a wall clock to pace the simulation; a nil Pacer
+	// (every batch run) costs nothing. The callback must not call back into
+	// the engine; it may only sleep or return.
+	Pacer func(simNow float64)
+
 	// Scheduling selects the P2P uplink allocation policy. Defaults to
 	// RarestFirst, the paper's scheme.
 	Scheduling PeerScheduling
@@ -322,6 +330,9 @@ func (s *Simulator) RunUntil(t float64) {
 			barrier = at
 		}
 		if barrier > s.now {
+			if s.cfg.Pacer != nil {
+				s.cfg.Pacer(barrier)
+			}
 			s.advanceChannels(barrier)
 			s.now = barrier
 		}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"testing"
+)
+
+// The batched read must be bit-identical to per-channel Rate at every
+// probe class: before, between, exactly on, and after the samples.
+func TestTraceRatesIntoMatchesRate(t *testing.T) {
+	tr := ramp()
+	dst := make([]float64, 2)
+	for _, tt := range []float64{-50, 0, 37.5, 100, 150, 199, 200, 500} {
+		if err := tr.RatesInto(tt, dst); err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 2; c++ {
+			want, err := tr.Rate(c, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dst[c] != want {
+				t.Fatalf("RatesInto(%v)[%d] = %v, Rate = %v", tt, c, dst[c], want)
+			}
+		}
+	}
+	if err := tr.RatesInto(0, make([]float64, 1)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	empty := &Trace{}
+	if err := empty.RatesInto(0, nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+// One binary search, zero allocations — the replay hot path.
+func TestTraceRatesIntoAllocFree(t *testing.T) {
+	tr := ramp()
+	dst := make([]float64, 2)
+	now := 0.0
+	allocs := testing.AllocsPerRun(200, func() {
+		now += 0.9
+		_ = tr.RatesInto(now, dst)
+	})
+	if allocs > 0 {
+		t.Fatalf("RatesInto allocates %.1f times per call", allocs)
+	}
+}

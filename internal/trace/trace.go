@@ -105,6 +105,46 @@ func (tr *Trace) Rate(channel int, t float64) (float64, error) {
 	return row[i-1] + f*(row[i]-row[i-1]), nil
 }
 
+// RatesInto implements workload.BatchSource: every channel shares the
+// same interpolation segment at a fixed instant, so the binary search over
+// Times runs once here instead of once per channel. Each entry follows
+// Rate's exact arithmetic (row[i-1] + f*(row[i]-row[i-1]) with the same
+// f), so the batched values are bit-identical to per-channel Rate calls.
+func (tr *Trace) RatesInto(t float64, dst []float64) error {
+	if len(dst) != len(tr.Rates) {
+		return fmt.Errorf("trace: rate buffer length %d != channels %d", len(dst), len(tr.Rates))
+	}
+	times := tr.Times
+	if len(times) == 0 {
+		return fmt.Errorf("trace: no samples")
+	}
+	last := len(times) - 1
+	switch {
+	case t <= times[0]:
+		for c, row := range tr.Rates {
+			dst[c] = row[0]
+		}
+	case t >= times[last]:
+		for c, row := range tr.Rates {
+			dst[c] = row[last]
+		}
+	default:
+		i := sort.SearchFloat64s(times, t)
+		if times[i] == t {
+			for c, row := range tr.Rates {
+				dst[c] = row[i]
+			}
+			return nil
+		}
+		t0, t1 := times[i-1], times[i]
+		f := (t - t0) / (t1 - t0)
+		for c, row := range tr.Rates {
+			dst[c] = row[i-1] + f*(row[i]-row[i-1])
+		}
+	}
+	return nil
+}
+
 // MaxRate returns the channel's peak sampled intensity — an exact
 // envelope, since linear interpolation and constant extrapolation never
 // exceed the samples.

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+)
+
+// RatesInto must be bit-identical to per-channel Rate — the fluid
+// engine's batched reads may not change any trajectory.
+func TestRatesIntoMatchesRate(t *testing.T) {
+	p := Default()
+	p.Channels = 5
+	base := p.Source()
+	scaled, err := Scaled(base, 1.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]Source{"params": base, "scaled": scaled} {
+		dst := make([]float64, p.Channels)
+		for _, tt := range []float64{0, 1, 3600, 12*3600 + 0.5, 86399, 2 * 86400} {
+			if err := RatesInto(src, tt, dst); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for c := 0; c < p.Channels; c++ {
+				want, err := src.Rate(c, tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dst[c] != want {
+					t.Fatalf("%s: RatesInto(%v)[%d] = %v, Rate = %v", name, tt, c, dst[c], want)
+				}
+			}
+		}
+		if err := RatesInto(src, 0, make([]float64, 2)); err == nil {
+			t.Fatalf("%s: short buffer accepted", name)
+		}
+	}
+}
+
+// The generic fallback serves sources without the BatchSource fast path.
+type scalarOnly struct{ Source }
+
+func TestRatesIntoFallback(t *testing.T) {
+	p := Default()
+	p.Channels = 3
+	src := scalarOnly{p.Source()}
+	dst := make([]float64, 3)
+	if err := RatesInto(src, 7200, dst); err != nil {
+		t.Fatal(err)
+	}
+	for c := range dst {
+		want, err := src.Rate(c, 7200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dst[c] != want {
+			t.Fatalf("fallback[%d] = %v, Rate = %v", c, dst[c], want)
+		}
+	}
+}
+
+// The batched read is the per-step hot path of the fluid engine: it must
+// not allocate.
+func TestRatesIntoAllocFree(t *testing.T) {
+	p := Default()
+	p.Channels = 8
+	src := p.Source()
+	dst := make([]float64, p.Channels)
+	// Warm the popularity-weight cache.
+	if err := RatesInto(src, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	allocs := testing.AllocsPerRun(200, func() {
+		now += 1
+		_ = RatesInto(src, now, dst)
+	})
+	if allocs > 0 {
+		t.Fatalf("RatesInto allocates %.1f times per call", allocs)
+	}
+}

@@ -40,6 +40,39 @@ type Source interface {
 	Validate() error
 }
 
+// BatchSource is an optional Source refinement: fill dst[c] with Rate(c, t)
+// for every channel in one call. Sources whose per-channel rates share work
+// at a fixed instant — the parametric source's diurnal multiplier, a
+// trace's interpolation segment — implement it so tight step loops (the
+// fluid integrator, the live serving metrics) pay that work once per step
+// instead of once per channel. Implementations must produce bit-identical
+// values to per-channel Rate calls and must not allocate.
+type BatchSource interface {
+	// RatesInto fills dst[c] with Rate(c, t); len(dst) must equal
+	// NumChannels().
+	RatesInto(t float64, dst []float64) error
+}
+
+// RatesInto fills dst with every channel's instantaneous rate at t, using
+// the source's batched path when it has one and falling back to
+// per-channel Rate calls otherwise. len(dst) must equal src.NumChannels().
+func RatesInto(src Source, t float64, dst []float64) error {
+	if len(dst) != src.NumChannels() {
+		return fmt.Errorf("workload: rate buffer length %d != channels %d", len(dst), src.NumChannels())
+	}
+	if bs, ok := src.(BatchSource); ok {
+		return bs.RatesInto(t, dst)
+	}
+	for c := range dst {
+		r, err := src.Rate(c, t)
+		if err != nil {
+			return err
+		}
+		dst[c] = r
+	}
+	return nil
+}
+
 // Source adapts the parametric workload into the demand seam over a
 // private copy of the parameters, so the returned source shares no state
 // (including the cached Zipf weights) with the receiver.
@@ -66,6 +99,26 @@ func (s *paramsSource) MaxRate(channel int) (float64, error) {
 
 func (s *paramsSource) MeanRate(channel int, start, end float64) (float64, error) {
 	return s.p.MeanChannelRate(channel, start, end)
+}
+
+// RatesInto implements BatchSource: the diurnal multiplier (base level plus
+// Gaussian flash crowds) is shared by every channel at a fixed instant, so
+// it is evaluated once here instead of once per channel. Each entry is
+// computed as BaseArrivalRate × w[c] × multiplier in exactly ChannelRate's
+// operand order, so the batched values are bit-identical to Rate's.
+func (s *paramsSource) RatesInto(t float64, dst []float64) error {
+	w, err := s.p.ChannelWeights()
+	if err != nil {
+		return err
+	}
+	if len(dst) != len(w) {
+		return fmt.Errorf("workload: rate buffer length %d != channels %d", len(dst), len(w))
+	}
+	m := s.p.RateMultiplier(t)
+	for c := range dst {
+		dst[c] = s.p.BaseArrivalRate * w[c] * m
+	}
+	return nil
 }
 
 func (s *paramsSource) CloneSource() Source { return &paramsSource{p: s.p.Clone()} }
@@ -132,6 +185,19 @@ func (s *scaledSource) MaxRate(channel int) (float64, error) {
 func (s *scaledSource) MeanRate(channel int, start, end float64) (float64, error) {
 	r, err := s.src.MeanRate(channel, start, end)
 	return r * s.factor, err
+}
+
+// RatesInto implements BatchSource by delegating to the wrapped source's
+// batch path (or RatesInto's per-channel fallback) and scaling in place,
+// preserving Rate's r*factor operand order.
+func (s *scaledSource) RatesInto(t float64, dst []float64) error {
+	if err := RatesInto(s.src, t, dst); err != nil {
+		return err
+	}
+	for c := range dst {
+		dst[c] *= s.factor
+	}
+	return nil
 }
 
 func (s *scaledSource) CloneSource() Source {

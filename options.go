@@ -291,6 +291,42 @@ func WithTrace(t *trace.Trace) Option {
 	}
 }
 
+// WithClock selects how a live serving run (pkg/serve) paces simulated
+// time: ClockReal against the wall clock, ClockSimulated at full engine
+// speed. Scenario only; batch Run ignores it, and serve.Run defaults to
+// ClockReal when unset.
+func WithClock(mode ClockMode) Option {
+	return func(s *config.Settings) {
+		if mode != ClockReal && mode != ClockSimulated {
+			s.Fail("cloudmedia: invalid clock mode %d", int(mode))
+			return
+		}
+		s.Clock = mode
+	}
+}
+
+// WithTimeScale sets the live-serving time compression: one simulated
+// second takes 1/factor real seconds under the real clock (24 replays a
+// day-long trace in an hour; factors beyond 24 suit tests and smoke
+// runs). Scenario only; batch Run ignores it.
+func WithTimeScale(factor float64) Option {
+	return func(s *config.Settings) {
+		if factor <= 0 {
+			s.Fail("cloudmedia: non-positive time scale %v", factor)
+			return
+		}
+		s.TimeScale = &factor
+	}
+}
+
+// WithMetricsAddr sets the TCP address the live serving run's
+// observability endpoint (/metrics, /healthz, /state) listens on, e.g.
+// ":9090". Empty disables the endpoint. Scenario only; batch Run
+// ignores it.
+func WithMetricsAddr(addr string) Option {
+	return func(s *config.Settings) { s.MetricsAddr = &addr }
+}
+
 // apply runs the options and returns the accumulated settings.
 func apply(opts []Option) (*config.Settings, error) {
 	return config.Apply(opts)

@@ -112,6 +112,15 @@ func (sc Scenario) With(opts ...Option) Scenario {
 	if s.Fidelity != 0 {
 		out.Fidelity = s.Fidelity
 	}
+	if s.Clock != 0 {
+		out.Serve.Clock = s.Clock
+	}
+	if s.TimeScale != nil {
+		out.Serve.TimeScale = *s.TimeScale
+	}
+	if s.MetricsAddr != nil {
+		out.Serve.MetricsAddr = *s.MetricsAddr
+	}
 	return out
 }
 

@@ -69,6 +69,7 @@ type runConfig struct {
 	onInterval  []func(IntervalRecord)
 	onSnapshot  []func(Snapshot)
 	onArrivals  []func(channel int, t, n float64)
+	pacer       func(simNow float64)
 	keepHistory bool
 }
 
@@ -97,6 +98,17 @@ func OnArrivals(fn func(channel int, t, n float64)) RunOption {
 	return func(rc *runConfig) { rc.onArrivals = append(rc.onArrivals, fn) }
 }
 
+// WithPacer installs the engines' pacing hook: fn is called once per
+// control barrier with the simulated time the engine is about to advance
+// to, before any state moves past the current instant. It runs on the
+// simulation goroutine and is meant to sleep (pkg/serve wires a pacing
+// clock here); it must not call back into the run. Because the hook only
+// delays the engine, a paced run's interval records are identical to the
+// same scenario's batch Run. The last WithPacer wins.
+func WithPacer(fn func(simNow float64)) RunOption {
+	return func(rc *runConfig) { rc.pacer = fn }
+}
+
 // KeepHistory retains every IntervalRecord and Snapshot in the Report.
 // Memory grows with the run length; prefer the streaming callbacks for
 // long simulations.
@@ -122,6 +134,7 @@ func (sc Scenario) Run(ctx context.Context, opts ...RunOption) (*Report, error) 
 	}
 	rep := &Report{Mode: sc.Mode}
 	intervals := 0
+	esc.Pacer = rc.pacer
 	// The OnInterval hook below captures every round, so the controller
 	// never needs its own in-memory history.
 	esc.DiscardRecords = true

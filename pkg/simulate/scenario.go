@@ -3,6 +3,7 @@ package simulate
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"cloudmedia/internal/experiments"
 	"cloudmedia/internal/modes"
@@ -70,10 +71,28 @@ type Scenario struct {
 	// the paper's Table II/III defaults.
 	VMClusters  []plan.VMCluster
 	NFSClusters []plan.NFSCluster
+	// Serve configures live serving (pkg/serve); batch Run ignores it.
+	Serve ServeSettings
 
 	// err records an option conflict observed during With; Validate and
 	// Run surface it wrapped in ErrInvalidScenario.
 	err error
+}
+
+// ServeSettings is the live-serving block of a Scenario, consumed only
+// by pkg/serve (batch Run ignores it; the options WithClock,
+// WithTimeScale, and WithMetricsAddr write it).
+type ServeSettings struct {
+	// Clock selects the pacing mode; the zero value lets serve.Run pick
+	// its default (real).
+	Clock ClockMode
+	// TimeScale compresses simulated time for the real clock: one
+	// simulated second takes 1/TimeScale real seconds. 0 means 1; 24
+	// replays a day-long trace in an hour.
+	TimeScale float64
+	// MetricsAddr, when non-empty, is the TCP address the observability
+	// endpoint listens on (e.g. ":9090").
+	MetricsAddr string
 }
 
 // Default returns the reduced-scale counterpart of the paper's setup for
@@ -147,6 +166,12 @@ func (sc Scenario) internal() (experiments.Scenario, error) {
 		if err := v.Validate(); err != nil {
 			return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
 		}
+	}
+	if c := sc.Serve.Clock; c != 0 && c != ClockReal && c != ClockSimulated {
+		return experiments.Scenario{}, fmt.Errorf("%w: invalid clock mode %d", ErrInvalidScenario, int(c))
+	}
+	if ts := sc.Serve.TimeScale; ts < 0 || math.IsNaN(ts) || math.IsInf(ts, 0) {
+		return experiments.Scenario{}, fmt.Errorf("%w: invalid time scale %v", ErrInvalidScenario, ts)
 	}
 	out := experiments.Scenario{
 		Mode:               engineMode,

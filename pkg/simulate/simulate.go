@@ -76,6 +76,29 @@ func ParseFidelity(s string) (Fidelity, error) {
 	return f, nil
 }
 
+// ClockMode selects how a live serving run (pkg/serve) paces simulated
+// time against real time: ClockReal against the wall clock under a
+// time-compression factor, ClockSimulated as fast as the engines can
+// step (the batch behaviour, and the deterministic choice for tests).
+// The zero value lets the consumer pick its default — the serve daemon
+// defaults to real, tests to simulated. Batch Run ignores the setting.
+type ClockMode = modes.ClockMode
+
+const (
+	ClockReal      = modes.ClockReal
+	ClockSimulated = modes.ClockSimulated
+)
+
+// ParseClock converts a command-line spelling into a ClockMode. It
+// accepts "real" (or "wall") and "simulated" (or "sim").
+func ParseClock(s string) (ClockMode, error) {
+	c, err := modes.ParseClock(s)
+	if err != nil {
+		return 0, fmt.Errorf("simulate: %w", err)
+	}
+	return c, nil
+}
+
 // Workload configures the synthetic PPLive-like arrival trace of
 // Sec. VI-A: Zipf channel popularity, diurnal Poisson arrivals with flash
 // crowds, exponential VCR-jump intervals, and bounded-Pareto peer uplinks.

@@ -31,6 +31,19 @@ const (
 	FidelityFluid = simulate.FidelityFluid
 )
 
+// ClockMode selects how a live serving run (pkg/serve) paces simulated
+// time against real time; see the simulate.ClockMode constants
+// re-exported below and DESIGN.md "Real-time serving".
+type ClockMode = simulate.ClockMode
+
+// The two pacing modes: against the wall clock under a time-compression
+// factor (the serve daemon's default), or at full engine speed exactly
+// like a batch Run (deterministic, for tests).
+const (
+	ClockReal      = simulate.ClockReal
+	ClockSimulated = simulate.ClockSimulated
+)
+
 // Policy is the provisioning-policy seam: how predicted demand becomes a
 // rental plan each interval. Pass one to WithPolicy; see the re-exported
 // implementations below and DESIGN.md "Provisioning policies".

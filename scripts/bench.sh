@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# Runs the key benchmarks and emits a machine-readable BENCH_PR4.json so
+# Runs the key benchmarks and emits a machine-readable BENCH_PR6.json so
 # the perf trajectory is tracked across PRs (earlier BENCH_PR*.json files
-# stay committed as baselines). Wired into CI as a non-blocking step; run
-# locally with `make bench`.
+# stay committed as baselines). CI runs this and then gates the result
+# against the previous snapshot with scripts/benchgate; run locally with
+# `make bench`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR6.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 # Full-stack scale and throughput benches (root package): one iteration
 # each is enough — they are multi-second, domain-metric-reporting runs.
-go test -run '^$' -bench 'BenchmarkFluidMillionViewers$|BenchmarkEventParallelChannels|BenchmarkSweep3x3$|BenchmarkQueueingSolve$|BenchmarkP2PSolve$' \
+go test -run '^$' -bench 'BenchmarkFluidMillionViewers$|BenchmarkEventParallelChannels|BenchmarkSweep3x3$' \
     -benchtime 1x . | tee -a "$TMP"
+
+# Solver benches are sub-millisecond: a single iteration is all warm-up
+# jitter, so give them enough rounds for a stable ns/op.
+go test -run '^$' -bench 'BenchmarkQueueingSolve$|BenchmarkP2PSolve$' \
+    -benchtime 100x . | tee -a "$TMP"
 
 # Hot-path micro benches: enough iterations for stable ns/op and the
 # allocs/op guard to mean something.

@@ -1,0 +1,157 @@
+// Command benchgate compares two benchmark snapshots produced by
+// scripts/bench.sh and fails when the new one regresses.
+//
+// Usage:
+//
+//	go run ./scripts/benchgate [-threshold 0.20] OLD.json NEW.json
+//
+// For every benchmark present in both snapshots the ns/op ratio
+// new/old is computed; any ratio above 1+threshold is a regression and
+// the command exits 1. Benchmarks that appear in only one snapshot are
+// reported but never fail the gate, so adding or retiring a benchmark
+// does not require touching the baseline in the same change. Benchmarks
+// whose baseline is under -floor nanoseconds are reported but not gated:
+// at sub-microsecond scale the delta between two snapshots is dominated
+// by machine jitter, not code.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type snapshot struct {
+	Generated  string      `json:"generated"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// result is one benchmark's verdict after comparing two snapshots.
+type result struct {
+	Name       string
+	OldNsOp    float64
+	NewNsOp    float64
+	Ratio      float64 // new/old; 0 when only one side has the benchmark
+	Regression bool
+	Note       string // set for one-sided or unusable entries
+}
+
+// compare pairs the two snapshots by benchmark name. threshold is the
+// allowed fractional slowdown (0.20 → fail above +20% ns/op); floor is
+// the baseline ns/op below which a benchmark is tracked but not gated.
+func compare(oldSnap, newSnap snapshot, threshold, floor float64) []result {
+	oldByName := make(map[string]benchmark, len(oldSnap.Benchmarks))
+	for _, b := range oldSnap.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	seen := make(map[string]bool, len(newSnap.Benchmarks))
+
+	var results []result
+	for _, nb := range newSnap.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			results = append(results, result{Name: nb.Name, NewNsOp: nb.Metrics["ns/op"], Note: "new benchmark (no baseline)"})
+			continue
+		}
+		oldNs, newNs := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		if oldNs <= 0 || newNs <= 0 {
+			results = append(results, result{Name: nb.Name, OldNsOp: oldNs, NewNsOp: newNs, Note: "missing ns/op; skipped"})
+			continue
+		}
+		r := result{Name: nb.Name, OldNsOp: oldNs, NewNsOp: newNs, Ratio: newNs / oldNs}
+		if oldNs < floor {
+			r.Note = "below noise floor; not gated"
+		} else {
+			r.Regression = r.Ratio > 1+threshold
+		}
+		results = append(results, r)
+	}
+	for _, ob := range oldSnap.Benchmarks {
+		if !seen[ob.Name] {
+			results = append(results, result{Name: ob.Name, OldNsOp: ob.Metrics["ns/op"], Note: "dropped from new snapshot"})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return results
+}
+
+func load(path string) (snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snapshot{}, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return snapshot{}, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return s, nil
+}
+
+func run(args []string, out *os.File) (failed bool, err error) {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.20, "allowed fractional ns/op slowdown before failing")
+	floor := fs.Float64("floor", 1000, "baseline ns/op below which a benchmark is not gated")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if fs.NArg() != 2 {
+		return false, fmt.Errorf("usage: benchgate [-threshold 0.20] [-floor 1000] OLD.json NEW.json")
+	}
+	oldSnap, err := load(fs.Arg(0))
+	if err != nil {
+		return false, err
+	}
+	newSnap, err := load(fs.Arg(1))
+	if err != nil {
+		return false, err
+	}
+
+	results := compare(oldSnap, newSnap, *threshold, *floor)
+	fmt.Fprintf(out, "benchgate: %s (%s) vs %s (%s), threshold +%.0f%%\n",
+		fs.Arg(0), oldSnap.Generated, fs.Arg(1), newSnap.Generated, *threshold*100)
+	for _, r := range results {
+		switch {
+		case r.Note != "" && r.Ratio != 0:
+			fmt.Fprintf(out, "  ~ %-40s %12.0f → %12.0f ns/op  (%+.1f%%)  %s\n",
+				r.Name, r.OldNsOp, r.NewNsOp, (r.Ratio-1)*100, r.Note)
+		case r.Note != "":
+			fmt.Fprintf(out, "  ~ %-40s %s\n", r.Name, r.Note)
+		case r.Regression:
+			failed = true
+			fmt.Fprintf(out, "  ✗ %-40s %12.0f → %12.0f ns/op  (%+.1f%%)\n",
+				r.Name, r.OldNsOp, r.NewNsOp, (r.Ratio-1)*100)
+		default:
+			fmt.Fprintf(out, "  ✓ %-40s %12.0f → %12.0f ns/op  (%+.1f%%)\n",
+				r.Name, r.OldNsOp, r.NewNsOp, (r.Ratio-1)*100)
+		}
+	}
+	if failed {
+		fmt.Fprintf(out, "benchgate: FAIL — at least one benchmark slowed by more than %.0f%%\n", *threshold*100)
+	} else {
+		fmt.Fprintln(out, "benchgate: ok")
+	}
+	return failed, nil
+}
+
+func main() {
+	failed, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

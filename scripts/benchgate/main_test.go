@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(pairs map[string]float64) snapshot {
+	s := snapshot{Generated: "t0"}
+	for name, ns := range pairs {
+		s.Benchmarks = append(s.Benchmarks, benchmark{
+			Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns},
+		})
+	}
+	return s
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	oldSnap := snap(map[string]float64{
+		"Fast":    2000,
+		"Slower":  2000,
+		"Limit":   2000,
+		"Jitter":  100, // sub-floor baseline: tracked, never gated
+		"Dropped": 2000,
+		"Zero":    0,
+	})
+	newSnap := snap(map[string]float64{
+		"Fast":   1600, // improvement
+		"Slower": 2500, // +25% → regression at 20% threshold
+		"Limit":  2400, // exactly +20% → allowed (strictly-above fails)
+		"Jitter": 900,  // +800%, but below the 1000 ns floor
+		"Added":  50,   // no baseline
+		"Zero":   10,   // unusable baseline
+	})
+	byName := make(map[string]result)
+	for _, r := range compare(oldSnap, newSnap, 0.20, 1000) {
+		byName[r.Name] = r
+	}
+	if len(byName) != 7 {
+		t.Fatalf("got %d results, want 7: %v", len(byName), byName)
+	}
+	for name, wantRegression := range map[string]bool{
+		"Fast": false, "Slower": true, "Limit": false,
+	} {
+		r := byName[name]
+		if r.Regression != wantRegression || r.Note != "" {
+			t.Fatalf("%s: regression=%v note=%q, want regression=%v", name, r.Regression, r.Note, wantRegression)
+		}
+	}
+	for name, wantNote := range map[string]string{
+		"Jitter":  "below noise floor; not gated",
+		"Added":   "new benchmark (no baseline)",
+		"Dropped": "dropped from new snapshot",
+		"Zero":    "missing ns/op; skipped",
+	} {
+		r := byName[name]
+		if r.Note != wantNote || r.Regression {
+			t.Fatalf("%s: regression=%v note=%q, want note=%q", name, r.Regression, r.Note, wantNote)
+		}
+	}
+}
+
+func writeSnap(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// End-to-end over real files, in the exact JSON shape bench.sh emits.
+func TestRunGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", `{
+  "generated": "2026-01-01T00:00:00Z",
+  "benchmarks": [
+    {"name": "A", "iterations": 1, "metrics": {"ns/op": 1000, "quality": 0.9}},
+    {"name": "B", "iterations": 100, "metrics": {"ns/op": 2000}}
+  ]
+}`)
+	okPath := writeSnap(t, dir, "ok.json", `{
+  "generated": "2026-01-02T00:00:00Z",
+  "benchmarks": [
+    {"name": "A", "iterations": 1, "metrics": {"ns/op": 1100}},
+    {"name": "B", "iterations": 100, "metrics": {"ns/op": 1900}}
+  ]
+}`)
+	badPath := writeSnap(t, dir, "bad.json", `{
+  "generated": "2026-01-02T00:00:00Z",
+  "benchmarks": [
+    {"name": "A", "iterations": 1, "metrics": {"ns/op": 1300}},
+    {"name": "B", "iterations": 100, "metrics": {"ns/op": 1900}}
+  ]
+}`)
+
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+
+	if failed, err := run([]string{oldPath, okPath}, null); err != nil || failed {
+		t.Fatalf("within-threshold snapshot: failed=%v err=%v", failed, err)
+	}
+	if failed, err := run([]string{oldPath, badPath}, null); err != nil || !failed {
+		t.Fatalf("+30%% snapshot must fail the gate: failed=%v err=%v", failed, err)
+	}
+	// A looser threshold lets the same snapshot through.
+	if failed, err := run([]string{"-threshold", "0.5", oldPath, badPath}, null); err != nil || failed {
+		t.Fatalf("+30%% under a 50%% threshold: failed=%v err=%v", failed, err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := writeSnap(t, dir, "empty.json", `{"generated": "t", "benchmarks": []}`)
+	garbled := writeSnap(t, dir, "garbled.json", `not json`)
+	good := writeSnap(t, dir, "good.json", `{
+  "generated": "t", "benchmarks": [{"name": "A", "iterations": 1, "metrics": {"ns/op": 1}}]
+}`)
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+
+	for _, args := range [][]string{
+		{good},
+		{good, good, good},
+		{filepath.Join(dir, "missing.json"), good},
+		{good, empty},
+		{garbled, good},
+	} {
+		if _, err := run(args, null); err == nil {
+			t.Fatalf("run(%v): expected error", args)
+		} else if strings.Contains(err.Error(), "panic") {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
