@@ -222,8 +222,8 @@ func (c *Cloud) TotalActiveVMs(now float64) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var total int
-	for _, st := range c.vms {
-		total += st.activeAt(now)
+	for _, name := range c.vmOrder {
+		total += c.vms[name].activeAt(now)
 	}
 	return total
 }
@@ -323,10 +323,15 @@ func (c *Cloud) accrueLocked(now float64) {
 		return
 	}
 	hours := (now - c.lastBilled) / 3600
-	for _, st := range c.vms {
+	// Accrue in registration order: float addition is not associative, so
+	// ranging the maps here would make the accrued cost depend on Go's
+	// randomized iteration order and break bit-identical replay.
+	for _, name := range c.vmOrder {
+		st := c.vms[name]
 		c.vmCost += float64(st.allocated) * st.spec.PricePerHour * hours
 	}
-	for _, st := range c.nfs {
+	for _, name := range c.nfsOr {
+		st := c.nfs[name]
 		c.storageCost += st.storedGB * st.spec.PricePerGBHour * hours
 	}
 	if c.ledger != nil {
