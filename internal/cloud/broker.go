@@ -2,8 +2,19 @@ package cloud
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Catalog is the information the SLA negotiator exposes to a consumer
 // during negotiation: the cluster specs plus current availability.
@@ -83,13 +94,20 @@ func (b *Broker) Negotiate() Catalog {
 
 // Submit validates and applies a reconfiguration request, recording it in
 // the request log. Either the whole request applies or none of it does.
+// Clusters are processed in sorted-name order so both the reported error
+// (when several clusters are invalid) and the apply sequence are
+// deterministic regardless of map iteration order.
 func (b *Broker) Submit(req Request) error {
+	vmNames := sortedKeys(req.VMTargets)
+	nfsNames := sortedKeys(req.StorageGB)
+
 	// Pre-validate against capacity so a partial failure cannot leave the
 	// cloud half-reconfigured.
-	for name, target := range req.VMTargets {
-		specs := b.cloud.VMClusters()
+	vmSpecs := b.cloud.VMClusters()
+	for _, name := range vmNames {
+		target := req.VMTargets[name]
 		found := false
-		for _, s := range specs {
+		for _, s := range vmSpecs {
 			if s.Name == name {
 				found = true
 				if target < 0 || target > s.MaxVMs {
@@ -101,10 +119,11 @@ func (b *Broker) Submit(req Request) error {
 			return fmt.Errorf("%w: VM cluster %q", ErrUnknownCluster, name)
 		}
 	}
-	for name, gb := range req.StorageGB {
-		specs := b.cloud.NFSClusters()
+	nfsSpecs := b.cloud.NFSClusters()
+	for _, name := range nfsNames {
+		gb := req.StorageGB[name]
 		found := false
-		for _, s := range specs {
+		for _, s := range nfsSpecs {
 			if s.Name == name {
 				found = true
 				if gb < 0 || gb > s.CapacityGB {
@@ -117,13 +136,13 @@ func (b *Broker) Submit(req Request) error {
 		}
 	}
 
-	for name, target := range req.VMTargets {
-		if err := b.cloud.SetVMs(req.Time, name, target); err != nil {
+	for _, name := range vmNames {
+		if err := b.cloud.SetVMs(req.Time, name, req.VMTargets[name]); err != nil {
 			return err
 		}
 	}
-	for name, gb := range req.StorageGB {
-		if err := b.cloud.SetStorage(req.Time, name, gb); err != nil {
+	for _, name := range nfsNames {
+		if err := b.cloud.SetStorage(req.Time, name, req.StorageGB[name]); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,27 @@
+package cloud
+
+import (
+	"strings"
+	"testing"
+)
+
+// When a request names several invalid clusters, Submit must report the
+// same one every time (the lexicographically first), not whichever map
+// iteration happens to visit first.
+func TestSubmitErrorSelectionIsDeterministic(t *testing.T) {
+	b, _ := newTestBroker(t)
+	req := Request{VMTargets: map[string]int{
+		"zzz-ghost": 1,
+		"aaa-ghost": 1,
+		"mmm-ghost": 1,
+	}}
+	for i := 0; i < 50; i++ {
+		err := b.Submit(req)
+		if err == nil {
+			t.Fatal("Submit of unknown clusters succeeded")
+		}
+		if !strings.Contains(err.Error(), "aaa-ghost") {
+			t.Fatalf("run %d: err = %v, want the sorted-first cluster aaa-ghost", i, err)
+		}
+	}
+}
