@@ -1,0 +1,24 @@
+package provision
+
+import "testing"
+
+// TotalVMs sums floats out of a map; unless the keys are visited in a
+// fixed order the result depends on Go's randomized map iteration
+// ((0.1+0.2)+0.3 and (0.3+0.2)+0.1 are different doubles). The planner
+// feeds this total into budget comparisons, so it must be bit-stable.
+func TestTotalVMsIsOrderStable(t *testing.T) {
+	p := VMPlan{VMsPerCluster: map[string]float64{
+		"a": 0.1,
+		"b": 0.2,
+		"c": 0.3,
+	}}
+	// Sorted-key order, via float64 variables so the expectation is
+	// runtime IEEE arithmetic, not constant folding.
+	v1, v2, v3 := 0.1, 0.2, 0.3
+	want := (v1 + v2) + v3
+	for i := 0; i < 50; i++ {
+		if got := p.TotalVMs(); got != want {
+			t.Fatalf("run %d: TotalVMs = %.20g, want sorted-order sum %.20g", i, got, want)
+		}
+	}
+}

@@ -43,11 +43,18 @@ func (p VMPlan) RentalVMs() map[string]int {
 	return out
 }
 
-// TotalVMs returns the fractional VM total across clusters.
+// TotalVMs returns the fractional VM total across clusters, summed in
+// sorted cluster order so the float result does not depend on map
+// iteration order.
 func (p VMPlan) TotalVMs() float64 {
+	names := make([]string, 0, len(p.VMsPerCluster))
+	for name := range p.VMsPerCluster {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var t float64
-	for _, v := range p.VMsPerCluster {
-		t += v
+	for _, name := range names {
+		t += p.VMsPerCluster[name]
 	}
 	return t
 }
