@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same targets.
 
-.PHONY: test race bench verify
+.PHONY: test race bench lint verify
 
 test:
 	go build ./... && go test ./...
@@ -15,4 +15,11 @@ bench:
 	./scripts/bench.sh BENCH_PR6.json
 	go run ./scripts/benchgate BENCH_PR4.json BENCH_PR6.json
 
-verify: test race
+# The project's own analyzers (determinism, boundary, noloss, hotpath)
+# over the whole module. Suppress a finding only with a justified
+# //cloudmedia:allow <analyzer> -- <reason> directive; see DESIGN.md.
+lint:
+	go build ./...
+	go run ./cmd/cloudmedialint ./...
+
+verify: test race lint

@@ -1,48 +1,39 @@
 package cloudmedia_test
 
 import (
-	"go/parser"
-	"go/token"
-	"io/fs"
-	"path/filepath"
-	"strconv"
-	"strings"
 	"testing"
+
+	"cloudmedia/internal/analysis"
 )
 
-// TestNoInternalImportsOutsideModule guards the SDK boundary: examples and
-// the CLI are the reference consumers of the public API, so they must
-// compile against the root package and pkg/ alone — and pkg/sweep is
-// deliberately built purely on the public facades (pkg/simulate), proving
-// the SDK surface is sufficient to write an orchestration layer. If this
-// test fails, a public wrapper is missing.
-func TestNoInternalImportsOutsideModule(t *testing.T) {
-	for _, dir := range []string{"examples", "cmd", "pkg/sweep"} {
-		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() || !strings.HasSuffix(path, ".go") {
-				return nil
-			}
-			fset := token.NewFileSet()
-			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
-			if err != nil {
-				return err
-			}
-			for _, imp := range f.Imports {
-				p, err := strconv.Unquote(imp.Path.Value)
-				if err != nil {
-					return err
-				}
-				if p == "cloudmedia/internal" || strings.HasPrefix(p, "cloudmedia/internal/") {
-					t.Errorf("%s imports %s: examples, cmd, and pkg/sweep must use the public API", path, p)
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			t.Fatalf("walking %s: %v", dir, err)
-		}
+// TestImportBoundaries guards the layering contract with the boundary
+// analyzer (the same one `make lint` and CI run), so `go test ./...`
+// alone still catches a violation:
+//
+//   - examples/, cmd/, and pkg/sweep are the reference consumers of the
+//     public API and must compile against the root package and pkg/
+//     alone — pkg/sweep in particular is deliberately built purely on
+//     the public facades, proving the surface is sufficient to write an
+//     orchestration layer (cmd/cloudmedialint is the one carve-out: a
+//     dev tool built on internal/analysis by necessity);
+//   - the deterministic engines must never import internal/serve or the
+//     facades above them.
+//
+// If this test fails on a consumer package, a public wrapper is missing.
+func TestImportBoundaries(t *testing.T) {
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{analysis.Boundary})
+	if err != nil {
+		t.Fatalf("running boundary analyzer: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the x/tools analysistest counterpart for the stdlib-only
+// framework: fixtures live under testdata/src/<name>/, expectations are
+// `// want "regexp"` comments on the offending line, and RunFixture fails
+// the test on any mismatch in either direction. Fixture packages may
+// import anything resolvable in the module (stdlib or cloudmedia/...);
+// unresolvable imports (fake paths used by boundary fixtures) type-check
+// against an empty placeholder package, which is enough for the
+// syntax-level analyzers that use them.
+
+// TB is the subset of *testing.T the harness needs, declared locally so
+// the production lint binary does not link the testing package.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunFixture loads testdata/src/<fixture> as package path pkgPath, runs
+// the analyzer (with allow-directive suppression, so escape hatches are
+// exercised end to end), and matches diagnostics against the fixture's
+// want comments.
+func RunFixture(t TB, testdataDir, fixture, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	dir := filepath.Join(testdataDir, "src", fixture)
+	pkg, err := LoadFixture(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", fixture, err)
+	}
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", fixture, d.Pos, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", fixture, w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants parses `// want "re" ["re" ...]` comments from the
+// fixture's files.
+func collectWants(t TB, pkg *Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				tail := c.Text[idx+len("// want "):]
+				ms := wantRE.FindAllString(tail, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range ms {
+					pattern, err := strconv.Unquote(m)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %s: %v", pos.Filename, pos.Line, m, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s:%d: compiling %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					wants = append(wants, want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// LoadFixture parses and type-checks one fixture directory as pkgPath.
+// Imports resolve through the module's real export data when possible and
+// fall back to empty placeholder packages for fake paths, with type
+// errors tolerated (boundary fixtures import paths that do not exist).
+func LoadFixture(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var imports []string
+	seen := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+
+	imp, err := fixtureImporter(fset, imports)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // tolerate: fake imports leave holes
+	}
+	info := newInfo()
+	//cloudmedia:allow noloss -- fixture type errors are expected (fake imports); the lenient check still yields a usable package
+	tpkg, _ := conf.Check(pkgPath, fset, files, info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("analysis: type-checking fixture %s produced no package", dir)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// fixtureExports caches `go list -export` results across fixtures within
+// one test process: the set of stdlib packages fixtures import is small
+// and stable.
+var fixtureExports struct {
+	sync.Mutex
+	cache map[string]string // import path → export file ("" = unresolvable)
+}
+
+// fixtureImporter resolves the fixture's direct imports (and their
+// transitive closure) via the go command, faking the rest.
+func fixtureImporter(fset *token.FileSet, imports []string) (types.Importer, error) {
+	fixtureExports.Lock()
+	defer fixtureExports.Unlock()
+	if fixtureExports.cache == nil {
+		fixtureExports.cache = make(map[string]string)
+	}
+
+	var missing []string
+	for _, p := range imports {
+		if _, ok := fixtureExports.cache[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		root, err := ModuleRoot(".")
+		if err != nil {
+			return nil, err
+		}
+		// tolerateErrors: unresolvable (fake) paths must not fail the
+		// listing; they simply come back without export data.
+		_, exports, importMap, err := goList(root, missing, true)
+		if err != nil {
+			return nil, err
+		}
+		for from, to := range importMap {
+			if file, ok := exports[to]; ok {
+				exports[from] = file
+			}
+		}
+		for p, file := range exports {
+			fixtureExports.cache[p] = file
+		}
+		for _, p := range missing {
+			if _, ok := fixtureExports.cache[p]; !ok {
+				fixtureExports.cache[p] = ""
+			}
+		}
+	}
+
+	exports := make(map[string]string)
+	for p, file := range fixtureExports.cache {
+		if file != "" {
+			exports[p] = file
+		}
+	}
+	return &lenientImporter{
+		gc:    importer.ForCompiler(fset, "gc", exportLookup(exports, nil)),
+		fakes: make(map[string]*types.Package),
+	}, nil
+}
+
+// lenientImporter delegates to compiled export data and substitutes an
+// empty, complete package for anything unresolvable, so fixtures can
+// import fake paths (the boundary analyzer only reads the import strings).
+type lenientImporter struct {
+	gc    types.Importer
+	fakes map[string]*types.Package
+}
+
+func (li *lenientImporter) Import(path string) (*types.Package, error) {
+	pkg, err := li.gc.Import(path)
+	if err == nil {
+		return pkg, nil
+	}
+	if fake, ok := li.fakes[path]; ok {
+		return fake, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	fake := types.NewPackage(path, name)
+	fake.MarkComplete()
+	li.fakes[path] = fake
+	return fake, nil
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import "testing"
+
+// Each fixture is a package that fails without its analyzer: the want
+// comments pin both the findings and the non-findings (the sanctioned
+// idioms and escape hatches carry no want and must stay silent).
+
+func TestDeterminismFixture(t *testing.T) {
+	RunFixture(t, "testdata", "determinism", "cloudmedia/internal/sim", Determinism)
+}
+
+func TestBoundaryConsumerFixture(t *testing.T) {
+	RunFixture(t, "testdata", "boundaryconsumer", "cloudmedia/pkg/sweep", Boundary)
+}
+
+func TestBoundaryEngineFixture(t *testing.T) {
+	RunFixture(t, "testdata", "boundaryengine", "cloudmedia/internal/fluid", Boundary)
+}
+
+func TestNoLossFixture(t *testing.T) {
+	RunFixture(t, "testdata", "noloss", "cloudmedia/internal/nolossfix", NoLoss)
+}
+
+func TestHotpathFixture(t *testing.T) {
+	RunFixture(t, "testdata", "hotpath", "cloudmedia/internal/hotpathfix", Hotpath)
+}
+
+func TestAllowDirectiveValidation(t *testing.T) {
+	RunFixture(t, "testdata", "allow", "cloudmedia/internal/allowfix", Determinism)
+}
+
+// TestDeterminismIgnoresNonEnginePackage pins the gating: the same
+// offending code outside the engine set is none of the analyzer's
+// business (internal/serve owns the wall clock by design).
+func TestDeterminismIgnoresNonEnginePackage(t *testing.T) {
+	pkg, err := LoadFixture("testdata/src/determinism", "cloudmedia/internal/serve")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := Run([]*Package{pkg}, []*Analyzer{Determinism})
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("determinism fired outside the engine set: %v", diags)
+	}
+}
+
+// TestModuleIsLintClean runs the full suite over the real module — the
+// same sweep `make lint` and CI perform — so `go test ./...` alone
+// catches a regression.
+func TestModuleIsLintClean(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

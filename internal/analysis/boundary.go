@@ -1,0 +1,62 @@
+package analysis
+
+import "strconv"
+
+// Boundary enforces the module's import DAG — the SDK boundary PR 1
+// introduced as a parser-based test plus a CI grep, promoted here to an
+// analyzer that names the violated rule at the offending import line:
+//
+//   - examples/, cmd/, and pkg/sweep are the reference consumers of the
+//     public API and must never import cloudmedia/internal/...;
+//   - the engine packages (internal/{sim,fluid,core,workload,provision,
+//     cloud,trace,geo}) sit below both the live control plane and the
+//     public facades, so they must never import internal/serve, pkg/...,
+//     or the root cloudmedia package.
+var Boundary = &Analyzer{
+	Name: "boundary",
+	Doc:  "enforce the public-API / control-plane / engine import DAG",
+	Run:  runBoundary,
+}
+
+func runBoundary(pass *Pass) error {
+	path := pass.Pkg.Path()
+	type rule struct {
+		forbids func(string) bool
+		why     string
+	}
+	var rules []rule
+	if isPublicConsumer(path) {
+		rules = append(rules, rule{
+			forbids: isInternalPackage,
+			why:     "examples, cmd, and pkg/sweep must use the public API (root package and pkg/...)",
+		})
+	}
+	if isEnginePackage(path) {
+		rules = append(rules, rule{
+			forbids: isServePackage,
+			why:     "engine packages must stay below the live control plane (internal/serve drives engines, never the reverse)",
+		})
+		rules = append(rules, rule{
+			forbids: isFacadeOrRoot,
+			why:     "engine packages must stay below the public facades (pkg/... and the root package wrap engines, never the reverse)",
+		})
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			target, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, r := range rules {
+				if r.forbids(target) {
+					pass.Reportf(imp.Pos(), "%s must not import %s: %s", path, target, r.why)
+				}
+			}
+		}
+	}
+	return nil
+}

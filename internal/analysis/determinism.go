@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism guards the engine packages' bit-identical-replay guarantee:
+// a seeded run must produce the same bytes whether it runs batch or paced
+// (PR 6), on one worker or sixteen (PR 3), today or next year. Inside the
+// engine set it forbids
+//
+//   - wall-clock sources (time.Now, time.Since, time.Tick, ...): sim time
+//     is the only clock engines may read; serve.Clock owns the wall and
+//     lives outside the engine set by design;
+//   - the global math/rand functions (rand.Intn, rand.Float64, ...): all
+//     randomness must flow from a seed-derived *rand.Rand stream, or
+//     worker scheduling changes the draw order;
+//   - order-sensitive iteration over maps: a range whose body accumulates
+//     into outer variables, writes slices, emits output, or returns picks
+//     up Go's randomized map order. Iterate sorted keys instead; the one
+//     sanctioned shape is collecting keys into a slice to sort.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall clocks, global rand, and order-sensitive map iteration in engine packages",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are the time package's wall-clock (or timer) entry
+// points. Conversions and arithmetic (time.Duration, time.Unix) are fine:
+// they do not read the clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true,
+	"After": true, "AfterFunc": true, "NewTicker": true, "NewTimer": true,
+	"Sleep": true,
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions that
+// draw from the shared global source. Constructors (New, NewSource,
+// NewZipf) are fine: they feed seed-derived streams.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "N": true, "Uint32N": true, "Uint64N": true,
+	"UintN": true, "Uint": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !isEnginePackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkForbiddenCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkForbiddenCall flags pkg.Func calls into the wall clock or the
+// global rand source.
+func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			pass.Reportf(call.Pos(),
+				"wall-clock source time.%s in engine package %s: engines read only simulated time (serve.Clock owns the wall clock)",
+				sel.Sel.Name, pass.Pkg.Path())
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[sel.Sel.Name] {
+			pass.Reportf(call.Pos(),
+				"global rand.%s in engine package %s: draw from a seed-derived *rand.Rand stream instead",
+				sel.Sel.Name, pass.Pkg.Path())
+		}
+	}
+}
+
+// checkMapRange flags order-sensitive bodies under a range over a map.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	keyObj := rangeVarObj(pass, rng.Key)
+	if isKeyCollectLoop(pass, rng, keyObj) {
+		return // keys := append(keys, k) — the sorted-iteration idiom's first half
+	}
+
+	local := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End()
+	}
+	valObj := rangeVarObj(pass, rng.Value)
+	isLoopVar := func(obj types.Object) bool {
+		return obj != nil && (obj == keyObj || obj == valObj)
+	}
+
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s inside range over map is iteration-order dependent: iterate sorted keys instead", what)
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				checkOrderedWrite(pass, lhs, keyObj, local, isLoopVar, report)
+			}
+		case *ast.IncDecStmt:
+			checkOrderedWrite(pass, n.X, keyObj, local, isLoopVar, report)
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send")
+		case *ast.ReturnStmt:
+			report(n.Pos(), "return (selects an arbitrary element)")
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isEmitCall(pass, call) {
+				report(n.Pos(), "output")
+			}
+		}
+		return true
+	})
+}
+
+// checkOrderedWrite flags an assignment target that escapes the loop body
+// in an order-sensitive way. Writes into a map keyed (in part) by the
+// iteration key are exempt: each iteration touches its own entry, so the
+// result is order-independent.
+func checkOrderedWrite(pass *Pass, lhs ast.Expr, keyObj types.Object, local, isLoopVar func(types.Object) bool, report func(token.Pos, string)) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(lhs)
+		if local(obj) || isLoopVar(obj) {
+			return
+		}
+		report(lhs.Pos(), "write to outer variable "+lhs.Name)
+	case *ast.IndexExpr:
+		baseType := pass.TypesInfo.TypeOf(lhs.X)
+		if baseType != nil {
+			if _, isMap := baseType.Underlying().(*types.Map); isMap {
+				if exprMentions(pass, lhs.Index, keyObj) || rootIsLocal(pass, lhs.X, local) {
+					return
+				}
+				report(lhs.Pos(), "map write not keyed by the iteration key")
+				return
+			}
+		}
+		if rootIsLocal(pass, lhs.X, local) {
+			return
+		}
+		report(lhs.Pos(), "indexed write to outer "+types.ExprString(lhs.X))
+	case *ast.SelectorExpr:
+		if rootIsLocal(pass, lhs, local) {
+			return
+		}
+		report(lhs.Pos(), "write to field "+types.ExprString(lhs))
+	case *ast.StarExpr:
+		report(lhs.Pos(), "write through pointer "+types.ExprString(lhs.X))
+	case *ast.ParenExpr:
+		checkOrderedWrite(pass, lhs.X, keyObj, local, isLoopVar, report)
+	}
+}
+
+// rangeVarObj resolves a range clause variable to its object, for both
+// `:=` (definition) and `=` (use) forms.
+func rangeVarObj(pass *Pass, expr ast.Expr) types.Object {
+	ident, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(ident)
+}
+
+// exprMentions reports whether the expression references obj.
+func exprMentions(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(ident) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootIsLocal unwraps selectors/indexes/parens to the base identifier and
+// reports whether it is declared inside the loop body.
+func rootIsLocal(pass *Pass, expr ast.Expr, local func(types.Object) bool) bool {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			return local(pass.TypesInfo.ObjectOf(e))
+		default:
+			return false
+		}
+	}
+}
+
+// isKeyCollectLoop recognizes the sanctioned pre-sort idiom: a body that
+// is exactly `keys = append(keys, k)`, collecting the map's keys for a
+// subsequent sort. Any other work belongs after the sort.
+func isKeyCollectLoop(pass *Pass, rng *ast.RangeStmt, keyObj types.Object) bool {
+	if keyObj == nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if b, ok := pass.TypesInfo.ObjectOf(fn).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(arg) != keyObj {
+		return false
+	}
+	dst, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(dst) == pass.TypesInfo.ObjectOf(src)
+}
+
+// isEmitCall reports whether the statement-level call visibly emits
+// output: the fmt print family or writer-shaped methods. Inside a map
+// range the emission order is the map order — nondeterministic.
+func isEmitCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if ident, ok := fun.X.(*ast.Ident); ok {
+			if pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName); ok && pkgName.Imported().Path() == "fmt" {
+				return true
+			}
+		}
+		switch fun.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune",
+			"Print", "Printf", "Println", "Encode":
+			return true
+		}
+	case *ast.Ident:
+		switch fun.Name {
+		case "print", "println":
+			return true
+		}
+	}
+	return false
+}

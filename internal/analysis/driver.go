@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive:
+//
+//	//cloudmedia:allow <analyzer> -- <reason>
+const allowPrefix = "//cloudmedia:allow"
+
+// Run executes the analyzers over the packages, applies the
+// //cloudmedia:allow suppressions, and returns the surviving diagnostics
+// sorted by position. Malformed directives (missing reason, unknown
+// analyzer name) are reported as diagnostics themselves.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// Directive names validate against the full registry, not just the
+	// analyzers in this run: a boundary-only run must not reject a
+	// legitimate `//cloudmedia:allow noloss` directive elsewhere in the
+	// file.
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allowed, directiveDiags := collectAllows(pkg, known)
+		out = append(out, directiveDiags...)
+
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.report = func(d Diagnostic) {
+				if !allowed.suppresses(d) {
+					out = append(out, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out, nil
+}
+
+// allowIndex records which (file, line) pairs waive which analyzers. A
+// directive covers its own line (trailing form) and the line below it
+// (standalone form above the offending statement).
+type allowIndex map[string]map[int]map[string]bool
+
+func (idx allowIndex) add(file string, line int, analyzer string) {
+	byLine := idx[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		idx[file] = byLine
+	}
+	for _, l := range [2]int{line, line + 1} {
+		if byLine[l] == nil {
+			byLine[l] = make(map[string]bool)
+		}
+		byLine[l][analyzer] = true
+	}
+}
+
+func (idx allowIndex) suppresses(d Diagnostic) bool {
+	return idx[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+}
+
+// collectAllows scans the package's comments for allow directives,
+// reporting malformed ones so an escape hatch can never silently fail to
+// engage (or engage without a recorded justification).
+func collectAllows(pkg *Package, known map[string]bool) (allowIndex, []Diagnostic) {
+	idx := make(allowIndex)
+	var diags []Diagnostic
+	malformed := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "allow",
+			Pos:      pkg.Fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && !strings.HasPrefix(rest, " ") {
+					continue // e.g. //cloudmedia:allowance — not ours
+				}
+				name, reason, ok := strings.Cut(strings.TrimSpace(rest), "--")
+				name = strings.TrimSpace(name)
+				reason = strings.TrimSpace(reason)
+				switch {
+				case !ok || reason == "":
+					malformed(c.Pos(), "allow directive needs a reason: %s <analyzer> -- <reason>", allowPrefix)
+				case name == "" || len(strings.Fields(name)) != 1:
+					malformed(c.Pos(), "allow directive needs exactly one analyzer name: %s <analyzer> -- <reason>", allowPrefix)
+				case !known[name]:
+					malformed(c.Pos(), "allow directive names unknown analyzer %q", name)
+				default:
+					idx.add(pkg.Fset.Position(c.Pos()).Filename, pkg.Fset.Position(c.Pos()).Line, name)
+				}
+			}
+		}
+	}
+	return idx, diags
+}
+
+// funcIsHotpath reports whether the declaration's doc comment carries the
+// //cloudmedia:hotpath annotation.
+func funcIsHotpath(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if c.Text == "//cloudmedia:hotpath" || strings.HasPrefix(c.Text, "//cloudmedia:hotpath ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoLoss forbids silently discarded errors in internal/... — the bug
+// class PRs 3–4 fixed by hand when per-channel capacity accounting and
+// storage planning swallowed failures. Both spellings are caught:
+//
+//	_ = f()          // blank-assigned error result
+//	f()              // bare call whose error result vanishes
+//
+// A justified drop must carry //cloudmedia:allow noloss -- <reason> at
+// the line, so every intentional discard documents why losing the error
+// is safe. Exempt by convention: deferred and `go` calls (teardown paths
+// with no caller left to inform), and bare writes into sinks whose
+// documented contract is a permanently nil error (*bytes.Buffer,
+// *strings.Builder, hash.Hash — including fmt.Fprint* into them).
+var NoLoss = &Analyzer{
+	Name: "noloss",
+	Doc:  "forbid discarded error results in internal packages",
+	Run:  runNoLoss,
+}
+
+func runNoLoss(pass *Pass) error {
+	if !isInternalPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkBlankErrorAssign(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkBareErrorCall(pass, call)
+				}
+			case *ast.DeferStmt, *ast.GoStmt:
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlankErrorAssign flags `_` targets whose corresponding value is an
+// error. Handles both the 1:1 form (`_ = f()`, `a, _ = f(), g()`) and the
+// tuple form (`v, _ := f()` where f returns (T, error)).
+func checkBlankErrorAssign(pass *Pass, assign *ast.AssignStmt) {
+	blankAt := func(i int) bool {
+		ident, ok := assign.Lhs[i].(*ast.Ident)
+		return ok && ident.Name == "_"
+	}
+
+	if len(assign.Lhs) > 1 && len(assign.Rhs) == 1 {
+		// Tuple assignment from one multi-value expression. Only calls
+		// produce dropped errors worth flagging: comma-ok forms (map
+		// index, type assertion, channel receive) yield a bool.
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.TypesInfo.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i := 0; i < tuple.Len() && i < len(assign.Lhs); i++ {
+			if blankAt(i) && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(assign.Lhs[i].Pos(),
+					"error result of %s discarded: handle it or annotate with %s noloss -- <reason>",
+					types.ExprString(call.Fun), allowPrefix)
+			}
+		}
+		return
+	}
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i := range assign.Lhs {
+		if !blankAt(i) {
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(assign.Rhs[i])
+		if t != nil && isErrorType(t) {
+			pass.Reportf(assign.Lhs[i].Pos(),
+				"error value %s discarded: handle it or annotate with %s noloss -- <reason>",
+				types.ExprString(assign.Rhs[i]), allowPrefix)
+		}
+	}
+}
+
+// checkBareErrorCall flags statement-level calls whose result set
+// includes an error.
+func checkBareErrorCall(pass *Pass, call *ast.CallExpr) {
+	if isNeverFailWrite(pass, call) {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return
+	}
+	drops := false
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				drops = true
+			}
+		}
+	default:
+		drops = isErrorType(t)
+	}
+	if drops {
+		pass.Reportf(call.Pos(),
+			"call to %s drops its error result: handle it or annotate with %s noloss -- <reason>",
+			types.ExprString(call.Fun), allowPrefix)
+	}
+}
+
+// neverFailSinks are types whose Write-family methods document a
+// permanently nil error; bare calls on them are conventional Go.
+var neverFailSinks = map[string]bool{
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+	"hash.Hash":       true,
+	"hash.Hash32":     true,
+	"hash.Hash64":     true,
+}
+
+// isNeverFailWrite recognizes buf.WriteString(...)-style calls on
+// never-fail sinks, and fmt.Fprint* whose writer is statically one.
+func isNeverFailWrite(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if ident, ok := sel.X.(*ast.Ident); ok {
+		if pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName); ok {
+			if pkgName.Imported().Path() != "fmt" || len(call.Args) == 0 {
+				return false
+			}
+			switch sel.Sel.Name {
+			case "Fprint", "Fprintf", "Fprintln":
+				return sinkType(pass.TypesInfo.TypeOf(call.Args[0]))
+			}
+			return false
+		}
+	}
+	return sinkType(pass.TypesInfo.TypeOf(sel.X))
+}
+
+func sinkType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return neverFailSinks[types.TypeString(t, nil)]
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType matches results declared as `error` — the contract type. A
+// concrete type that merely implements error is a deliberate API choice
+// and not flagged.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}

@@ -1,0 +1,16 @@
+// Package allow exercises directive validation: a malformed escape hatch
+// is itself a diagnostic, so a suppression can never silently fail to
+// engage or engage without a recorded justification.
+package allow
+
+//cloudmedia:allow determinism // want "allow directive needs a reason"
+var missingReason = 1
+
+//cloudmedia:allow nosuchanalyzer -- the name is wrong // want "unknown analyzer"
+var unknownName = 2
+
+//cloudmedia:allow noloss determinism -- one directive per analyzer // want "exactly one analyzer name"
+var twoNames = 3
+
+//cloudmedia:allow noloss -- well-formed, suppressing nothing, never reported
+var wellFormed = 4

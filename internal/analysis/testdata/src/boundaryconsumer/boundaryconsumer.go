@@ -1,0 +1,9 @@
+// Package sweep exercises the boundary analyzer's consumer rule: loaded
+// under the pkg/sweep path, which must compile against the public API
+// alone.
+package sweep
+
+import (
+	_ "cloudmedia/internal/core" // want "must not import cloudmedia/internal/core"
+	_ "cloudmedia/pkg/simulate"
+)

@@ -1,0 +1,11 @@
+// Package fluid exercises the boundary analyzer's engine rules: loaded
+// under an engine package path, which must stay below both the live
+// control plane and the public facades. Engine-to-engine imports are
+// allowed.
+package fluid
+
+import (
+	_ "cloudmedia/internal/core"
+	_ "cloudmedia/internal/serve" // want "must not import cloudmedia/internal/serve"
+	_ "cloudmedia/pkg/simulate"   // want "must not import cloudmedia/pkg/simulate"
+)

@@ -1,0 +1,101 @@
+// Package determinism exercises the determinism analyzer: loaded under an
+// engine package path, so wall clocks, global rand, and order-sensitive
+// map iteration are all forbidden.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "wall-clock source time.Now"
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want "wall-clock source time.Sleep"
+}
+
+func clockArithmeticIsFine() time.Time {
+	return time.Unix(0, 0).Add(3 * time.Second)
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want "global rand.Intn"
+}
+
+func seededStreamIsFine() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+func mapSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "write to outer variable total"
+	}
+	return total
+}
+
+func mapAnyKey(m map[string]int) string {
+	for k := range m {
+		return k // want "selects an arbitrary element"
+	}
+	return ""
+}
+
+func mapEmit(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "output inside range over map"
+	}
+}
+
+func mapSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send"
+	}
+}
+
+func mapFillSlice(m map[int]float64, dst []float64) {
+	for k, v := range m {
+		dst[k] = v // want "indexed write to outer dst"
+	}
+}
+
+// sortedSum is the sanctioned shape: collect keys, sort, then iterate the
+// slice. Neither loop may be flagged.
+func sortedSum(m map[string]float64) float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// mirror writes a map entry keyed by the iteration key: each iteration
+// touches its own entry, so the result is order-independent.
+func mirror(src, dst map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// localWork stays inside the loop body; nothing escapes per-iteration.
+func localWork(m map[string]int) {
+	for _, v := range m {
+		doubled := v * 2
+		_ = doubled
+	}
+}
+
+func escapeHatch() time.Time {
+	//cloudmedia:allow determinism -- fixture exercises the escape hatch
+	return time.Now()
+}

@@ -1,0 +1,57 @@
+// Package noloss exercises the noloss analyzer: loaded under an internal
+// package path, where errors must never be silently discarded.
+package noloss
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+func fail() error { return errors.New("boom") }
+
+func failPair() (int, error) { return 0, errors.New("boom") }
+
+func drops() {
+	_ = fail() // want "error value fail"
+	fail()     // want "call to fail drops its error result"
+}
+
+func dropsTuple() int {
+	v, _ := failPair() // want "error result of failPair discarded"
+	return v
+}
+
+// handled is the happy path: nothing to flag.
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	v, err := failPair()
+	if err != nil {
+		return err
+	}
+	_ = v // int, not error: discarding it is fine
+	return nil
+}
+
+// deferredTeardown is exempt by convention: no caller left to inform.
+func deferredTeardown() {
+	defer fail()
+	go fail()
+}
+
+// neverFailSinks: bytes.Buffer writes and fmt.Fprintf into one carry a
+// documented permanently-nil error and are conventional Go.
+func neverFail() string {
+	var buf bytes.Buffer
+	buf.WriteString("a")
+	buf.WriteByte(',')
+	fmt.Fprintf(&buf, "%d", 1)
+	return buf.String()
+}
+
+func escapeHatch() {
+	//cloudmedia:allow noloss -- fixture exercises the escape hatch
+	_ = fail()
+}

@@ -474,6 +474,7 @@ func (c *Controller) apply(now float64, vmPlan provision.VMPlan, storagePlan pro
 				c.setCapacityAt(now, delay, ch, i, target)
 			} else {
 				// Decreases take effect immediately (shutdown is fast).
+				//cloudmedia:allow noloss -- channel/chunk come from the plan loop, which only visits valid indices
 				_ = c.sim.SetCloudCapacity(ch, i, target)
 			}
 			c.lastCaps[key] = target
@@ -484,10 +485,13 @@ func (c *Controller) apply(now float64, vmPlan provision.VMPlan, storagePlan pro
 // setCapacityAt applies a capacity change after `delay` seconds.
 func (c *Controller) setCapacityAt(now, delay float64, ch, chunk int, target float64) {
 	if delay <= 0 {
+		//cloudmedia:allow noloss -- channel/chunk validated by the caller's plan loop
 		_ = c.sim.SetCloudCapacity(ch, chunk, target)
 		return
 	}
+	//cloudmedia:allow noloss -- now+delay > now so ScheduleAt cannot fail
 	_ = c.sim.ScheduleAt(now+delay, func(float64) {
+		//cloudmedia:allow noloss -- channel/chunk validated by the caller's plan loop
 		_ = c.sim.SetCloudCapacity(ch, chunk, target)
 	})
 }

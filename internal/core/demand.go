@@ -71,6 +71,8 @@ func FlattenDemands(demands []ChannelDemand) []provision.ChunkDemand {
 // allocates nothing in steady state. Safe to reuse across rounds because
 // no planner retains the request's demand slice (Greedy copies before
 // sorting, Lookahead/StaticPeak copy their per-chunk maxima).
+//
+//cloudmedia:hotpath
 func FlattenDemandsInto(dst []provision.ChunkDemand, demands []ChannelDemand) []provision.ChunkDemand {
 	dst = dst[:0]
 	for c, d := range demands {

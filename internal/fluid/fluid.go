@@ -174,6 +174,8 @@ func (b *Backend) RunUntil(t float64) {
 }
 
 // integrateTo advances the ODE state to time t with fixed Euler steps.
+//
+//cloudmedia:hotpath
 func (b *Backend) integrateTo(t float64) {
 	for b.now < t {
 		dt := b.step
@@ -197,6 +199,8 @@ func (b *Backend) integrateTo(t float64) {
 }
 
 // stepChannel advances one channel by dt seconds starting at time t.
+//
+//cloudmedia:hotpath
 func (b *Backend) stepChannel(c *channel, t, dt float64) {
 	cfg := b.cfg.Channel
 	J := cfg.Chunks
@@ -380,6 +384,8 @@ func (b *Backend) stepChannel(c *channel, t, dt float64) {
 // ascending copy count; proportional splits by demand. Each chunk draws at
 // most owners×meanUplink (only cached copies can upload) and at most the
 // remaining budget.
+//
+//cloudmedia:hotpath
 func (b *Backend) allocatePeers(c *channel) {
 	J := len(c.peerCap)
 	n := c.users()
@@ -455,7 +461,8 @@ func (b *Backend) ScheduleRepeating(start, interval float64, fn func(now float64
 	tick = func() {
 		fn(b.engine.Now())
 		at += interval
-		_, _ = b.engine.Schedule(at, tick) // at > now by construction
+		//cloudmedia:allow noloss -- at > now by construction, Schedule cannot fail
+		_, _ = b.engine.Schedule(at, tick)
 	}
 	_, err := b.engine.Schedule(start, tick)
 	return err

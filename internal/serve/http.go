@@ -19,10 +19,12 @@ func NewHandler(m *Metrics, r *Rolling) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//cloudmedia:allow noloss -- HTTP response write; a disconnected scraper is not actionable here
 		_ = m.WriteProm(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		//cloudmedia:allow noloss -- HTTP response write; a disconnected client is not actionable here
 		_, _ = w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/state", func(w http.ResponseWriter, req *http.Request) {
@@ -36,6 +38,7 @@ func NewHandler(m *Metrics, r *Rolling) http.Handler {
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		//cloudmedia:allow noloss -- HTTP response write; a disconnected client is not actionable here
 		_ = enc.Encode(doc)
 	})
 	return mux

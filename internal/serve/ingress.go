@@ -233,9 +233,11 @@ func (s *LiveSource) Rate(channel int, t float64) (float64, error) {
 
 // RatesInto implements workload.BatchSource under one lock acquisition
 // and one segment search.
+//
+//cloudmedia:hotpath
 func (s *LiveSource) RatesInto(t float64, dst []float64) error {
 	if len(dst) != s.channels {
-		return fmt.Errorf("serve: rate buffer length %d != channels %d", len(dst), s.channels)
+		return rateBufLenError(len(dst), s.channels)
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -308,4 +310,10 @@ func (s *LiveSource) Validate() error {
 		return fmt.Errorf("serve: invalid rate ceiling %v", s.envelope)
 	}
 	return nil
+}
+
+// rateBufLenError is the cold half of RatesInto's length guard, kept out
+// of line so the annotated hot body contains no fmt machinery.
+func rateBufLenError(n, channels int) error {
+	return fmt.Errorf("serve: rate buffer length %d != channels %d", n, channels)
 }

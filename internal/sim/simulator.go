@@ -390,7 +390,8 @@ func (s *Simulator) ScheduleRepeating(start, interval float64, fn func(now float
 	tick = func() {
 		fn(s.control.Now())
 		at += interval
-		_, _ = s.control.Schedule(at, tick) // at > now by construction
+		//cloudmedia:allow noloss -- at > now by construction, Schedule cannot fail
+		_, _ = s.control.Schedule(at, tick)
 	}
 	_, err := s.control.Schedule(start, tick)
 	return err
@@ -416,6 +417,7 @@ func (s *Simulator) scheduleArrival(ch *channelState) error {
 		if arrived {
 			s.spawnUser(ch)
 		}
+		//cloudmedia:allow noloss -- re-arm fails only when the engine has stopped; the arrival chain just ends
 		_ = s.scheduleArrival(ch)
 	})
 	if err != nil {
@@ -453,6 +455,8 @@ func (s *Simulator) spawnUser(ch *channelState) {
 // absorb up to one VM's bandwidth), so the cloud share only compensates
 // the shortfall, mirroring Δ = Rm − Γ. The visit order is the scheduling
 // policy: rarest-first (the paper) or demand-proportional (ablation).
+//
+//cloudmedia:hotpath
 func (s *Simulator) rebalancePeers(ch *channelState) {
 	n := len(ch.users)
 	if n == 0 {
@@ -502,6 +506,8 @@ func (s *Simulator) rebalancePeers(ch *channelState) {
 // count. Chunk counts are small (8–20), so insertion sort wins — and
 // unlike sort.SliceStable it allocates nothing, keeping the 30-second
 // rebalance tick off the garbage collector entirely.
+//
+//cloudmedia:hotpath
 func sortByOwners(order []int, owners []int) {
 	for i := 1; i < len(order); i++ {
 		v := order[i]
@@ -516,6 +522,8 @@ func sortByOwners(order []int, owners []int) {
 
 // rebalanceProportional splits the uplink budget across chunks with owners
 // in proportion to demand, with no rareness priority.
+//
+//cloudmedia:hotpath
 func (s *Simulator) rebalanceProportional(ch *channelState, meanUplink, target float64) {
 	var totalDemand float64
 	for i, p := range ch.pools {
@@ -686,6 +694,7 @@ func (s *Simulator) SampleQuality() QualitySample {
 		chSmooth := 0
 		for u := range ch.users {
 			if u.smoothAt(now, win) {
+				//cloudmedia:allow determinism -- integer count over the user set; addition order cannot change the result
 				chSmooth++
 			}
 		}

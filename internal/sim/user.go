@@ -110,6 +110,7 @@ func (u *user) beginPlayback(chunk int) {
 	u.nextReady = false
 
 	if u.nextChunk >= 0 {
+		//cloudmedia:allow noloss -- chunk indices come from sampleNext, which stays inside the estimator's domain
 		_ = u.channel.estimator.RecordTransition(chunk, u.nextChunk)
 		if u.owned[u.nextChunk] {
 			u.nextReady = true
@@ -117,6 +118,7 @@ func (u *user) beginPlayback(chunk int) {
 			u.startFetch(u.nextChunk)
 		}
 	} else {
+		//cloudmedia:allow noloss -- chunk is the currently playing index, always in the estimator's domain
 		_ = u.channel.estimator.RecordTransition(chunk, viewing.Departed)
 	}
 
@@ -173,6 +175,7 @@ func (u *user) onJump() {
 
 	target := u.channel.rng.Intn(u.sim.cfg.Channel.Chunks)
 	if u.state == statePlaying || u.state == stateStalled {
+		//cloudmedia:allow noloss -- target is drawn from rng.Intn(Chunks), inside the estimator's domain
 		_ = u.channel.estimator.RecordTransition(u.playingChunk, target)
 	}
 	if u.dl != nil && u.dl.pool != nil {

@@ -110,13 +110,15 @@ func (tr *Trace) Rate(channel int, t float64) (float64, error) {
 // Times runs once here instead of once per channel. Each entry follows
 // Rate's exact arithmetic (row[i-1] + f*(row[i]-row[i-1]) with the same
 // f), so the batched values are bit-identical to per-channel Rate calls.
+//
+//cloudmedia:hotpath
 func (tr *Trace) RatesInto(t float64, dst []float64) error {
 	if len(dst) != len(tr.Rates) {
-		return fmt.Errorf("trace: rate buffer length %d != channels %d", len(dst), len(tr.Rates))
+		return rateBufLenError(len(dst), len(tr.Rates))
 	}
 	times := tr.Times
 	if len(times) == 0 {
-		return fmt.Errorf("trace: no samples")
+		return errNoSamples()
 	}
 	last := len(times) - 1
 	switch {
@@ -274,3 +276,12 @@ func (tr *Trace) Resample(stepSeconds float64) (*Trace, error) {
 	}
 	return out, nil
 }
+
+// rateBufLenError and errNoSamples are the cold halves of RatesInto's
+// guards, kept out of line so the annotated hot body contains no fmt
+// machinery.
+func rateBufLenError(n, channels int) error {
+	return fmt.Errorf("trace: rate buffer length %d != channels %d", n, channels)
+}
+
+func errNoSamples() error { return fmt.Errorf("trace: no samples") }

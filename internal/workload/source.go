@@ -56,9 +56,11 @@ type BatchSource interface {
 // RatesInto fills dst with every channel's instantaneous rate at t, using
 // the source's batched path when it has one and falling back to
 // per-channel Rate calls otherwise. len(dst) must equal src.NumChannels().
+//
+//cloudmedia:hotpath
 func RatesInto(src Source, t float64, dst []float64) error {
 	if len(dst) != src.NumChannels() {
-		return fmt.Errorf("workload: rate buffer length %d != channels %d", len(dst), src.NumChannels())
+		return rateBufLenError(len(dst), src.NumChannels())
 	}
 	if bs, ok := src.(BatchSource); ok {
 		return bs.RatesInto(t, dst)
@@ -106,13 +108,15 @@ func (s *paramsSource) MeanRate(channel int, start, end float64) (float64, error
 // it is evaluated once here instead of once per channel. Each entry is
 // computed as BaseArrivalRate × w[c] × multiplier in exactly ChannelRate's
 // operand order, so the batched values are bit-identical to Rate's.
+//
+//cloudmedia:hotpath
 func (s *paramsSource) RatesInto(t float64, dst []float64) error {
 	w, err := s.p.ChannelWeights()
 	if err != nil {
 		return err
 	}
 	if len(dst) != len(w) {
-		return fmt.Errorf("workload: rate buffer length %d != channels %d", len(dst), len(w))
+		return rateBufLenError(len(dst), len(w))
 	}
 	m := s.p.RateMultiplier(t)
 	for c := range dst {
@@ -145,6 +149,7 @@ func NextArrivalFrom(rng *rand.Rand, src Source, c int, now, horizon float64) (f
 // logic lives in exactly one place.
 func NextArrivalThinned(rng *rand.Rand, src Source, c int, envelope, now, horizon float64) float64 {
 	return mathx.NextNHPPArrival(rng, now, horizon, envelope, func(at float64) float64 {
+		//cloudmedia:allow noloss -- thinning callback: on a rate error the zero fallback rejects the candidate arrival
 		r, _ := src.Rate(c, at)
 		return r
 	})
@@ -190,6 +195,9 @@ func (s *scaledSource) MeanRate(channel int, start, end float64) (float64, error
 // RatesInto implements BatchSource by delegating to the wrapped source's
 // batch path (or RatesInto's per-channel fallback) and scaling in place,
 // preserving Rate's r*factor operand order.
+// RatesInto scales the wrapped source's batched rates in place.
+//
+//cloudmedia:hotpath
 func (s *scaledSource) RatesInto(t float64, dst []float64) error {
 	if err := RatesInto(s.src, t, dst); err != nil {
 		return err
@@ -234,4 +242,10 @@ func Weights(src Source, t float64) ([]float64, error) {
 		w[c] /= total
 	}
 	return w, nil
+}
+
+// rateBufLenError is the cold half of the RatesInto length guards, kept
+// out of line so the annotated hot bodies contain no fmt machinery.
+func rateBufLenError(n, channels int) error {
+	return fmt.Errorf("workload: rate buffer length %d != channels %d", n, channels)
 }

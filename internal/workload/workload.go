@@ -207,6 +207,7 @@ func (p *Params) NextArrival(rng *rand.Rand, c int, now, horizon float64) (float
 		return 0, err
 	}
 	t := mathx.NextNHPPArrival(rng, now, horizon, envelope, func(at float64) float64 {
+		//cloudmedia:allow noloss -- thinning callback: on a rate error the zero fallback rejects the candidate arrival
 		r, _ := p.ChannelRate(c, at)
 		return r
 	})
