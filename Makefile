@@ -1,6 +1,6 @@
 # Developer entry points; CI runs the same targets.
 
-.PHONY: test race bench lint verify
+.PHONY: test race bench lint verify profile
 
 test:
 	go build ./... && go test ./...
@@ -8,12 +8,20 @@ test:
 race:
 	go test -race ./...
 
-# Key benchmarks → BENCH_PR6.json (the cross-PR perf trajectory;
-# BENCH_PR4.json is the committed previous baseline), then the gate:
-# fail on >20% ns/op regression against the baseline.
+# Key benchmarks → BENCH_PR8.json (the cross-PR perf trajectory;
+# BENCH_PR6.json is the committed previous baseline), then the gate:
+# fail on >20% ns/op regression against the baseline. Benchmarks new in
+# this snapshot (no baseline entry) are reported one-sided, never failed.
 bench:
-	./scripts/bench.sh BENCH_PR6.json
-	go run ./scripts/benchgate BENCH_PR4.json BENCH_PR6.json
+	./scripts/bench.sh BENCH_PR8.json
+	go run ./scripts/benchgate BENCH_PR6.json BENCH_PR8.json
+
+# Profile the 10M-viewer fluid day under pprof: cpu.pprof and mem.pprof
+# land in the repo root; inspect with `go tool pprof cpu.pprof`.
+profile:
+	go test -run '^$$' -bench 'BenchmarkFluid10MViewers/pool' -benchtime 1x \
+	    -cpuprofile cpu.pprof -memprofile mem.pprof .
+	@echo "wrote cpu.pprof and mem.pprof; open with: go tool pprof cpu.pprof"
 
 # The project's own analyzers (determinism, boundary, noloss, hotpath)
 # over the whole module. Suppress a finding only with a justified

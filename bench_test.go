@@ -449,6 +449,51 @@ func BenchmarkFluidMillionViewers(b *testing.B) {
 	b.ReportMetric(quality, "quality")
 }
 
+// BenchmarkFluid10MViewers is the ROADMAP's next scale bar: a full
+// 24-hour day with ~10,000,000 peak concurrent viewers on the fluid
+// engine, dynamic provisioning included — serial and with the
+// channel-sharded worker pool (results are bit-identical; only wall time
+// moves). The serial/pool pair measures the tentpole speedup on the host;
+// the pool run is the one the <5 s acceptance target applies to.
+func BenchmarkFluid10MViewers(b *testing.B) {
+	base := simulate.Default(simulate.CloudAssisted, 1)
+	base = base.With(
+		WithFidelity(simulate.FidelityFluid),
+		WithViewerScale(3_400_000), // ≈10M at the diurnal+flash-crowd peak
+		WithChannels(40),
+		WithHours(24),
+		WithBudgets(520_000, 300),
+		WithVMClusters(
+			plan.VMCluster{Name: "mega-a", MaxVMs: 420_000, PricePerHour: 0.64, Utility: 1.0},
+			plan.VMCluster{Name: "mega-b", MaxVMs: 420_000, PricePerHour: 0.60, Utility: 0.9},
+		),
+	)
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS-bounded pool
+		name := "serial"
+		if workers == 0 {
+			name = "pool"
+		}
+		sc := base.With(WithWorkers(workers))
+		b.Run(name, func(b *testing.B) {
+			var peak, quality float64
+			for i := 0; i < b.N; i++ {
+				peak, quality = 0, 0
+				rep, err := sc.Run(context.Background(), simulate.OnSnapshot(func(snap simulate.Snapshot) {
+					if float64(snap.Users) > peak {
+						peak = float64(snap.Users)
+					}
+				}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				quality = rep.MeanQuality
+			}
+			b.ReportMetric(peak, "peak-viewers")
+			b.ReportMetric(quality, "quality")
+		})
+	}
+}
+
 // BenchmarkEventParallelChannels measures the event engine's worker-pool
 // sharding: the same 12-channel scenario stepped serially and with the
 // pool (results are identical; only wall time moves).

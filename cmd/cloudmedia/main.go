@@ -85,6 +85,9 @@ func run(args []string) error {
 		traceIn  = fs.String("trace", "", "demand trace file (.csv or .json) replacing the parametric workload; see 'cloudmedia trace'")
 		hours    = fs.Float64("hours", 24, "simulated duration per run, hours")
 		seed     = fs.Int64("seed", 42, "random seed")
+		workers  = fs.Int("workers", 0, "engine worker pool size for parallel channel stepping; 0 = GOMAXPROCS (results are identical for any value)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		asJSON   = fs.Bool("json", false, "emit JSON instead of aligned text")
 	)
@@ -116,11 +119,17 @@ func run(args []string) error {
 		return err
 	}
 
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = paper.IDs()
 	}
-	opts := paper.Options{Mode: m, Fidelity: f, Policy: pol, Pricing: pri, Scale: *scale, Hours: *hours, Seed: *seed}
+	opts := paper.Options{Mode: m, Fidelity: f, Policy: pol, Pricing: pri, Scale: *scale, Hours: *hours, Seed: *seed, Workers: *workers}
 	if *traceIn != "" {
 		tr, err := trace.ReadFile(*traceIn)
 		if err != nil {

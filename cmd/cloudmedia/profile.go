@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// startProfiles starts CPU profiling and/or arranges a heap snapshot,
+// returning a stop function the caller must defer. Empty paths disable the
+// corresponding profile; the stop function is always safe to call.
+//
+// The flags exist so the multi-second scale runs (fluid million-viewer
+// days, paper-scale sweeps) can be profiled straight from the CLI:
+//
+//	cloudmedia -exp timeline -fidelity fluid -cpuprofile cpu.out
+//	go tool pprof cpu.out
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cloudmedia: cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cloudmedia: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cloudmedia: memprofile:", err)
+			}
+		}
+	}, nil
+}

@@ -54,6 +54,7 @@ type Settings struct {
 	Sample      *float64
 	UplinkRatio *float64
 	Channels    *int
+	Workers     *int
 	Predictor   core.Predictor
 	Policy      provision.Policy
 	Pricing     *cloud.PricingPlan
@@ -119,6 +120,7 @@ func (s *Settings) Clone() *Settings {
 	out.Sample = clonePtr(s.Sample)
 	out.UplinkRatio = clonePtr(s.UplinkRatio)
 	out.Channels = clonePtr(s.Channels)
+	out.Workers = clonePtr(s.Workers)
 	out.Pricing = clonePtr(s.Pricing)
 	out.TimeScale = clonePtr(s.TimeScale)
 	out.MetricsAddr = clonePtr(s.MetricsAddr)

@@ -56,6 +56,10 @@ type Scenario struct {
 	// Scheduling overrides the P2P uplink allocation policy; zero uses
 	// rarest-first, the paper's scheme.
 	Scheduling sim.PeerScheduling
+	// Workers bounds the worker pool both engines use to step channels in
+	// parallel between control barriers; 0 means GOMAXPROCS. Results are
+	// bit-identical for every value.
+	Workers int
 	// VMClusters and NFSClusters override the rental catalogs; nil uses the
 	// paper's Table II/III defaults. Regional price lists are the
 	// interesting knob (see examples/multiregion).
@@ -207,6 +211,7 @@ func Build(sc Scenario) (*System, error) {
 		Pacer:      sc.Pacer,
 		Transfer:   transfer,
 		Scheduling: sc.Scheduling,
+		Workers:    sc.Workers,
 		Seed:       sc.Seed,
 	}
 	var s sim.Backend

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"cloudmedia/internal/modes"
+	"cloudmedia/internal/sim"
+)
+
+// TestWorkersInvariantAcrossStack runs the paper's default cloud-assisted
+// scenario through the full stack (controller, broker, ledger) at several
+// worker counts and requires the complete measurement record — every
+// snapshot, hourly, interval record, and the bill — to match exactly.
+// This pins the Workers plumbing end to end on both engines: the knob
+// changes throughput, never results.
+func TestWorkersInvariantAcrossStack(t *testing.T) {
+	for _, fid := range []modes.Fidelity{modes.FidelityFluid, modes.FidelityEvent} {
+		run := func(workers int) *Timeline {
+			sc := DefaultScenario(sim.P2P, 1)
+			sc.Fidelity = fid
+			sc.Hours = 4
+			sc.Workers = workers
+			tl, err := RunTimeline(sc)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", fid, workers, err)
+			}
+			// The scenario embeds the differing Workers value itself; blank
+			// it so DeepEqual compares only what the run produced.
+			tl.Scenario = Scenario{}
+			return tl
+		}
+		serial := run(1)
+		if serial.MeanQuality <= 0 || len(serial.Snapshots) == 0 {
+			t.Fatalf("%v: serial run produced no measurements", fid)
+		}
+		for _, workers := range []int{4, 8} {
+			if got := run(workers); !reflect.DeepEqual(serial, got) {
+				t.Errorf("%v: Workers=%d timeline diverged from serial", fid, workers)
+			}
+		}
+	}
+}

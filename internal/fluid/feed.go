@@ -10,23 +10,23 @@ import (
 // event engine counts whole arrivals and transitions, the fluid engine
 // accumulates expected flows directly, so the controller sees exact
 // per-interval rates with no rounding noise.
+//
+// The transition accumulator is a flat row-major array: one allocation at
+// construction, unit-stride accumulation and resets. Cell (i,j) lives at
+// transitions[i*chunks+j], matching the engine's channel*J+j state layout.
 type feed struct {
 	chunks      int
 	arrivals    float64
-	transitions [][]float64 // transitions[i][j]: flow that finished chunk i then fetched j
-	departures  []float64   // departures[i]: flow that finished chunk i then left
+	transitions []float64 // transitions[i*chunks+j]: flow that finished chunk i then fetched j
+	departures  []float64 // departures[i]: flow that finished chunk i then left
 }
 
 func newFeed(chunks int) *feed {
-	f := &feed{
+	return &feed{
 		chunks:      chunks,
-		transitions: make([][]float64, chunks),
+		transitions: make([]float64, chunks*chunks),
 		departures:  make([]float64, chunks),
 	}
-	for i := range f.transitions {
-		f.transitions[i] = make([]float64, chunks)
-	}
-	return f
 }
 
 // ArrivalRate returns the accumulated arrival flow divided by the
@@ -52,8 +52,9 @@ func (f *feed) Matrix(fallback queueing.TransferMatrix) (queueing.TransferMatrix
 	}
 	p := queueing.NewTransferMatrix(f.chunks)
 	for i := 0; i < f.chunks; i++ {
+		row := f.transitions[i*f.chunks : (i+1)*f.chunks]
 		total := f.departures[i]
-		for _, v := range f.transitions[i] {
+		for _, v := range row {
 			total += v
 		}
 		if total <= 1e-12 {
@@ -62,7 +63,7 @@ func (f *feed) Matrix(fallback queueing.TransferMatrix) (queueing.TransferMatrix
 			}
 			continue
 		}
-		for j, v := range f.transitions[i] {
+		for j, v := range row {
 			p[i][j] = v / total
 		}
 	}
@@ -73,9 +74,9 @@ func (f *feed) Matrix(fallback queueing.TransferMatrix) (queueing.TransferMatrix
 func (f *feed) Reset() {
 	f.arrivals = 0
 	for i := range f.transitions {
-		for j := range f.transitions[i] {
-			f.transitions[i][j] = 0
-		}
+		f.transitions[i] = 0
+	}
+	for i := range f.departures {
 		f.departures[i] = 0
 	}
 }

@@ -3,6 +3,9 @@ package fluid
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
@@ -22,41 +25,24 @@ type Config struct {
 	StepSeconds float64
 }
 
-// channel is one video channel's aggregate state: O(chunks) floats
-// regardless of how many viewers the flows represent.
-type channel struct {
-	index int
-
-	playing []float64 // viewers currently playing chunk j
-	waiting []float64 // viewers waiting on chunk j's download
-	owners  []float64 // chunk-j copies cached across current viewers
-
-	cloudCap []float64 // Δ per chunk, bytes/s
-	peerCap  []float64 // Γ per chunk, bytes/s (recomputed every step)
-
-	cloudBytesServed float64
-	smooth           float64 // windowed smooth-playback fraction
-	feed             *feed
-
-	// scratch buffers reused across steps.
-	inWait []float64
-	inPlay []float64
-	order  []int
-	demand []float64
-}
-
-func (c *channel) users() float64 {
-	var n float64
-	for j := range c.playing {
-		n += c.playing[j] + c.waiting[j]
-	}
-	return n
-}
+// batchSteps caps how many Euler steps one worker fan-out integrates
+// before the pool re-synchronizes. The cap bounds the per-step rates
+// scratch (batchSteps × channels floats) while still amortizing the pool
+// handoff over hundreds of steps: with the default 1 s step a 24 h day
+// pays ~340 handoffs instead of 86 400.
+const batchSteps = 256
 
 // Backend integrates the fluid-cohort model. It implements sim.Backend,
 // so the provisioning controller and the public run loop drive it exactly
 // like the discrete-event engine. The model is fully deterministic: the
-// scenario seed is ignored (there is no sampling to derive from it).
+// scenario seed is ignored (there is no sampling to derive from it), and
+// results are bit-identical for every worker count (see integrateTo).
+//
+// The per-channel state lives in struct-of-arrays layout: one contiguous
+// backing array per field, indexed channel*J + j. Each Euler step walks
+// the arrays with unit stride, so the hot loops stay in cache regardless
+// of the channel count — the state for a 64-channel day is a handful of
+// small flat arrays, not a pointer chase across per-channel objects.
 type Backend struct {
 	cfg  sim.Config
 	src  workload.Source // resolved demand source (trace or parametric)
@@ -66,13 +52,53 @@ type Backend struct {
 	now    float64
 
 	meanUplink float64
-	channels   []*channel
 
-	// rates is the per-step arrival-rate scratch: filled once per Euler
-	// step via workload.RatesInto (one batched source query instead of one
-	// Rate call per channel), then read by every stepChannel. Reused across
-	// steps so steady integration stays allocation-free.
+	// C channels × J chunks; every per-chunk array below has C*J entries
+	// indexed channel*J + j.
+	C, J int
+
+	playing  []float64 // viewers currently playing chunk j
+	waiting  []float64 // viewers waiting on chunk j's download
+	owners   []float64 // chunk-j copies cached across current viewers
+	cloudCap []float64 // Δ per chunk, bytes/s
+	peerCap  []float64 // Γ per chunk, bytes/s (recomputed every step)
+
+	// Scratch arrays reused across steps, same channel*J + j indexing.
+	inWait []float64
+	inPlay []float64
+	demand []float64
+	order  []int
+
+	// Per-channel scalars (length C).
+	cloudBytesServed []float64
+	smooth           []float64 // windowed smooth-playback fraction
+	capTotal         []float64 // cached Σ_j cloudCap, see channelCloudCap
+	capDirty         []bool
+	totalCap         float64 // cached Σ over all chunks, see TotalCloudCapacity
+	totalCapDirty    bool
+	feeds            []*feed
+
+	// Transfer-matrix constants, precomputed once at New: the constant
+	// row sums and a nonzero-entry index so the playback-completion loop
+	// walks only live entries instead of scanning all J² cells. Row j's
+	// nonzero destinations are nzK[nzOff[j]:nzOff[j+1]] with probabilities
+	// nzP at the same positions.
+	rowSum []float64
+	nzOff  []int
+	nzK    []int
+	nzP    []float64
+
+	// workers bounds the pool that integrates channels in parallel within
+	// each batched fan-out (see Config.Workers on the shared sim.Config).
+	workers int
+
+	// Batched-step scratch: integrateTo pre-resolves up to batchSteps
+	// Euler steps serially — per-step start times, step sizes, and the
+	// full arrival-rate matrix rates[s*C+c] — then fans the channels out
+	// over the worker pool, each integrating through the whole batch.
 	rates []float64
+	times []float64
+	dts   []float64
 }
 
 var _ sim.Backend = (*Backend)(nil)
@@ -114,39 +140,70 @@ func New(cfg Config) (*Backend, error) {
 	if lim := sc.Workload.JumpMeanSeconds / 4; step > lim {
 		step = lim
 	}
+	C := sc.Workload.Channels
+	J := sc.Channel.Chunks
+	workers := sc.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > C {
+		workers = C
+	}
 	b := &Backend{
 		cfg:        sc,
 		src:        src,
 		step:       step,
 		engine:     sim.NewEngine(),
 		meanUplink: sc.Workload.PeerUplink.Mean(),
+		C:          C,
+		J:          J,
+		workers:    workers,
 	}
 	// Prime any lazy source caches (Zipf weights) while construction is
 	// still serial.
-	for c := 0; c < sc.Workload.Channels; c++ {
+	for c := 0; c < C; c++ {
 		if _, err := src.MaxRate(c); err != nil {
 			return nil, err
 		}
 	}
-	b.rates = make([]float64, sc.Workload.Channels)
-	b.channels = make([]*channel, sc.Workload.Channels)
-	for i := range b.channels {
-		J := sc.Channel.Chunks
-		b.channels[i] = &channel{
-			index:    i,
-			playing:  make([]float64, J),
-			waiting:  make([]float64, J),
-			owners:   make([]float64, J),
-			cloudCap: make([]float64, J),
-			peerCap:  make([]float64, J),
-			smooth:   1,
-			feed:     newFeed(J),
-			inWait:   make([]float64, J),
-			inPlay:   make([]float64, J),
-			order:    make([]int, J),
-			demand:   make([]float64, J),
+	b.playing = make([]float64, C*J)
+	b.waiting = make([]float64, C*J)
+	b.owners = make([]float64, C*J)
+	b.cloudCap = make([]float64, C*J)
+	b.peerCap = make([]float64, C*J)
+	b.inWait = make([]float64, C*J)
+	b.inPlay = make([]float64, C*J)
+	b.demand = make([]float64, C*J)
+	b.order = make([]int, C*J)
+	b.cloudBytesServed = make([]float64, C)
+	b.smooth = make([]float64, C)
+	b.capTotal = make([]float64, C)
+	b.capDirty = make([]bool, C)
+	b.feeds = make([]*feed, C)
+	for c := 0; c < C; c++ {
+		b.smooth[c] = 1
+		b.feeds[c] = newFeed(J)
+	}
+	// Precompute the transfer matrix's constant row sums and the nonzero
+	// index. The row sum accumulates live entries in ascending destination
+	// order, matching the order the old per-step scan added them in, so
+	// the departure flow comp·(1−rowSum) is unchanged.
+	b.rowSum = make([]float64, J)
+	b.nzOff = make([]int, J+1)
+	for j := 0; j < J; j++ {
+		b.nzOff[j] = len(b.nzK)
+		for k := 0; k < J; k++ {
+			if p := sc.Transfer[j][k]; p > 0 {
+				b.rowSum[j] += p
+				b.nzK = append(b.nzK, k)
+				b.nzP = append(b.nzP, p)
+			}
 		}
 	}
+	b.nzOff[J] = len(b.nzK)
+	b.rates = make([]float64, batchSteps*C)
+	b.times = make([]float64, batchSteps)
+	b.dts = make([]float64, batchSteps)
 	return b, nil
 }
 
@@ -173,50 +230,137 @@ func (b *Backend) RunUntil(t float64) {
 	}
 }
 
-// integrateTo advances the ODE state to time t with fixed Euler steps.
+// integrateTo advances the ODE state to time t with fixed Euler steps,
+// batched between control barriers: up to batchSteps steps are resolved
+// serially (start time, step size, and the per-channel arrival rates via
+// one batched source query per step), then every channel integrates
+// through the whole batch on the worker pool. Channels are independent
+// within a span — arrival rates are pre-batched into b.rates and all
+// mutation is per-channel state — so each channel's arithmetic is the
+// exact serial sequence regardless of the worker count, and reductions
+// over channels stay index-ordered. Results are therefore bit-identical
+// for any Workers value.
 //
 //cloudmedia:hotpath
 func (b *Backend) integrateTo(t float64) {
 	for b.now < t {
-		dt := b.step
-		if b.now+dt > t {
-			dt = t - b.now
-		}
-		// One batched rate query per step: every channel reads the same
-		// instant, so the source resolves shared work (the diurnal
-		// multiplier, the trace's interpolation segment) once.
-		if err := workload.RatesInto(b.src, b.now, b.rates); err != nil {
-			for i := range b.rates {
-				b.rates[i] = 0 // unreachable: channel count matches the source
+		now := b.now
+		n := 0
+		for now < t && n < batchSteps {
+			dt := b.step
+			if now+dt > t {
+				dt = t - now
 			}
+			b.times[n] = now
+			b.dts[n] = dt
+			// One batched rate query per step: every channel reads the
+			// same instant, so the source resolves shared work (the
+			// diurnal multiplier, the trace's interpolation segment) once.
+			if err := workload.RatesInto(b.src, now, b.rates[n*b.C:(n+1)*b.C]); err != nil {
+				b.zeroRates(n)
+			}
+			now += dt
+			n++
 		}
-		for _, c := range b.channels {
-			b.stepChannel(c, b.now, dt)
-		}
-		b.now += dt
+		b.runBatch(n)
+		b.now = now
 	}
 	b.now = t
 }
 
-// stepChannel advances one channel by dt seconds starting at time t.
+// zeroRates clears one step's rate row. Unreachable in practice — the
+// channel count always matches the source — but hoisted out of the hot
+// loop so the annotated body stays allocation-free.
+func (b *Backend) zeroRates(step int) {
+	row := b.rates[step*b.C : (step+1)*b.C]
+	for i := range row {
+		row[i] = 0
+	}
+}
+
+// runBatch integrates every channel through the first n pre-resolved
+// steps, fanning the channels out over the worker pool. Workers share
+// only read-only state (the rates/times/dts scratch, the transfer
+// constants); every mutable array is partitioned by channel, so the
+// shards never touch the same cache line's worth of state twice.
+func (b *Backend) runBatch(n int) {
+	if b.workers <= 1 || b.C == 1 {
+		for c := 0; c < b.C; c++ {
+			b.integrateChannel(c, n)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < b.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= b.C {
+					return
+				}
+				b.integrateChannel(c, n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// integrateChannel advances one channel through the batch's n steps —
+// the per-worker inner loop. It allocates nothing: all state and scratch
+// was sized at New.
 //
 //cloudmedia:hotpath
-func (b *Backend) stepChannel(c *channel, t, dt float64) {
+func (b *Backend) integrateChannel(c, n int) {
+	for s := 0; s < n; s++ {
+		b.stepChannel(c, b.times[s], b.dts[s], b.rates[s*b.C+c])
+	}
+}
+
+// channelUsers returns the viewer stock of one channel.
+func (b *Backend) channelUsers(c int) float64 {
+	var n float64
+	base := c * b.J
+	for j := 0; j < b.J; j++ {
+		n += b.playing[base+j] + b.waiting[base+j]
+	}
+	return n
+}
+
+// stepChannel advances one channel by dt seconds starting at time t, with
+// external arrival rate lambda (pre-batched by integrateTo). All state it
+// touches is the channel's own slice [c*J, (c+1)*J) of the backing
+// arrays, plus the channel's feed and scalars — nothing shared with other
+// channels, which is what lets runBatch shard channels across workers.
+//
+//cloudmedia:hotpath
+func (b *Backend) stepChannel(c int, t, dt, lambda float64) {
 	cfg := b.cfg.Channel
-	J := cfg.Chunks
+	J := b.J
+	base := c * J
 	T0 := cfg.ChunkSeconds
 	B := cfg.ChunkBytes()
 	R := cfg.VMBandwidth
-	P := b.cfg.Transfer
 
-	n := c.users()
+	playing := b.playing[base : base+J]
+	waiting := b.waiting[base : base+J]
+	owners := b.owners[base : base+J]
+	cloudCap := b.cloudCap[base : base+J]
+	peerCap := b.peerCap[base : base+J]
+	inWait := b.inWait[base : base+J]
+	inPlay := b.inPlay[base : base+J]
+	feed := b.feeds[c]
+
+	n := b.channelUsers(c)
 
 	// Average fraction of the library a viewer holds: the probability a
 	// VCR jump lands on a cached chunk and replays without a download.
 	ownedFrac := 0.0
 	if n > 0 {
 		var copies float64
-		for _, o := range c.owners {
+		for _, o := range owners {
 			copies += o
 		}
 		ownedFrac = copies / (n * float64(J))
@@ -226,55 +370,52 @@ func (b *Backend) stepChannel(c *channel, t, dt float64) {
 	}
 
 	for j := 0; j < J; j++ {
-		c.inWait[j] = 0
-		c.inPlay[j] = 0
+		inWait[j] = 0
+		inPlay[j] = 0
 	}
 
 	// 1. External arrivals: chunk 1 with probability α, uniform otherwise.
-	// The rate was batched into b.rates for this step by integrateTo.
-	lambda := b.rates[c.index]
 	arrivals := lambda * dt
-	c.feed.arrivals += arrivals
+	feed.arrivals += arrivals
 	if b.cfg.OnArrivals != nil && arrivals > 0 {
-		b.cfg.OnArrivals(c.index, t, arrivals)
+		b.cfg.OnArrivals(c, t, arrivals)
 	}
 	if J == 1 {
-		c.inWait[0] += arrivals
+		inWait[0] += arrivals
 	} else {
-		c.inWait[0] += arrivals * cfg.EntryFirstChunk
+		inWait[0] += arrivals * cfg.EntryFirstChunk
 		rest := arrivals * (1 - cfg.EntryFirstChunk) / float64(J-1)
 		for j := 1; j < J; j++ {
-			c.inWait[j] += rest
+			inWait[j] += rest
 		}
 	}
 
 	// 2. Playback completions flow along the transfer matrix; the
 	// remainder of each row departs. Sequential successors are assumed
 	// uncached (they have not been visited), so they enter the download
-	// queue.
+	// queue. The loop walks only the matrix's live entries through the
+	// precomputed nonzero index; the constant row sum replaces the
+	// per-step accumulation.
 	var departures float64
 	for j := 0; j < J; j++ {
-		comp := c.playing[j] * dt / T0
+		comp := playing[j] * dt / T0
 		if comp <= 0 {
 			continue
 		}
-		var rowSum float64
-		for k := 0; k < J; k++ {
-			flow := comp * P[j][k]
-			if flow <= 0 {
-				continue
-			}
-			rowSum += P[j][k]
-			c.feed.transitions[j][k] += flow
-			c.inWait[k] += flow
+		row := j * J
+		for i := b.nzOff[j]; i < b.nzOff[j+1]; i++ {
+			k := b.nzK[i]
+			flow := comp * b.nzP[i]
+			feed.transitions[row+k] += flow
+			inWait[k] += flow
 		}
-		leave := comp * (1 - rowSum)
+		leave := comp * (1 - b.rowSum[j])
 		if leave < 0 {
 			leave = 0
 		}
-		c.feed.departures[j] += leave
+		feed.departures[j] += leave
 		departures += leave
-		c.playing[j] -= comp
+		playing[j] -= comp
 	}
 
 	// 3. VCR jumps: uniform destination; a cached destination replays
@@ -282,23 +423,24 @@ func (b *Backend) stepChannel(c *channel, t, dt float64) {
 	jumpRate := dt / b.cfg.Workload.JumpMeanSeconds
 	var jumpTotal float64
 	for j := 0; j < J; j++ {
-		jump := c.playing[j] * jumpRate
+		jump := playing[j] * jumpRate
 		if jump <= 0 {
 			continue
 		}
 		jumpTotal += jump
-		c.playing[j] -= jump
+		playing[j] -= jump
 		per := jump / float64(J)
+		row := feed.transitions[j*J : (j+1)*J]
 		for k := 0; k < J; k++ {
-			c.feed.transitions[j][k] += per
+			row[k] += per
 		}
 	}
 	if jumpTotal > 0 {
 		perHit := jumpTotal * ownedFrac / float64(J)
 		perMiss := jumpTotal * (1 - ownedFrac) / float64(J)
 		for k := 0; k < J; k++ {
-			c.inPlay[k] += perHit
-			c.inWait[k] += perMiss
+			inPlay[k] += perHit
+			inWait[k] += perMiss
 		}
 	}
 
@@ -310,7 +452,7 @@ func (b *Backend) stepChannel(c *channel, t, dt float64) {
 			f = 1
 		}
 		for j := 0; j < J; j++ {
-			c.owners[j] -= c.owners[j] * f
+			owners[j] -= owners[j] * f
 		}
 	}
 
@@ -326,13 +468,13 @@ func (b *Backend) stepChannel(c *channel, t, dt float64) {
 	// viewers into the playing cohort and add cached copies.
 	var demandBps, servedBps float64
 	for j := 0; j < J; j++ {
-		queue := c.waiting[j] + c.inWait[j]
+		queue := waiting[j] + inWait[j]
 		if queue <= 0 {
-			c.waiting[j] = 0
-			c.playing[j] += c.inPlay[j]
+			waiting[j] = 0
+			playing[j] += inPlay[j]
 			continue
 		}
-		cap := c.cloudCap[j] + c.peerCap[j]
+		cap := cloudCap[j] + peerCap[j]
 		rate := queue * R
 		if rate > cap {
 			rate = cap
@@ -342,17 +484,17 @@ func (b *Backend) stepChannel(c *channel, t, dt float64) {
 			drained = queue
 		}
 		bytes := drained * B
-		peerShare := math.Min(bytes, c.peerCap[j]*dt)
-		c.cloudBytesServed += bytes - peerShare
+		peerShare := math.Min(bytes, peerCap[j]*dt)
+		b.cloudBytesServed[c] += bytes - peerShare
 
-		c.waiting[j] = queue - drained
-		c.playing[j] += drained + c.inPlay[j]
-		c.owners[j] += drained
+		waiting[j] = queue - drained
+		playing[j] += drained + inPlay[j]
+		owners[j] += drained
 
 		// Smoothness pressure: the bandwidth needed to serve this step's
 		// requests plus the backlog within the chunk-playback grace
 		// period, against what the capacity actually delivered.
-		need := (c.inWait[j]/dt + c.waiting[j]/T0) * B
+		need := (inWait[j]/dt + waiting[j]/T0) * B
 		got := need
 		if cap < got {
 			got = cap
@@ -369,13 +511,13 @@ func (b *Backend) stepChannel(c *channel, t, dt float64) {
 	}
 	w := b.cfg.QualityWindowSeconds
 	if w <= 0 {
-		c.smooth = instant
+		b.smooth[c] = instant
 	} else {
 		a := dt / w
 		if a > 1 {
 			a = 1
 		}
-		c.smooth += a * (instant - c.smooth)
+		b.smooth[c] += a * (instant - b.smooth[c])
 	}
 }
 
@@ -383,63 +525,72 @@ func (b *Backend) stepChannel(c *channel, t, dt float64) {
 // mirroring the event engine's rebalance: rarest-first visits chunks by
 // ascending copy count; proportional splits by demand. Each chunk draws at
 // most owners×meanUplink (only cached copies can upload) and at most the
-// remaining budget.
+// remaining budget. The viewer stock is re-read here — mid-step, after
+// completions and jumps drained the playing cohorts — because the uplink
+// budget must reflect the viewers actually present while the queues drain.
 //
 //cloudmedia:hotpath
-func (b *Backend) allocatePeers(c *channel) {
-	J := len(c.peerCap)
-	n := c.users()
+func (b *Backend) allocatePeers(c int) {
+	J := b.J
+	base := c * J
+	peerCap := b.peerCap[base : base+J]
+	n := b.channelUsers(c)
 	if n <= 0 {
 		for j := 0; j < J; j++ {
-			c.peerCap[j] = 0
+			peerCap[j] = 0
 		}
 		return
 	}
+	waiting := b.waiting[base : base+J]
+	owners := b.owners[base : base+J]
+	inWait := b.inWait[base : base+J]
+	demand := b.demand[base : base+J]
+	order := b.order[base : base+J]
 	R := b.cfg.Channel.VMBandwidth
 	budget := n * b.meanUplink
 	for j := 0; j < J; j++ {
-		c.demand[j] = (c.waiting[j] + c.inWait[j]) * R
+		demand[j] = (waiting[j] + inWait[j]) * R
 	}
 
 	if b.cfg.Scheduling == sim.Proportional {
 		var total float64
 		for j := 0; j < J; j++ {
-			if c.owners[j] > 0 {
-				total += c.demand[j]
+			if owners[j] > 0 {
+				total += demand[j]
 			}
 		}
 		for j := 0; j < J; j++ {
 			take := 0.0
-			if c.owners[j] > 0 && total > 0 {
-				share := budget * c.demand[j] / total
-				take = math.Min(c.demand[j], math.Min(share, c.owners[j]*b.meanUplink))
+			if owners[j] > 0 && total > 0 {
+				share := budget * demand[j] / total
+				take = math.Min(demand[j], math.Min(share, owners[j]*b.meanUplink))
 			}
-			c.peerCap[j] = take
+			peerCap[j] = take
 		}
 		return
 	}
 
-	for j := range c.order {
-		c.order[j] = j
+	for j := range order {
+		order[j] = j
 	}
 	// Allocation-free stable insertion sort: this runs every integration
 	// step, so it must stay off the garbage collector (mirrors
 	// sim.sortByOwners).
 	for i := 1; i < J; i++ {
-		v := c.order[i]
+		v := order[i]
 		k := i - 1
-		for k >= 0 && c.owners[c.order[k]] > c.owners[v] {
-			c.order[k+1] = c.order[k]
+		for k >= 0 && owners[order[k]] > owners[v] {
+			order[k+1] = order[k]
 			k--
 		}
-		c.order[k+1] = v
+		order[k+1] = v
 	}
-	for _, j := range c.order {
+	for _, j := range order {
 		take := 0.0
-		if c.owners[j] > 0 && budget > 0 {
-			take = math.Min(c.demand[j], math.Min(budget, c.owners[j]*b.meanUplink))
+		if owners[j] > 0 && budget > 0 {
+			take = math.Min(demand[j], math.Min(budget, owners[j]*b.meanUplink))
 		}
-		c.peerCap[j] = take
+		peerCap[j] = take
 		budget -= take
 	}
 }
@@ -475,77 +626,102 @@ func (b *Backend) Mode() sim.Mode { return b.cfg.Mode }
 func (b *Backend) ChannelConfig() queueing.Config { return b.cfg.Channel }
 
 // Channels returns the number of channels.
-func (b *Backend) Channels() int { return len(b.channels) }
+func (b *Backend) Channels() int { return b.C }
 
 // SetCloudCapacity sets the cloud share Δ for one chunk, bytes/s.
 func (b *Backend) SetCloudCapacity(channel, chunk int, bytesPerSecond float64) error {
-	if channel < 0 || channel >= len(b.channels) {
-		return fmt.Errorf("fluid: channel %d outside [0,%d)", channel, len(b.channels))
+	if channel < 0 || channel >= b.C {
+		return fmt.Errorf("fluid: channel %d outside [0,%d)", channel, b.C)
 	}
-	if chunk < 0 || chunk >= b.cfg.Channel.Chunks {
-		return fmt.Errorf("fluid: chunk %d outside [0,%d)", chunk, b.cfg.Channel.Chunks)
+	if chunk < 0 || chunk >= b.J {
+		return fmt.Errorf("fluid: chunk %d outside [0,%d)", chunk, b.J)
 	}
 	if bytesPerSecond < 0 {
 		return fmt.Errorf("fluid: negative capacity %v", bytesPerSecond)
 	}
-	b.channels[channel].cloudCap[chunk] = bytesPerSecond
+	b.cloudCap[channel*b.J+chunk] = bytesPerSecond
+	b.capDirty[channel] = true
+	b.totalCapDirty = true
 	return nil
+}
+
+// channelCloudCap returns the channel's provisioned cloud total from the
+// per-channel cache, recomputing it only after SetCloudCapacity writes.
+// The controller writes all J chunks of a channel per interval and then
+// reads totals repeatedly; the cache turns those reads O(1) amortized
+// instead of re-summing O(J) per read. Recomputation walks the chunks in
+// index order, so the cached value is bit-identical to a fresh sum.
+func (b *Backend) channelCloudCap(c int) float64 {
+	if b.capDirty[c] {
+		var total float64
+		base := c * b.J
+		for j := 0; j < b.J; j++ {
+			total += b.cloudCap[base+j]
+		}
+		b.capTotal[c] = total
+		b.capDirty[c] = false
+	}
+	return b.capTotal[c]
 }
 
 // CloudCapacity returns the channel's provisioned cloud capacity, bytes/s.
 func (b *Backend) CloudCapacity(channel int) (float64, error) {
-	if channel < 0 || channel >= len(b.channels) {
-		return 0, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, len(b.channels))
+	if channel < 0 || channel >= b.C {
+		return 0, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, b.C)
 	}
-	var total float64
-	for _, v := range b.channels[channel].cloudCap {
-		total += v
-	}
-	return total, nil
+	return b.channelCloudCap(channel), nil
 }
 
 // TotalCloudCapacity returns the capacity provisioned across all channels.
+// The total is cached across reads and recomputed only after a
+// SetCloudCapacity write, as one index-ordered pass over the flat backing
+// array — the same single accumulator a fresh nested sum would use, so the
+// cached value is bit-identical to the uncached one.
 func (b *Backend) TotalCloudCapacity() float64 {
-	var total float64
-	for _, c := range b.channels {
-		for _, v := range c.cloudCap {
+	if b.totalCapDirty {
+		var total float64
+		for _, v := range b.cloudCap {
 			total += v
 		}
+		b.totalCap = total
+		b.totalCapDirty = false
 	}
-	return total
+	return b.totalCap
 }
 
-// CloudBytesServed returns the cumulative cloud-attributed bytes.
+// CloudBytesServed returns the cumulative cloud-attributed bytes. Byte
+// counters are per-channel (each channel's worker owns its own
+// accumulator), so the total is their sum in channel order.
 func (b *Backend) CloudBytesServed() float64 {
 	var total float64
-	for _, c := range b.channels {
-		total += c.cloudBytesServed
+	for c := 0; c < b.C; c++ {
+		total += b.cloudBytesServed[c]
 	}
 	return total
 }
 
 // ChannelCloudBytes splits CloudBytesServed by channel.
 func (b *Backend) ChannelCloudBytes(channel int) (float64, error) {
-	if channel < 0 || channel >= len(b.channels) {
-		return 0, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, len(b.channels))
+	if channel < 0 || channel >= b.C {
+		return 0, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, b.C)
 	}
-	return b.channels[channel].cloudBytesServed, nil
+	return b.cloudBytesServed[channel], nil
 }
 
 // Users returns the channel's viewer count, rounded to the nearest whole
 // viewer.
 func (b *Backend) Users(channel int) (int, error) {
-	if channel < 0 || channel >= len(b.channels) {
-		return 0, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, len(b.channels))
+	if channel < 0 || channel >= b.C {
+		return 0, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, b.C)
 	}
-	return int(b.channels[channel].users() + 0.5), nil
+	return int(b.channelUsers(channel) + 0.5), nil
 }
 
 // TotalUsers returns the viewer count across all channels.
 func (b *Backend) TotalUsers() int {
 	var n float64
-	for _, c := range b.channels {
-		n += c.users()
+	for c := 0; c < b.C; c++ {
+		n += b.channelUsers(c)
 	}
 	return int(n + 0.5)
 }
@@ -554,10 +730,10 @@ func (b *Backend) TotalUsers() int {
 // cohorts do not track per-viewer draws), or 0 for an empty channel,
 // matching the event engine's convention.
 func (b *Backend) MeanUplink(channel int) (float64, error) {
-	if channel < 0 || channel >= len(b.channels) {
-		return 0, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, len(b.channels))
+	if channel < 0 || channel >= b.C {
+		return 0, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, b.C)
 	}
-	if b.channels[channel].users() <= 0 {
+	if b.channelUsers(channel) <= 0 {
 		return 0, nil
 	}
 	return b.meanUplink, nil
@@ -565,10 +741,10 @@ func (b *Backend) MeanUplink(channel int) (float64, error) {
 
 // Estimator exposes the channel's flow-accumulator feed.
 func (b *Backend) Estimator(channel int) (sim.Feed, error) {
-	if channel < 0 || channel >= len(b.channels) {
-		return nil, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, len(b.channels))
+	if channel < 0 || channel >= b.C {
+		return nil, fmt.Errorf("fluid: channel %d outside [0,%d)", channel, b.C)
 	}
-	return b.channels[channel].feed, nil
+	return b.feeds[channel], nil
 }
 
 // SampleQuality reports the windowed smooth-playback fraction per channel
@@ -576,19 +752,19 @@ func (b *Backend) Estimator(channel int) (sim.Feed, error) {
 func (b *Backend) SampleQuality() sim.QualitySample {
 	sample := sim.QualitySample{
 		Time:            b.now,
-		PerChannel:      make([]float64, len(b.channels)),
-		UsersPerChannel: make([]int, len(b.channels)),
+		PerChannel:      make([]float64, b.C),
+		UsersPerChannel: make([]int, b.C),
 	}
 	var weighted, total float64
-	for i, c := range b.channels {
-		n := c.users()
-		sample.UsersPerChannel[i] = int(n + 0.5)
+	for c := 0; c < b.C; c++ {
+		n := b.channelUsers(c)
+		sample.UsersPerChannel[c] = int(n + 0.5)
 		if n <= 0 {
-			sample.PerChannel[i] = 1
+			sample.PerChannel[c] = 1
 		} else {
-			sample.PerChannel[i] = c.smooth
+			sample.PerChannel[c] = b.smooth[c]
 		}
-		weighted += sample.PerChannel[i] * n
+		weighted += sample.PerChannel[c] * n
 		total += n
 	}
 	if total <= 0 {

@@ -46,12 +46,12 @@ func TestPopulationBalance(t *testing.T) {
 	b.RunUntil(horizon)
 
 	var arrived, departed, stock float64
-	for _, c := range b.channels {
-		arrived += c.feed.arrivals
-		for _, d := range c.feed.departures {
+	for c := 0; c < b.C; c++ {
+		arrived += b.feeds[c].arrivals
+		for _, d := range b.feeds[c].departures {
 			departed += d
 		}
-		stock += c.users()
+		stock += b.channelUsers(c)
 	}
 	if arrived <= 0 {
 		t.Fatal("no arrival flow accumulated")
@@ -205,6 +205,64 @@ func TestFeedMatrixNormalized(t *testing.T) {
 	feed.Reset()
 	if r, _ := feed.ArrivalRate(1800); r != 0 {
 		t.Errorf("arrival rate %v after Reset, want 0", r)
+	}
+}
+
+// TestFluidCapacityCacheTracksWrites: the cached capacity totals must
+// track SetCloudCapacity writes exactly, and cache hits must not allocate
+// (the controller reads totals every sample).
+func TestFluidCapacityCacheTracksWrites(t *testing.T) {
+	b, err := New(smallConfig(t, sim.ClientServer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(context string) {
+		t.Helper()
+		var want float64
+		for c := 0; c < b.C; c++ {
+			got, err := b.CloudCapacity(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var fresh float64
+			for j := 0; j < b.J; j++ {
+				fresh += b.cloudCap[c*b.J+j]
+			}
+			if got != fresh {
+				t.Errorf("%s: channel %d cached capacity %v != fresh sum %v", context, c, got, fresh)
+			}
+			want += got
+		}
+		if got := b.TotalCloudCapacity(); got != want {
+			t.Errorf("%s: total capacity %v != sum of channels %v", context, got, want)
+		}
+	}
+	check("initial")
+	for c := 0; c < b.C; c++ {
+		for j := 0; j < b.J; j++ {
+			if err := b.SetCloudCapacity(c, j, float64(100*(c+1)+j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	check("after full provisioning")
+	if err := b.SetCloudCapacity(1, 3, 7.5); err != nil {
+		t.Fatal(err)
+	}
+	check("after single-chunk overwrite")
+	b.RunUntil(120)
+	check("after integration")
+
+	var sink float64
+	allocs := testing.AllocsPerRun(50, func() {
+		sink += b.TotalCloudCapacity()
+		for c := 0; c < b.C; c++ {
+			v, _ := b.CloudCapacity(c)
+			sink += v
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("capacity reads allocate %.0f objects, want 0 (sink %v)", allocs, sink)
 	}
 }
 

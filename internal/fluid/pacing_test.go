@@ -52,8 +52,8 @@ func TestFluidPacerDoesNotPerturbRun(t *testing.T) {
 		provisionGenerously(t, b)
 		b.RunUntil(3600)
 		var users float64
-		for _, c := range b.channels {
-			users += c.users()
+		for c := 0; c < b.C; c++ {
+			users += b.channelUsers(c)
 		}
 		return users, b.CloudBytesServed()
 	}
@@ -66,8 +66,14 @@ func TestFluidPacerDoesNotPerturbRun(t *testing.T) {
 
 // The Euler loop's batched rate reads must not allocate once the scratch
 // buffer exists: steady integration is the million-viewer hot path.
+// Workers is pinned to 1: the serial path must be alloc-free, while the
+// pool path pays its per-batch goroutine handoff (amortized over up to
+// batchSteps steps; see TestFluidBatchedInnerLoopAllocFree for the
+// multi-step batch case).
 func TestFluidSteadySteppingAllocFree(t *testing.T) {
-	b, err := New(smallConfig(t, sim.ClientServer))
+	cfg := smallConfig(t, sim.ClientServer)
+	cfg.Sim.Workers = 1
+	b, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -80,8 +80,9 @@ type Config struct {
 	// channel, the simulated time, and the arrival mass (always 1 for
 	// this engine; the fluid engine reports fractional step masses).
 	// Calls for one channel are serialized; different channels may call
-	// concurrently from the channel-stepping workers, so the observer
-	// must keep per-channel state only (trace.Recorder does).
+	// concurrently from the channel-stepping workers — on both engines —
+	// so the observer must keep per-channel state only (trace.Recorder
+	// does).
 	OnArrivals func(channel int, t, n float64)
 
 	// Pacer, when non-nil, is called once per control barrier with the
@@ -109,8 +110,10 @@ type Config struct {
 	// Workers bounds the worker pool that steps channels in parallel
 	// between control-event barriers (channels only interact through the
 	// controller at interval boundaries, so their event queues are
-	// independent in between). 0 uses min(GOMAXPROCS, channels); 1 runs
-	// serially. Results are identical for every worker count.
+	// independent in between). The fluid engine honours the same knob for
+	// its batched Euler fan-out. 0 uses min(GOMAXPROCS, channels); 1 runs
+	// serially. Results are identical for every worker count on both
+	// engines.
 	Workers int
 }
 
@@ -194,6 +197,12 @@ type channelState struct {
 	// rebalanceOrder is the scratch chunk permutation reused across
 	// rebalances so the 30-second rebalance tick stays allocation-free.
 	rebalanceOrder []int
+
+	// cloudCapTotal caches the sum of the pools' cloud shares;
+	// cloudCapDirty marks it stale after a SetCloudCapacity write. See
+	// cloudCapacity.
+	cloudCapTotal float64
+	cloudCapDirty bool
 }
 
 func (ch *channelState) addUser(u *user) {
@@ -566,6 +575,7 @@ func (s *Simulator) SetCloudCapacity(channel, chunk int, bytesPerSecond float64)
 		return fmt.Errorf("sim: negative capacity %v", bytesPerSecond)
 	}
 	s.channels[channel].pools[chunk].setCapacity(bytesPerSecond, -1)
+	s.channels[channel].cloudCapDirty = true
 	return nil
 }
 
@@ -578,14 +588,24 @@ func (s *Simulator) CloudCapacity(channel int) (float64, error) {
 	return s.channels[channel].cloudCapacity(), nil
 }
 
-// cloudCapacity sums the channel's per-pool cloud shares. Pool state needs
-// no settling for this: capacities change only through setCapacity.
+// cloudCapacity returns the sum of the channel's per-pool cloud shares.
+// Pool state needs no settling for this: cloud capacity changes only
+// through Simulator.SetCloudCapacity (the rebalancer touches only the peer
+// share), which marks the cached total stale. The controller writes every
+// chunk of a channel per provisioning round and then reads totals each
+// sample, so the cache makes reads O(1) amortized instead of O(chunks);
+// recomputation walks the pools in index order, bit-identical to a fresh
+// sum.
 func (ch *channelState) cloudCapacity() float64 {
-	var total float64
-	for _, p := range ch.pools {
-		total += p.cloudCap
+	if ch.cloudCapDirty {
+		var total float64
+		for _, p := range ch.pools {
+			total += p.cloudCap
+		}
+		ch.cloudCapTotal = total
+		ch.cloudCapDirty = false
 	}
-	return total
+	return ch.cloudCapTotal
 }
 
 // TotalCloudCapacity returns the cloud capacity provisioned across all

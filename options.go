@@ -175,6 +175,21 @@ func WithChannels(n int) Option {
 	return func(s *config.Settings) { s.Channels = &n }
 }
 
+// WithWorkers bounds the worker pool both engines use to step channels in
+// parallel between control barriers: n goroutines shard the channel set,
+// clamped to the channel count. 0 (the default) uses GOMAXPROCS. Results
+// are bit-identical for every worker count on both engines — parallelism
+// is a throughput knob, never a behaviour knob. Scenario only.
+func WithWorkers(n int) Option {
+	return func(s *config.Settings) {
+		if n < 0 {
+			s.Fail("cloudmedia: negative workers %d", n)
+			return
+		}
+		s.Workers = &n
+	}
+}
+
 // WithFidelity selects the simulation engine: FidelityEvent (the default)
 // runs the per-viewer discrete-event simulator, FidelityFluid the
 // aggregate cohort integrator whose cost is independent of the crowd

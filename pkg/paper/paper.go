@@ -66,6 +66,9 @@ type Options struct {
 	// Seed drives all randomness; runs are reproducible per seed. Zero
 	// means 42, the suite default, matching the CLI.
 	Seed int64
+	// Workers bounds the engines' channel-stepping worker pool; zero means
+	// GOMAXPROCS. Results are bit-identical for every value.
+	Workers int
 }
 
 // IDs returns every experiment identifier in the suite's presentation
@@ -116,6 +119,7 @@ func scenario(o Options) (experiments.Scenario, error) {
 	if o.Seed != 0 {
 		esc.Seed = o.Seed
 	}
+	esc.Workers = o.Workers
 	esc.StaticProvisioning = static
 	return esc, nil
 }

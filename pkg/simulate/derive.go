@@ -109,6 +109,9 @@ func (sc Scenario) With(opts ...Option) Scenario {
 	if s.Scheduling != 0 {
 		out.Scheduling = s.Scheduling
 	}
+	if s.Workers != nil {
+		out.Workers = *s.Workers
+	}
 	if s.Fidelity != 0 {
 		out.Fidelity = s.Fidelity
 	}

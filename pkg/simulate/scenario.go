@@ -67,6 +67,10 @@ type Scenario struct {
 	// Scheduling overrides the P2P uplink allocation policy; zero uses
 	// rarest-first, the paper's scheme.
 	Scheduling Scheduling
+	// Workers bounds the worker pool both engines use to step channels in
+	// parallel between control barriers; 0 means GOMAXPROCS. Results are
+	// bit-identical for every value — it is purely a throughput knob.
+	Workers int
 	// VMClusters and NFSClusters override the rental catalogs; nil uses
 	// the paper's Table II/III defaults.
 	VMClusters  []plan.VMCluster
@@ -173,6 +177,9 @@ func (sc Scenario) internal() (experiments.Scenario, error) {
 	if ts := sc.Serve.TimeScale; ts < 0 || math.IsNaN(ts) || math.IsInf(ts, 0) {
 		return experiments.Scenario{}, fmt.Errorf("%w: invalid time scale %v", ErrInvalidScenario, ts)
 	}
+	if sc.Workers < 0 {
+		return experiments.Scenario{}, fmt.Errorf("%w: negative workers %d", ErrInvalidScenario, sc.Workers)
+	}
 	out := experiments.Scenario{
 		Mode:               engineMode,
 		Fidelity:           sc.Fidelity,
@@ -190,6 +197,7 @@ func (sc Scenario) internal() (experiments.Scenario, error) {
 		Policy:             sc.Policy,
 		Pricing:            sc.Pricing,
 		Scheduling:         sc.Scheduling,
+		Workers:            sc.Workers,
 		VMClusters:         sc.VMClusters,
 		NFSClusters:        sc.NFSClusters,
 		StaticProvisioning: static,

@@ -112,6 +112,21 @@ func TestRunGate(t *testing.T) {
 	if failed, err := run([]string{"-threshold", "0.5", oldPath, badPath}, null); err != nil || failed {
 		t.Fatalf("+30%% under a 50%% threshold: failed=%v err=%v", failed, err)
 	}
+
+	// One-sided entries: a benchmark that first appears in the new
+	// snapshot (however slow) is reported but can never fail the gate —
+	// that is what lets a new benchmark land in the same PR as its first
+	// snapshot. A dropped benchmark is likewise report-only.
+	newBenchPath := writeSnap(t, dir, "newbench.json", `{
+  "generated": "2026-01-02T00:00:00Z",
+  "benchmarks": [
+    {"name": "A", "iterations": 1, "metrics": {"ns/op": 1000}},
+    {"name": "Fluid10MViewers", "iterations": 1, "metrics": {"ns/op": 5000000000}}
+  ]
+}`)
+	if failed, err := run([]string{oldPath, newBenchPath}, null); err != nil || failed {
+		t.Fatalf("snapshot adding + dropping benchmarks must pass one-sided: failed=%v err=%v", failed, err)
+	}
 }
 
 func TestRunErrors(t *testing.T) {
