@@ -494,6 +494,58 @@ func BenchmarkFluid10MViewers(b *testing.B) {
 	}
 }
 
+// BenchmarkFluid100MViewers is the ROADMAP's 100M bar: a full 24-hour
+// day with ~100,000,000 peak concurrent viewers on the fluid engine,
+// dynamic provisioning included. At this scale the PR 8 engine was
+// bottlenecked outside the integrator — the serial per-batch RatesInto
+// prologue and the controller's per-interval snapshot/derive/forecast
+// loop — so this bench caps the sharded demand plane, the sharded
+// control plane, and the fused step kernel together. Serial and pool
+// results are bit-identical (pinned by the worker-invariance tests);
+// only wall time moves. Guarded by -short so `go test ./...` stays
+// fast; the bench snapshot (scripts/bench.sh) runs it.
+func BenchmarkFluid100MViewers(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100M-viewer day skipped in -short mode")
+	}
+	base := simulate.Default(simulate.CloudAssisted, 1)
+	base = base.With(
+		WithFidelity(simulate.FidelityFluid),
+		WithViewerScale(34_000_000), // ≈100M at the diurnal+flash-crowd peak
+		WithChannels(48),
+		WithHours(24),
+		WithBudgets(5_200_000, 3000),
+		WithVMClusters(
+			plan.VMCluster{Name: "mega-a", MaxVMs: 4_200_000, PricePerHour: 0.64, Utility: 1.0},
+			plan.VMCluster{Name: "mega-b", MaxVMs: 4_200_000, PricePerHour: 0.60, Utility: 0.9},
+		),
+	)
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS-bounded pool
+		name := "serial"
+		if workers == 0 {
+			name = "pool"
+		}
+		sc := base.With(WithWorkers(workers))
+		b.Run(name, func(b *testing.B) {
+			var peak, quality float64
+			for i := 0; i < b.N; i++ {
+				peak, quality = 0, 0
+				rep, err := sc.Run(context.Background(), simulate.OnSnapshot(func(snap simulate.Snapshot) {
+					if float64(snap.Users) > peak {
+						peak = float64(snap.Users)
+					}
+				}))
+				if err != nil {
+					b.Fatal(err)
+				}
+				quality = rep.MeanQuality
+			}
+			b.ReportMetric(peak, "peak-viewers")
+			b.ReportMetric(quality, "quality")
+		})
+	}
+}
+
 // BenchmarkEventParallelChannels measures the event engine's worker-pool
 // sharding: the same 12-channel scenario stepped serially and with the
 // pool (results are identical; only wall time moves).

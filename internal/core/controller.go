@@ -64,6 +64,16 @@ type Options struct {
 	// memory; long streaming runs set it together with OnInterval so memory
 	// stays bounded by one interval.
 	DiscardHistory bool
+	// Workers bounds the pool that shards the per-channel control-plane
+	// work — measurement snapshots, demand derivation, and lookahead
+	// forecasting — mirroring sim.Config.Workers on the engines. 0 uses
+	// min(GOMAXPROCS, channels); 1 runs serially. Channels are derived
+	// independently and every cross-channel total is reduced serially in
+	// ascending channel order afterwards, so results are bit-identical
+	// for every worker count. TrueRates and Predictor implementations
+	// must tolerate concurrent calls for different channels (all in-tree
+	// ones are pure reads over per-channel state).
+	Workers int
 }
 
 func (o *Options) applyDefaults() {
@@ -132,6 +142,7 @@ type Controller struct {
 	cl      *cloud.Cloud
 	opts    Options
 	planner provision.Planner
+	workers int // resolved Options.Workers, see forEachChannel
 
 	records     []IntervalRecord
 	lastCaps    map[[2]int]float64 // last applied per-chunk capacity targets
@@ -183,9 +194,27 @@ func NewController(s sim.Backend, cl *cloud.Cloud, broker *cloud.Broker, opts Op
 		cl:          cl,
 		opts:        opts,
 		planner:     opts.Policy.NewPlanner(),
+		workers:     sim.EffectiveWorkers(opts.Workers, s.Channels()),
 		lastCaps:    make(map[[2]int]float64),
 		rateHistory: make([][]float64, s.Channels()),
 	}, nil
+}
+
+// forEachChannel runs fn for every channel index, sharding across the
+// controller's worker pool. fn must touch only channel-ch state (the
+// per-channel estimator feed, rateHistory[ch], its own slots of the
+// scratch slices) plus read-only configuration; every cross-channel
+// reduction happens serially after the fan-out, in ascending channel
+// order, so rounds are bit-identical for any worker count. The serial
+// branch (effective workers == 1) runs on the calling goroutine.
+func (c *Controller) forEachChannel(n int, fn func(ch int)) {
+	if c.workers <= 1 || n <= 1 {
+		for ch := 0; ch < n; ch++ {
+			fn(ch)
+		}
+		return
+	}
+	sim.FanOut(c.workers, n, fn)
 }
 
 // Records returns the per-interval history (shared slice internals are not
@@ -206,17 +235,22 @@ func (c *Controller) Start() error {
 }
 
 // runInterval executes one provisioning round using the statistics the
-// tracker accumulated since the previous round.
+// tracker accumulated since the previous round. The per-channel snapshot
+// — estimator read, forecast, matrix estimate, uplink probe, reset — is
+// sharded over the worker pool: each shard touches only its channel's
+// feed, history, and inputs slot, and the round runs at a control
+// barrier with no channel-stepping workers active, so the fan-out
+// observes a settled engine and writes disjoint state.
 func (c *Controller) runInterval(now float64) {
 	n := c.sim.Channels()
 	if cap(c.scratchInputs) < n {
 		c.scratchInputs = make([]ChannelInput, n)
 	}
 	inputs := c.scratchInputs[:n]
-	for ch := range inputs {
+	c.forEachChannel(n, func(ch int) {
 		est, err := c.sim.Estimator(ch)
 		if err != nil {
-			continue // unreachable: channel index from range
+			return // unreachable: channel index from range
 		}
 		rate, err := est.ArrivalRate(c.opts.IntervalSeconds)
 		if err != nil {
@@ -233,7 +267,7 @@ func (c *Controller) runInterval(now float64) {
 		}
 		inputs[ch] = ChannelInput{ArrivalRate: rate, Transfer: matrix, MeanUplink: uplink}
 		est.Reset()
-	}
+	})
 	c.Provision(now, inputs)
 }
 
@@ -299,38 +333,70 @@ func (c *Controller) deriveOne(cfg queueing.Config, in ChannelInput, p2pMode boo
 // with a fixed-point predictor (LastInterval, the default) the whole
 // lookahead costs one analysis, not k+1. current and currentRates are
 // this round's derived demands and the rates that produced them.
+//
+// Each channel's forecast chain (history → predict → derive, step by
+// step) depends only on that channel's own state, so the lookahead is
+// sharded channel-outer over the worker pool — the demand plane's
+// controller-side fan-out — filling the steps×channels demand matrix.
+// Only the per-step flattening reads across channels, and it runs
+// serially afterwards in step then channel order, exactly the order the
+// old step-outer loop flattened in, so plans are bit-identical for any
+// worker count.
 func (c *Controller) futureDemands(cfg queueing.Config, inputs []ChannelInput, current []ChannelDemand, currentRates []float64, p2pMode bool, now float64, k int) [][]provision.ChunkDemand {
 	T := c.opts.IntervalSeconds
 	oracle := c.oracle()
-	var hist [][]float64
-	if !oracle {
-		hist = make([][]float64, len(inputs))
-		for ch, in := range inputs {
-			hist[ch] = append(append([]float64(nil), c.rateHistory[ch]...), in.ArrivalRate)
-		}
+	steps := make([][]ChannelDemand, k)
+	for step := range steps {
+		steps[step] = make([]ChannelDemand, len(inputs))
 	}
-	prev := append([]ChannelDemand(nil), current...)
-	prevRates := append([]float64(nil), currentRates...)
-	future := make([][]provision.ChunkDemand, k)
-	for step := 1; step <= k; step++ {
-		demands := make([]ChannelDemand, len(inputs))
-		for ch, in := range inputs {
+	c.forEachChannel(len(inputs), func(ch int) {
+		in := inputs[ch]
+		var hist []float64
+		if !oracle {
+			hist = append(append([]float64(nil), c.rateHistory[ch]...), in.ArrivalRate)
+		}
+		prev, prevRate := current[ch], currentRates[ch]
+		for step := 1; step <= k; step++ {
 			if oracle {
 				in.ArrivalRate = c.opts.TrueRates(ch, now+float64(step)*T, now+float64(step+1)*T)
 			} else {
-				in.ArrivalRate = c.opts.Predictor.Predict(hist[ch])
-				hist[ch] = append(hist[ch], in.ArrivalRate)
+				in.ArrivalRate = c.opts.Predictor.Predict(hist)
+				hist = append(hist, in.ArrivalRate)
 			}
-			if in.ArrivalRate == prevRates[ch] {
-				demands[ch] = prev[ch]
+			if in.ArrivalRate == prevRate {
+				steps[step-1][ch] = prev
 			} else {
-				demands[ch] = c.deriveOne(cfg, in, p2pMode)
+				steps[step-1][ch] = c.deriveOne(cfg, in, p2pMode)
 			}
-			prev[ch], prevRates[ch] = demands[ch], in.ArrivalRate
+			prev, prevRate = steps[step-1][ch], in.ArrivalRate
 		}
-		future[step-1] = FlattenDemands(demands)
+	})
+	future := make([][]provision.ChunkDemand, k)
+	for step := range future {
+		future[step] = FlattenDemands(steps[step])
 	}
 	return future
+}
+
+// reduceDemands folds the sharded per-channel demands into the record's
+// cross-channel totals. It runs serially after the derive fan-out, in
+// ascending channel order with the per-chunk interleaving the old fused
+// loop used (DemandPerChannel[ch] and TotalDemand advance together, chunk
+// by chunk, then the peer supply), so the canonical accumulation order —
+// and with it every golden — is unchanged by the sharding.
+//
+//cloudmedia:hotpath
+func (c *Controller) reduceDemands(rec *IntervalRecord, demands []ChannelDemand) {
+	for ch := range demands {
+		d := demands[ch]
+		for _, delta := range d.CloudDemand {
+			rec.DemandPerChannel[ch] += delta
+			rec.TotalDemand += delta
+		}
+		for _, g := range d.PeerSupply {
+			rec.TotalPeerSupply += g
+		}
+	}
 }
 
 // Provision derives demand from the given per-channel inputs, asks the
@@ -351,22 +417,20 @@ func (c *Controller) Provision(now float64, inputs []ChannelInput) {
 	if cap(c.scratchDemands) < len(inputs) {
 		c.scratchDemands = make([]ChannelDemand, len(inputs))
 	}
+	// Shard the demand derivation per channel: each shard reads its own
+	// input (plus the pure TrueRates/analysis paths) and writes only its
+	// slots of demands and rec.ArrivalRates. The cross-channel totals are
+	// reduced afterwards, serially.
 	demands := c.scratchDemands[:len(inputs)]
-	for ch, in := range inputs {
+	c.forEachChannel(len(inputs), func(ch int) {
+		in := inputs[ch]
 		if oracle {
 			in.ArrivalRate = c.opts.TrueRates(ch, now, now+c.opts.IntervalSeconds)
 		}
 		rec.ArrivalRates[ch] = in.ArrivalRate
-		d := c.deriveOne(cfg, in, p2pMode)
-		demands[ch] = d
-		for _, delta := range d.CloudDemand {
-			rec.DemandPerChannel[ch] += delta
-			rec.TotalDemand += delta
-		}
-		for _, g := range d.PeerSupply {
-			rec.TotalPeerSupply += g
-		}
-	}
+		demands[ch] = c.deriveOne(cfg, in, p2pMode)
+	})
+	c.reduceDemands(&rec, demands)
 
 	catalog := c.broker.Negotiate()
 	vmSpecs := make([]cloud.VMClusterSpec, 0, len(catalog.VMClusters))

@@ -269,6 +269,10 @@ func Build(sc Scenario) (*System, error) {
 		},
 		OnInterval:     sc.OnInterval,
 		DiscardHistory: sc.DiscardRecords,
+		// The control plane shards per-channel work over the same worker
+		// budget as the engines; results are worker-count-invariant on
+		// both planes.
+		Workers: sc.Workers,
 	})
 	if err != nil {
 		return nil, err

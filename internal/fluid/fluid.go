@@ -3,9 +3,6 @@ package fluid
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/sim"
@@ -142,13 +139,7 @@ func New(cfg Config) (*Backend, error) {
 	}
 	C := sc.Workload.Channels
 	J := sc.Channel.Chunks
-	workers := sc.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > C {
-		workers = C
-	}
+	workers := sim.EffectiveWorkers(sc.Workers, C)
 	b := &Backend{
 		cfg:        sc,
 		src:        src,
@@ -232,14 +223,14 @@ func (b *Backend) RunUntil(t float64) {
 
 // integrateTo advances the ODE state to time t with fixed Euler steps,
 // batched between control barriers: up to batchSteps steps are resolved
-// serially (start time, step size, and the per-channel arrival rates via
-// one batched source query per step), then every channel integrates
-// through the whole batch on the worker pool. Channels are independent
-// within a span — arrival rates are pre-batched into b.rates and all
-// mutation is per-channel state — so each channel's arithmetic is the
-// exact serial sequence regardless of the worker count, and reductions
-// over channels stay index-ordered. Results are therefore bit-identical
-// for any Workers value.
+// serially (start time and step size), the batch's arrival-rate matrix is
+// filled by the parallel demand plane (fillRates), then every channel
+// integrates through the whole batch on the worker pool. Channels are
+// independent within a span — arrival rates are pre-batched into b.rates
+// and all mutation is per-channel state — so each channel's arithmetic is
+// the exact serial sequence regardless of the worker count, and
+// reductions over channels stay index-ordered. Results are therefore
+// bit-identical for any Workers value.
 //
 //cloudmedia:hotpath
 func (b *Backend) integrateTo(t float64) {
@@ -253,19 +244,49 @@ func (b *Backend) integrateTo(t float64) {
 			}
 			b.times[n] = now
 			b.dts[n] = dt
-			// One batched rate query per step: every channel reads the
-			// same instant, so the source resolves shared work (the
-			// diurnal multiplier, the trace's interpolation segment) once.
-			if err := workload.RatesInto(b.src, now, b.rates[n*b.C:(n+1)*b.C]); err != nil {
-				b.zeroRates(n)
-			}
 			now += dt
 			n++
 		}
+		b.fillRates(n)
 		b.runBatch(n)
 		b.now = now
 	}
 	b.now = t
+}
+
+// fillRates resolves the batch's arrival-rate matrix — the demand plane.
+// Each step s gets one batched source query at its start time, writing
+// the disjoint row b.rates[s*C:(s+1)*C]; batching per step (rather than
+// per channel) keeps the source's shared-work fast path (the diurnal
+// multiplier, the trace's interpolation segment) resolved once per
+// instant. Steps are fanned over the worker pool: rows are disjoint and
+// sources are read-only after construction (see workload.BatchSource), so
+// every row holds exactly the bytes the serial loop would produce and the
+// fan-out is deterministic by construction. The serial branch runs before
+// the closure is built, so the workers==1 path stays allocation-free
+// (mirroring runBatch, the fan-out wrapper itself carries no hotpath
+// annotation — the hot body is fillRate).
+func (b *Backend) fillRates(n int) {
+	if b.workers <= 1 || n == 1 {
+		for s := 0; s < n; s++ {
+			b.fillRate(s)
+		}
+		return
+	}
+	sim.FanOut(b.workers, n, func(s int) {
+		b.fillRate(s)
+	})
+}
+
+// fillRate resolves one step's rate row — the demand plane's per-shard
+// kernel, called once per step from fillRates' serial loop or its worker
+// pool.
+//
+//cloudmedia:hotpath
+func (b *Backend) fillRate(s int) {
+	if err := workload.RatesInto(b.src, b.times[s], b.rates[s*b.C:(s+1)*b.C]); err != nil {
+		b.zeroRates(s)
+	}
 }
 
 // zeroRates clears one step's rate row. Unreachable in practice — the
@@ -282,7 +303,11 @@ func (b *Backend) zeroRates(step int) {
 // steps, fanning the channels out over the worker pool. Workers share
 // only read-only state (the rates/times/dts scratch, the transfer
 // constants); every mutable array is partitioned by channel, so the
-// shards never touch the same cache line's worth of state twice.
+// shards never touch the same cache line's worth of state twice. The
+// serial branch (effective workers == 1: explicit Workers==1, a
+// single-core host, or one channel) runs on the calling goroutine before
+// the fan-out closure is built, keeping that path allocation- and
+// goroutine-free.
 func (b *Backend) runBatch(n int) {
 	if b.workers <= 1 || b.C == 1 {
 		for c := 0; c < b.C; c++ {
@@ -290,29 +315,20 @@ func (b *Backend) runBatch(n int) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < b.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= b.C {
-					return
-				}
-				b.integrateChannel(c, n)
-			}
-		}()
-	}
-	wg.Wait()
+	sim.FanOut(b.workers, b.C, func(c int) {
+		b.integrateChannel(c, n)
+	})
 }
 
 // integrateChannel advances one channel through the batch's n steps —
-// the per-worker inner loop. It allocates nothing: all state and scratch
-// was sized at New.
-//
-//cloudmedia:hotpath
+// the per-worker inner loop. All state it touches is the channel's own
+// slice [c*J, (c+1)*J) of the backing arrays, plus the channel's feed and
+// scalars — nothing shared with other channels, which is what lets
+// runBatch shard channels across workers. The per-step work stays in
+// stepChannel rather than being flattened into this loop: the fused
+// kernel's live set already fills the register file, and widening its
+// scope to batch-lifetime locals pushes the hot inner loops into stack
+// spills (measured ~10% slower on FluidMillionViewers).
 func (b *Backend) integrateChannel(c, n int) {
 	for s := 0; s < n; s++ {
 		b.stepChannel(c, b.times[s], b.dts[s], b.rates[s*b.C+c])
@@ -330,10 +346,20 @@ func (b *Backend) channelUsers(c int) float64 {
 }
 
 // stepChannel advances one channel by dt seconds starting at time t, with
-// external arrival rate lambda (pre-batched by integrateTo). All state it
-// touches is the channel's own slice [c*J, (c+1)*J) of the backing
-// arrays, plus the channel's feed and scalars — nothing shared with other
-// channels, which is what lets runBatch shard channels across workers.
+// external arrival rate lambda (pre-batched by integrateTo) — the
+// engine's fused kernel. It allocates nothing: all state and scratch was
+// sized at New.
+//
+// Everything invariant within the step is hoisted out of the per-chunk
+// loops — config scalars, int→float conversions, the channel's slice
+// headers — and the old per-step passes are fused: one loop computes the
+// viewer stock and cached-copy sum, the clear pass is folded into
+// arrival seeding (direct stores replace clear-then-add), and playback
+// completions and VCR jumps share one loop carrying playing[j] in a
+// local — without reordering a single float operation. Every memory cell
+// and every scalar accumulator sees the exact per-step sequence the
+// unfused passes produced, which is what keeps goldens and the
+// fluid-vs-event cross-validation unchanged.
 //
 //cloudmedia:hotpath
 func (b *Backend) stepChannel(c int, t, dt, lambda float64) {
@@ -343,6 +369,7 @@ func (b *Backend) stepChannel(c int, t, dt, lambda float64) {
 	T0 := cfg.ChunkSeconds
 	B := cfg.ChunkBytes()
 	R := cfg.VMBandwidth
+	fJ := float64(J)
 
 	playing := b.playing[base : base+J]
 	waiting := b.waiting[base : base+J]
@@ -353,91 +380,94 @@ func (b *Backend) stepChannel(c int, t, dt, lambda float64) {
 	inPlay := b.inPlay[base : base+J]
 	feed := b.feeds[c]
 
-	n := b.channelUsers(c)
-
+	// Viewer stock and cached-copy sum, fused into one pass. Each
+	// accumulator keeps its own index-ordered sequence; the copy sum is
+	// simply discarded for an empty channel.
+	var stock, copies float64
+	for j := 0; j < J; j++ {
+		stock += playing[j] + waiting[j]
+		copies += owners[j]
+	}
 	// Average fraction of the library a viewer holds: the probability a
 	// VCR jump lands on a cached chunk and replays without a download.
 	ownedFrac := 0.0
-	if n > 0 {
-		var copies float64
-		for _, o := range owners {
-			copies += o
-		}
-		ownedFrac = copies / (n * float64(J))
+	if stock > 0 {
+		ownedFrac = copies / (stock * fJ)
 		if ownedFrac > 1 {
 			ownedFrac = 1
 		}
 	}
 
-	for j := 0; j < J; j++ {
-		inWait[j] = 0
-		inPlay[j] = 0
-	}
-
-	// 1. External arrivals: chunk 1 with probability α, uniform otherwise.
+	// 1. External arrivals: chunk 1 with probability α, uniform
+	// otherwise. Seeding stores directly, absorbing the old clear pass
+	// (rates are non-negative, so 0+x and x are the same value).
 	arrivals := lambda * dt
 	feed.arrivals += arrivals
 	if b.cfg.OnArrivals != nil && arrivals > 0 {
 		b.cfg.OnArrivals(c, t, arrivals)
 	}
 	if J == 1 {
-		inWait[0] += arrivals
+		inWait[0] = arrivals
+		inPlay[0] = 0
 	} else {
-		inWait[0] += arrivals * cfg.EntryFirstChunk
-		rest := arrivals * (1 - cfg.EntryFirstChunk) / float64(J-1)
+		entry := cfg.EntryFirstChunk
+		inWait[0] = arrivals * entry
+		inPlay[0] = 0
+		rest := arrivals * (1 - entry) / float64(J-1)
 		for j := 1; j < J; j++ {
-			inWait[j] += rest
+			inWait[j] = rest
+			inPlay[j] = 0
 		}
 	}
 
-	// 2. Playback completions flow along the transfer matrix; the
-	// remainder of each row departs. Sequential successors are assumed
-	// uncached (they have not been visited), so they enter the download
-	// queue. The loop walks only the matrix's live entries through the
-	// precomputed nonzero index; the constant row sum replaces the
-	// per-step accumulation.
-	var departures float64
-	for j := 0; j < J; j++ {
-		comp := playing[j] * dt / T0
-		if comp <= 0 {
-			continue
-		}
-		row := j * J
-		for i := b.nzOff[j]; i < b.nzOff[j+1]; i++ {
-			k := b.nzK[i]
-			flow := comp * b.nzP[i]
-			feed.transitions[row+k] += flow
-			inWait[k] += flow
-		}
-		leave := comp * (1 - b.rowSum[j])
-		if leave < 0 {
-			leave = 0
-		}
-		feed.departures[j] += leave
-		departures += leave
-		playing[j] -= comp
-	}
-
-	// 3. VCR jumps: uniform destination; a cached destination replays
-	// immediately (no download), an uncached one queues.
+	// 2+3. Playback completions and VCR jumps, fused: completions flow
+	// along the transfer matrix's live entries (precomputed nonzero
+	// index; the constant row sum replaces per-step accumulation) with
+	// the remainder departing, then the same chunk's jump outflow leaves
+	// from the post-completion stock — exactly the value the separate
+	// jump pass used to read, carried here in a register instead of
+	// re-loaded. Cross-chunk state (inWait scatter, transition rows) is
+	// only ever touched by its own chunk's iteration in both orderings,
+	// so fusion changes no accumulation order.
+	transitions := feed.transitions
 	jumpRate := dt / b.cfg.Workload.JumpMeanSeconds
-	var jumpTotal float64
+	var departures, jumpTotal float64
 	for j := 0; j < J; j++ {
-		jump := playing[j] * jumpRate
-		if jump <= 0 {
-			continue
+		p := playing[j]
+		comp := p * dt / T0
+		if comp > 0 {
+			row := j * J
+			for i := b.nzOff[j]; i < b.nzOff[j+1]; i++ {
+				k := b.nzK[i]
+				flow := comp * b.nzP[i]
+				transitions[row+k] += flow
+				inWait[k] += flow
+			}
+			leave := comp * (1 - b.rowSum[j])
+			if leave < 0 {
+				leave = 0
+			}
+			feed.departures[j] += leave
+			departures += leave
+			p -= comp
 		}
-		jumpTotal += jump
-		playing[j] -= jump
-		per := jump / float64(J)
-		row := feed.transitions[j*J : (j+1)*J]
-		for k := 0; k < J; k++ {
-			row[k] += per
+		// Uniform jump destination; a cached destination replays
+		// immediately (no download), an uncached one queues.
+		jump := p * jumpRate
+		if jump > 0 {
+			jumpTotal += jump
+			p -= jump
+			per := jump / fJ
+			trow := transitions[j*J : (j+1)*J]
+			for k := 0; k < J; k++ {
+				trow[k] += per
+			}
 		}
+		playing[j] = p
 	}
 	if jumpTotal > 0 {
-		perHit := jumpTotal * ownedFrac / float64(J)
-		perMiss := jumpTotal * (1 - ownedFrac) / float64(J)
+		perHit := jumpTotal * ownedFrac / fJ
+		perMiss := jumpTotal * (1 - ownedFrac) / fJ
 		for k := 0; k < J; k++ {
 			inPlay[k] += perHit
 			inWait[k] += perMiss
@@ -445,9 +475,9 @@ func (b *Backend) stepChannel(c int, t, dt, lambda float64) {
 	}
 
 	// 4. Remove the departing viewers' cached copies (each departing
-	// viewer holds owners[j]/n of chunk j on average).
-	if departures > 0 && n > 0 {
-		f := departures / n
+	// viewer holds owners[j]/stock of chunk j on average).
+	if departures > 0 && stock > 0 {
+		f := departures / stock
 		if f > 1 {
 			f = 1
 		}
@@ -466,6 +496,7 @@ func (b *Backend) stepChannel(c int, t, dt, lambda float64) {
 	// 6. Serve the download queues: each chunk drains at the provisioned
 	// capacity, bounded by a per-download rate of R. Completions move
 	// viewers into the playing cohort and add cached copies.
+	served := b.cloudBytesServed[c]
 	var demandBps, servedBps float64
 	for j := 0; j < J; j++ {
 		queue := waiting[j] + inWait[j]
@@ -474,10 +505,10 @@ func (b *Backend) stepChannel(c int, t, dt, lambda float64) {
 			playing[j] += inPlay[j]
 			continue
 		}
-		cap := cloudCap[j] + peerCap[j]
+		capJ := cloudCap[j] + peerCap[j]
 		rate := queue * R
-		if rate > cap {
-			rate = cap
+		if rate > capJ {
+			rate = capJ
 		}
 		drained := rate * dt / B
 		if drained > queue {
@@ -485,7 +516,7 @@ func (b *Backend) stepChannel(c int, t, dt, lambda float64) {
 		}
 		bytes := drained * B
 		peerShare := math.Min(bytes, peerCap[j]*dt)
-		b.cloudBytesServed[c] += bytes - peerShare
+		served += bytes - peerShare
 
 		waiting[j] = queue - drained
 		playing[j] += drained + inPlay[j]
@@ -496,12 +527,13 @@ func (b *Backend) stepChannel(c int, t, dt, lambda float64) {
 		// period, against what the capacity actually delivered.
 		need := (inWait[j]/dt + waiting[j]/T0) * B
 		got := need
-		if cap < got {
-			got = cap
+		if capJ < got {
+			got = capJ
 		}
 		demandBps += need
 		servedBps += got
 	}
+	b.cloudBytesServed[c] = served
 
 	// 7. Windowed quality: exponential window matching the event engine's
 	// trailing stall window.

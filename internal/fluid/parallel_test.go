@@ -2,6 +2,7 @@ package fluid
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"cloudmedia/internal/cloud"
@@ -10,6 +11,15 @@ import (
 	"cloudmedia/internal/viewing"
 	"cloudmedia/internal/workload"
 )
+
+// ensureParallelHost raises GOMAXPROCS so multi-worker configurations
+// resolve to real pools even on single-core hosts (sim.EffectiveWorkers
+// clamps to GOMAXPROCS at construction time), restoring it on cleanup.
+func ensureParallelHost(t *testing.T, procs int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
 
 // paperConfig mirrors experiments.DefaultScenario's engine-facing half (6
 // Zipf channels with diurnal arrivals and flash crowds, 8×75 s chunks, VCR
@@ -112,6 +122,7 @@ func runWithWorkers(t *testing.T, mode sim.Mode, workers int) fluidState {
 // float of engine state must match exactly — parallelism is a throughput
 // knob, never a behaviour knob.
 func TestFluidParallelSteppingMatchesSerial(t *testing.T) {
+	ensureParallelHost(t, 8) // resolve multi-worker configs to real pools on any host
 	for _, mode := range []sim.Mode{sim.ClientServer, sim.P2P} {
 		serial := runWithWorkers(t, mode, 1)
 		if serial.TotalUsers == 0 {
@@ -133,6 +144,7 @@ func TestFluidParallelSteppingMatchesSerial(t *testing.T) {
 // observer needs no locking. Run under -race (make race / CI) this is the
 // fluid pool's data-race canary.
 func TestFluidParallelOnArrivalsContract(t *testing.T) {
+	ensureParallelHost(t, 8)
 	cfg := paperConfig(t, sim.ClientServer, 4)
 	type channelLog struct {
 		times []float64
@@ -175,10 +187,11 @@ func TestFluidParallelOnArrivalsContract(t *testing.T) {
 // TestFluidBatchedInnerLoopAllocFree pins AllocsPerRun == 0 on the batched
 // multi-step path: one RunUntil stride spans several full batches
 // (batchSteps Euler steps each), so the measurement covers integrateTo's
-// batch assembly, runBatch's serial dispatch, and every stepChannel in
-// between. Workers=1 isolates the inner loop from the pool's per-batch
-// goroutine handoff, which is the one deliberate allocation of the
-// parallel path.
+// batch assembly, fillRates' serial demand reads, runBatch's serial
+// dispatch, and every fused stepChannel step in between. Workers=1
+// isolates the inner loop from the pool's per-batch goroutine handoff,
+// which is the one deliberate allocation of the parallel path (and is why
+// both fan-outs branch serial before building their closures).
 func TestFluidBatchedInnerLoopAllocFree(t *testing.T) {
 	cfg := paperConfig(t, sim.P2P, 1)
 	b, err := New(cfg)
@@ -201,5 +214,39 @@ func TestFluidBatchedInnerLoopAllocFree(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Fatalf("batched stepping allocates %.1f times per %d-step stride", allocs, stride)
+	}
+}
+
+// TestFluidSerialFastPathSpawnsNoPool pins the satellite fix for the
+// Fluid10MViewers/pool regression: when the effective worker count is 1 —
+// explicit Workers=1, or any worker request on a single-core host — both
+// fluid fan-outs (the demand-plane rate reads and the channel batch) run
+// entirely on the calling goroutine, with no pool handoff to pay for zero
+// available parallelism.
+func TestFluidSerialFastPathSpawnsNoPool(t *testing.T) {
+	cases := []struct {
+		name    string
+		procs   int // GOMAXPROCS during construction and run
+		workers int
+	}{
+		{"workers=1", 8, 1},
+		{"single-core-host", 1, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ensureParallelHost(t, tc.procs)
+			b, err := New(paperConfig(t, sim.ClientServer, tc.workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := sim.PoolSpawns()
+			b.RunUntil(2 * 3600)
+			if got := sim.PoolSpawns() - before; got != 0 {
+				t.Errorf("serial fast path spawned %d pool goroutines, want 0", got)
+			}
+			if b.TotalUsers() == 0 {
+				t.Error("run produced no viewers")
+			}
+		})
 	}
 }

@@ -73,6 +73,7 @@ func runWithWorkers(t *testing.T, cfg Config, workers int) runOutcome {
 // sharding changes wall time only. go test -race additionally verifies
 // the workers share no state.
 func TestParallelSteppingMatchesSerial(t *testing.T) {
+	ensureParallelHost(t, 8) // resolve multi-worker configs to real pools on any host
 	for _, mode := range []Mode{ClientServer, P2P} {
 		cfg := multiChannelConfig(t, mode, 6)
 		serial := runWithWorkers(t, cfg, 1)

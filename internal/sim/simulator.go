@@ -4,9 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"cloudmedia/internal/queueing"
 	"cloudmedia/internal/viewing"
@@ -264,13 +261,7 @@ func New(cfg Config) (*Simulator, error) {
 	if src == nil {
 		src = cfg.Workload.Source()
 	}
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Workload.Channels {
-		workers = cfg.Workload.Channels
-	}
+	workers := EffectiveWorkers(cfg.Workers, cfg.Workload.Channels)
 	s := &Simulator{
 		cfg:     cfg,
 		workers: workers,
@@ -356,6 +347,8 @@ func (s *Simulator) RunUntil(t float64) {
 // fanning out across the worker pool. Channel event handlers touch only
 // their own channelState (users, pools, estimator, rng), so the shards
 // share no mutable state; results are bit-identical for any worker count.
+// The serial branch (effective workers == 1, pinned at New) runs on the
+// calling goroutine without constructing the fan-out closure.
 func (s *Simulator) advanceChannels(t float64) {
 	if s.workers <= 1 || len(s.channels) == 1 {
 		for _, ch := range s.channels {
@@ -363,22 +356,9 @@ func (s *Simulator) advanceChannels(t float64) {
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < s.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(s.channels) {
-					return
-				}
-				s.channels[i].engine.RunUntil(t)
-			}
-		}()
-	}
-	wg.Wait()
+	FanOut(s.workers, len(s.channels), func(i int) {
+		s.channels[i].engine.RunUntil(t)
+	})
 }
 
 // ScheduleAt runs fn at simulated time t. The callback runs at a control

@@ -18,9 +18,11 @@ import (
 //
 // Implementations must be usable read-only from concurrent goroutines
 // after construction: the event engine queries Rate from its per-channel
-// workers. Any lazy caching must happen on the first call, which both
-// engines guarantee to make serially during construction (MaxRate for
-// every channel is primed before workers start).
+// workers, and the fluid integrator's demand plane fans batched RatesInto
+// reads — at distinct time instants — across its worker pool. Any lazy
+// caching must happen on the first call, which both engines guarantee to
+// make serially during construction (MaxRate for every channel is primed
+// before workers start), or behind the implementation's own lock.
 type Source interface {
 	// NumChannels returns the number of channels the source describes.
 	NumChannels() int
@@ -46,7 +48,10 @@ type Source interface {
 // trace's interpolation segment — implement it so tight step loops (the
 // fluid integrator, the live serving metrics) pay that work once per step
 // instead of once per channel. Implementations must produce bit-identical
-// values to per-channel Rate calls and must not allocate.
+// values to per-channel Rate calls, must not allocate, and — like Rate —
+// must tolerate concurrent calls at different instants into disjoint dst
+// buffers (the fluid integrator batches a span of steps and resolves
+// their rate rows in parallel).
 type BatchSource interface {
 	// RatesInto fills dst[c] with Rate(c, t); len(dst) must equal
 	// NumChannels().
