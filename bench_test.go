@@ -587,3 +587,40 @@ func BenchmarkEventParallelChannels(b *testing.B) {
 		})
 	}
 }
+
+// --- Resilience (PR 10) ---
+
+// BenchmarkResilienceDay runs the adversarial 24-hour day behind the
+// resilience experiment end to end: spot pricing, the hedged lookahead,
+// and a fault schedule landing inside the evening flash crowd — a region
+// outage (applied as a capacity blackout in this single-region run) plus
+// a provider mass-preemption. This is the full fault path — scheduled
+// events, the seeded interruption process, preemption accounting, and
+// capacity rescaling — at benchmark cadence, so BENCH_*.json tracks its
+// cost across PRs. Reports quality, bill, and interruption count.
+func BenchmarkResilienceDay(b *testing.B) {
+	faults, err := simulate.ParseFault("outage@19.5h+2h,preempt@20h:0.6")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := simulate.Default(simulate.CloudAssisted, 1)
+	sc = sc.With(
+		WithHours(24),
+		WithPolicy(Lookahead{SpotHedge: true}),
+		WithPricing(simulate.SpotPricing()),
+		WithFaults(faults),
+	)
+	var quality, bill float64
+	var interruptions int
+	for i := 0; i < b.N; i++ {
+		rep, err := sc.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		quality, bill = rep.MeanQuality, rep.Bill.TotalUSD()
+		interruptions = rep.Bill.Interruptions
+	}
+	b.ReportMetric(quality, "quality")
+	b.ReportMetric(bill, "bill-usd")
+	b.ReportMetric(float64(interruptions), "interruptions")
+}

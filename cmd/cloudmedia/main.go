@@ -79,8 +79,9 @@ func run(args []string) error {
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		mode     = fs.String("mode", "client-server", "architecture under test: client-server, p2p, or cloud-assisted")
 		fidelity = fs.String("fidelity", "event", "simulation engine: event (per-viewer) or fluid (aggregate cohorts, million-viewer scale)")
-		policy   = fs.String("policy", "greedy", "provisioning policy: greedy, lookahead, oracle, or staticpeak")
-		pricing  = fs.String("pricing", "on-demand", "cloud billing plan: on-demand or reserved")
+		policy   = fs.String("policy", "greedy", "provisioning policy: greedy, lookahead, lookahead-hedged, oracle, or staticpeak")
+		pricing  = fs.String("pricing", "on-demand", "cloud billing plan: on-demand, reserved, or spot")
+		faultIn  = fs.String("fault", "", "fault schedule: a preset ("+strings.Join(simulate.FaultPresetNames(), ", ")+") or events like outage@19.5h+2h,preempt@20h:0.6,degrade@18h+3h:0.5")
 		scale    = fs.Float64("scale", 2, "workload scale (1 ≈ 250 concurrent users, 10 ≈ paper scale)")
 		traceIn  = fs.String("trace", "", "demand trace file (.csv or .json) replacing the parametric workload; see 'cloudmedia trace'")
 		hours    = fs.Float64("hours", 24, "simulated duration per run, hours")
@@ -118,6 +119,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	flt, err := simulate.ParseFault(*faultIn)
+	if err != nil {
+		return err
+	}
 
 	stopProfiles, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -129,7 +134,7 @@ func run(args []string) error {
 	if *exp == "all" {
 		ids = paper.IDs()
 	}
-	opts := paper.Options{Mode: m, Fidelity: f, Policy: pol, Pricing: pri, Scale: *scale, Hours: *hours, Seed: *seed, Workers: *workers}
+	opts := paper.Options{Mode: m, Fidelity: f, Policy: pol, Pricing: pri, Faults: flt, Scale: *scale, Hours: *hours, Seed: *seed, Workers: *workers}
 	if *traceIn != "" {
 		tr, err := trace.ReadFile(*traceIn)
 		if err != nil {

@@ -140,7 +140,7 @@ func emitSweep(w io.Writer, results []sweep.Result, format string, aggregate boo
 }
 
 // axisNames lists the -axis spellings parseAxis accepts.
-var axisNames = []string{"mode", "fidelity", "policy", "pricing", "viewer-scale", "vm-budget", "storage-budget", "uplink-ratio", "chunks", "channels", "predictor", "trace"}
+var axisNames = []string{"mode", "fidelity", "policy", "pricing", "fault", "spot-rate", "spot-interruption", "viewer-scale", "vm-budget", "storage-budget", "uplink-ratio", "chunks", "channels", "predictor", "trace"}
 
 // parseAxis converts one -axis spec ("vm-budget=50,100,200") into an Axis.
 func parseAxis(spec string) (sweep.Axis, error) {
@@ -190,6 +190,33 @@ func parseAxis(spec string) (sweep.Axis, error) {
 			ps = append(ps, p)
 		}
 		return sweep.Pricings(ps...), nil
+	case "fault":
+		// Values are fault specs (preset names or event lists, "none" for
+		// the fault-free baseline); the spec spelling is the point label.
+		named := make(map[string]*simulate.FaultSchedule, len(values))
+		for _, v := range values {
+			if _, dup := named[v]; dup {
+				return sweep.Axis{}, fmt.Errorf("axis %s: duplicate value %q", name, v)
+			}
+			f, err := simulate.ParseFault(v)
+			if err != nil {
+				return sweep.Axis{}, fmt.Errorf("axis %s: %w", name, err)
+			}
+			named[v] = f
+		}
+		return sweep.FaultScenarios(named), nil
+	case "spot-rate":
+		fs, err := parseFloats(name, values)
+		if err != nil {
+			return sweep.Axis{}, err
+		}
+		return sweep.SpotDiscounts(fs...), nil
+	case "spot-interruption":
+		fs, err := parseFloats(name, values)
+		if err != nil {
+			return sweep.Axis{}, err
+		}
+		return sweep.SpotInterruptionRates(fs...), nil
 	case "viewer-scale":
 		fs, err := parseFloats(name, values)
 		if err != nil {

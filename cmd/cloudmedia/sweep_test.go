@@ -107,18 +107,21 @@ func TestParseAxisCoversEveryName(t *testing.T) {
 		}
 	}
 	specs := map[string]string{
-		"trace":          "trace=" + strings.Join(tracePaths, ","),
-		"mode":           "mode=cs,p2p",
-		"fidelity":       "fidelity=event,fluid",
-		"policy":         "policy=greedy,lookahead,oracle,staticpeak",
-		"pricing":        "pricing=on-demand,reserved",
-		"viewer-scale":   "viewer-scale=250,1000000",
-		"vm-budget":      "vm-budget=50,100",
-		"storage-budget": "storage-budget=1,2",
-		"uplink-ratio":   "uplink-ratio=0.9,1.2",
-		"chunks":         "chunks=4,8",
-		"channels":       "channels=4,6",
-		"predictor":      "predictor=last,ewma,peak,diurnal",
+		"trace":             "trace=" + strings.Join(tracePaths, ","),
+		"mode":              "mode=cs,p2p",
+		"fidelity":          "fidelity=event,fluid",
+		"policy":            "policy=greedy,lookahead,oracle,staticpeak",
+		"pricing":           "pricing=on-demand,reserved,spot",
+		"fault":             "fault=none,preempt-peak,outage@19.5h+2h",
+		"spot-rate":         "spot-rate=0.3,0.6",
+		"spot-interruption": "spot-interruption=0.1,0.5",
+		"viewer-scale":      "viewer-scale=250,1000000",
+		"vm-budget":         "vm-budget=50,100",
+		"storage-budget":    "storage-budget=1,2",
+		"uplink-ratio":      "uplink-ratio=0.9,1.2",
+		"chunks":            "chunks=4,8",
+		"channels":          "channels=4,6",
+		"predictor":         "predictor=last,ewma,peak,diurnal",
 	}
 	if len(specs) != len(axisNames) {
 		t.Fatalf("test covers %d axes, CLI advertises %d", len(specs), len(axisNames))

@@ -1,0 +1,80 @@
+// Command resilience runs the same cloud-assisted day into a hostile
+// spot market: 70% of the elastic capacity at 30% of the catalog price,
+// a provider mass-preemption in the middle of the evening flash crowd,
+// and a stochastic interruption process drawn per control interval from
+// the run's seed.
+//
+// Three strategies face it: the paper's greedy heuristic on safe
+// on-demand capacity (dear, untouched by preemptions), the same greedy
+// naively pocketing the spot discount (cheap until the market takes the
+// capacity back mid-crowd), and the hedged lookahead, which prices the
+// interruption risk into its provisioning targets — renting a little
+// extra spot so a preemption leaves it near where greedy wanted to be.
+// The interesting read is the last two rows: the hedge keeps most of the
+// discount and gives back much less quality under the same preemptions.
+//
+// Every run is deterministic per seed and bit-identical for any
+// -workers value; rerun with a different seed to see other interruption
+// draws.
+//
+// Run with: go run ./examples/resilience
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"cloudmedia"
+	"cloudmedia/pkg/paper"
+	"cloudmedia/pkg/simulate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	faults, err := simulate.ParseFault("preempt-peak")
+	if err != nil {
+		return err
+	}
+	base, err := cloudmedia.NewScenario(cloudmedia.CloudAssisted,
+		cloudmedia.WithHours(24),
+		cloudmedia.WithScale(2),
+		cloudmedia.WithFaults(faults),
+	)
+	if err != nil {
+		return err
+	}
+
+	strategies := []struct {
+		label   string
+		policy  cloudmedia.Policy
+		pricing cloudmedia.PricingPlan
+	}{
+		{"greedy / on-demand", cloudmedia.Greedy{}, cloudmedia.OnDemandPricing()},
+		{"greedy / spot", cloudmedia.Greedy{}, cloudmedia.SpotPricing()},
+		{"hedged lookahead / spot", cloudmedia.Lookahead{SpotHedge: true}, cloudmedia.SpotPricing()},
+	}
+
+	tbl := paper.NewTable("Spot mass-preemption mid-flash-crowd (cloud-assisted, 24 h)",
+		"strategy", "quality", "interruptions", "spot_usd", "on_demand_usd", "total_usd")
+	for _, s := range strategies {
+		sc := base.With(
+			cloudmedia.WithPolicy(s.policy),
+			cloudmedia.WithPricing(s.pricing),
+		)
+		rep, err := sc.Run(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.label, err)
+		}
+		b := rep.Bill
+		tbl.AddRow(s.label, rep.MeanQuality, b.Interruptions, b.SpotUSD, b.OnDemandUSD, b.TotalUSD())
+	}
+	return tbl.Render(os.Stdout)
+}

@@ -277,6 +277,61 @@ func (c *Cloud) FailVMs(now float64, name string, count int) (int, error) {
 	return failed, nil
 }
 
+// PreemptSpot mass-preempts the given fraction of every cluster's spot
+// instances at time now — the provider-side interruption event of the
+// spot market. Spot counts are resolved per cluster exactly as the ledger
+// bills them (SpotFraction of the elastic allocation above the reserved
+// count); preempted VMs stop billing and serving immediately, like
+// FailVMs. It records the interruption event in the ledger and returns
+// the VMs killed plus the fraction of the total allocation lost, so the
+// caller can scale the serving plane's capacities by the survivor share.
+// A plan without a spot tier is a no-op.
+func (c *Cloud) PreemptSpot(now, fraction float64) (killed int, lostFraction float64, err error) {
+	if fraction < 0 || fraction > 1 {
+		return 0, 0, fmt.Errorf("cloud: preemption fraction %v outside [0,1]", fraction)
+	}
+	c.mu.Lock()
+	if c.pricing.SpotFraction <= 0 {
+		c.mu.Unlock()
+		return 0, 0, nil
+	}
+	c.accrueLocked(now)
+	var before int
+	for _, name := range c.vmOrder {
+		st := c.vms[name]
+		before += st.allocated
+		reserved := 0
+		if c.ledger != nil {
+			reserved = c.ledger.ReservedVMs(name)
+		}
+		spot := c.pricing.spotVMs(st.allocated - reserved)
+		kill := int(float64(spot)*fraction + 0.5 + 1e-9)
+		if kill > spot {
+			kill = spot
+		}
+		if kill == 0 {
+			continue
+		}
+		// Kill booting instances first (they contribute no capacity yet),
+		// then running ones — the FailVMs convention.
+		drop := kill
+		for drop > 0 && len(st.boots) > 0 {
+			st.boots = st.boots[:len(st.boots)-1]
+			drop--
+		}
+		st.allocated -= kill
+		killed += kill
+	}
+	c.mu.Unlock()
+	if before > 0 {
+		lostFraction = float64(killed) / float64(before)
+	}
+	if c.ledger != nil {
+		c.ledger.RecordInterruption(now, killed)
+	}
+	return killed, lostFraction, nil
+}
+
 // SetStorage sets the absolute number of GB stored on NFS cluster `name` at
 // time now. It is the NFS-scheduler entry point of Fig. 1.
 func (c *Cloud) SetStorage(now float64, name string, gb float64) error {

@@ -13,38 +13,56 @@ type LedgerTotals struct {
 	// ReservedVMHours is the committed capacity billed at the reserved
 	// rate (every reserved VM, every hour of the term, used or idle).
 	ReservedVMHours float64
-	// OnDemandVMHours is the allocation above the reserved count, billed
-	// at the on-demand rate.
+	// OnDemandVMHours is the elastic allocation above the reserved count
+	// that the plan keeps off the spot market, billed at the on-demand
+	// rate.
 	OnDemandVMHours float64
+	// SpotVMHours is the elastic allocation fulfilled from the spot
+	// market (PricingPlan.SpotFraction of every cluster's elastic VMs),
+	// billed at the discounted spot rate.
+	SpotVMHours float64
 	// GBHours is the NFS storage footprint integrated over time.
 	GBHours float64
+	// Interruptions counts the spot mass-preemption events charged to
+	// this window (fault injection's realized interruption process).
+	Interruptions int
 
-	// ReservedUSD, OnDemandUSD, UpfrontUSD, and StorageUSD split the
-	// dollars by tier; TotalUSD sums them.
+	// ReservedUSD, OnDemandUSD, SpotUSD, UpfrontUSD, StorageUSD, and
+	// TransferUSD split the dollars by tier; TotalUSD sums them.
 	ReservedUSD float64
 	OnDemandUSD float64
+	SpotUSD     float64
 	UpfrontUSD  float64
 	StorageUSD  float64
+	// TransferUSD is the inter-region data-transfer spend: viewer
+	// migration during cross-region failover, charged to the region the
+	// viewers move into.
+	TransferUSD float64
 }
 
 // TotalUSD is the all-in bill.
 func (t LedgerTotals) TotalUSD() float64 {
-	return t.ReservedUSD + t.OnDemandUSD + t.UpfrontUSD + t.StorageUSD
+	return t.ReservedUSD + t.OnDemandUSD + t.SpotUSD + t.UpfrontUSD + t.StorageUSD + t.TransferUSD
 }
 
-// VMCostUSD is the VM share of the bill (reserved + upfront + on-demand).
+// VMCostUSD is the VM share of the bill (reserved + upfront + on-demand +
+// spot).
 func (t LedgerTotals) VMCostUSD() float64 {
-	return t.ReservedUSD + t.OnDemandUSD + t.UpfrontUSD
+	return t.ReservedUSD + t.OnDemandUSD + t.SpotUSD + t.UpfrontUSD
 }
 
 func (t *LedgerTotals) add(o LedgerTotals) {
 	t.ReservedVMHours += o.ReservedVMHours
 	t.OnDemandVMHours += o.OnDemandVMHours
+	t.SpotVMHours += o.SpotVMHours
 	t.GBHours += o.GBHours
+	t.Interruptions += o.Interruptions
 	t.ReservedUSD += o.ReservedUSD
 	t.OnDemandUSD += o.OnDemandUSD
+	t.SpotUSD += o.SpotUSD
 	t.UpfrontUSD += o.UpfrontUSD
 	t.StorageUSD += o.StorageUSD
+	t.TransferUSD += o.TransferUSD
 }
 
 // Note is one ledger diagnostic: a timestamped event worth surfacing with
@@ -145,9 +163,16 @@ func (l *Ledger) accrue(from, to float64, vms []vmUsage, nfs []storageUsage) {
 			inc.ReservedVMHours += float64(reserved) * hours
 			inc.ReservedUSD += float64(reserved) * u.price * l.plan.ReservedRate * hours
 		}
-		if onDemand := u.allocated - reserved; onDemand > 0 {
-			inc.OnDemandVMHours += float64(onDemand) * hours
-			inc.OnDemandUSD += float64(onDemand) * u.price * l.plan.onDemandRate() * hours
+		if elastic := u.allocated - reserved; elastic > 0 {
+			spot := l.plan.spotVMs(elastic)
+			if spot > 0 {
+				inc.SpotVMHours += float64(spot) * hours
+				inc.SpotUSD += float64(spot) * u.price * l.plan.spotRate() * hours
+			}
+			if onDemand := elastic - spot; onDemand > 0 {
+				inc.OnDemandVMHours += float64(onDemand) * hours
+				inc.OnDemandUSD += float64(onDemand) * u.price * l.plan.onDemandRate() * hours
+			}
 		}
 	}
 	for _, u := range nfs {
@@ -175,6 +200,31 @@ func (l *Ledger) Checkpoint() LedgerTotals {
 	out := l.interval
 	l.interval = LedgerTotals{}
 	return out
+}
+
+// RecordInterruption charges one spot mass-preemption event to the bill
+// (the event counter, not dollars — the dollars show up as the re-rented
+// replacement capacity) together with a diagnostic note.
+func (l *Ledger) RecordInterruption(now float64, vmsKilled int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.totals.Interruptions++
+	l.interval.Interruptions++
+	l.notes = append(l.notes, Note{Time: now, Msg: fmt.Sprintf("spot interruption: %d VMs preempted", vmsKilled)})
+}
+
+// ChargeTransfer adds inter-region transfer dollars to the bill — the
+// failover path charges the migrated viewers' handoff bytes to the region
+// they move into.
+func (l *Ledger) ChargeTransfer(now float64, usd float64, why string) {
+	if usd <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.totals.TransferUSD += usd
+	l.interval.TransferUSD += usd
+	l.notes = append(l.notes, Note{Time: now, Msg: fmt.Sprintf("transfer $%.2f: %s", usd, why)})
 }
 
 // Notef appends a timestamped diagnostic to the ledger — infeasible

@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -41,7 +42,7 @@ func TestParsePricing(t *testing.T) {
 			t.Errorf("ParsePricing(%q).DisplayName() = %q", name, p.DisplayName())
 		}
 	}
-	if _, err := ParsePricing("spot"); err == nil {
+	if _, err := ParsePricing("preemptible"); err == nil {
 		t.Error("unknown plan accepted")
 	}
 }
@@ -240,4 +241,144 @@ func BenchmarkLedgerAccrual(b *testing.B) {
 		cl.Advance(float64(i+1) * 900)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "accruals/s")
+}
+
+// TestLedgerSpotSplit: a spot-tier plan splits the elastic allocation
+// between spot and on-demand VM-hours exactly as spotVMs resolves it, and
+// bills the spot share at the discounted rate.
+func TestLedgerSpotSplit(t *testing.T) {
+	plan := PricingPlan{Name: "halfspot", SpotFraction: 0.5, SpotRate: 0.4}
+	cl, err := New(DefaultVMClusters(), DefaultNFSClusters(), WithPricing(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SetVMs(0, "standard", 10); err != nil {
+		t.Fatal(err)
+	}
+	cl.Advance(3600)
+
+	// 10 allocated, 0 reserved: spot = round(0.5×10) = 5, on-demand = 5.
+	bill := cl.Ledger().Totals()
+	if !approx(bill.SpotVMHours, 5, 1e-9) || !approx(bill.OnDemandVMHours, 5, 1e-9) {
+		t.Errorf("VM-hour split spot=%v on-demand=%v, want 5/5", bill.SpotVMHours, bill.OnDemandVMHours)
+	}
+	if want := 5 * 0.450 * 0.4; !approx(bill.SpotUSD, want, 1e-9) {
+		t.Errorf("spot bill %v, want %v", bill.SpotUSD, want)
+	}
+	if want := 5 * 0.450; !approx(bill.OnDemandUSD, want, 1e-9) {
+		t.Errorf("on-demand bill %v, want %v", bill.OnDemandUSD, want)
+	}
+	if bill.Interruptions != 0 {
+		t.Errorf("interruptions %d before any preemption", bill.Interruptions)
+	}
+}
+
+// TestLedgerSpotAboveReservedTier: the spot fraction applies to the
+// elastic allocation above the reserved count, never to reserved VMs.
+func TestLedgerSpotAboveReservedTier(t *testing.T) {
+	plan := PricingPlan{
+		Name: "mixed", SpotFraction: 0.5, SpotRate: 0.4,
+		ReservedFraction: 0.1, ReservedRate: 0.45, TermHours: 24,
+	}
+	cl, err := New(DefaultVMClusters(), DefaultNFSClusters(), WithPricing(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// standard MaxVMs=75 → reserved ⌈7.5⌉ = 8; allocate 20 → elastic 12,
+	// spot round(6)=6, on-demand 6. Reserved hours also bill the idle
+	// clusters' commitments (medium 3, advanced 5): 8+3+5 = 16.
+	if err := cl.SetVMs(0, "standard", 20); err != nil {
+		t.Fatal(err)
+	}
+	cl.Advance(3600)
+	bill := cl.Ledger().Totals()
+	if !approx(bill.ReservedVMHours, 16, 1e-9) || !approx(bill.SpotVMHours, 6, 1e-9) || !approx(bill.OnDemandVMHours, 6, 1e-9) {
+		t.Errorf("tier split reserved=%v spot=%v on-demand=%v, want 16/6/6",
+			bill.ReservedVMHours, bill.SpotVMHours, bill.OnDemandVMHours)
+	}
+}
+
+// TestPreemptSpot: a mass-preemption kills exactly the spot share,
+// reports the lost fraction of the whole allocation, and records the
+// interruption event; degenerate inputs behave.
+func TestPreemptSpot(t *testing.T) {
+	plan := PricingPlan{Name: "halfspot", SpotFraction: 0.5, SpotRate: 0.4}
+	cl, err := New(DefaultVMClusters(), DefaultNFSClusters(), WithPricing(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SetVMs(0, "standard", 10); err != nil {
+		t.Fatal(err)
+	}
+	killed, lost, err := cl.PreemptSpot(3600, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed != 5 || !approx(lost, 0.5, 1e-9) {
+		t.Errorf("PreemptSpot killed %d lost %v, want 5 and 0.5", killed, lost)
+	}
+	if got, _ := cl.AllocatedVMs("standard"); got != 5 {
+		t.Errorf("allocation after preemption %d, want 5", got)
+	}
+	if got := cl.Ledger().Totals().Interruptions; got != 1 {
+		t.Errorf("interruptions %d, want 1", got)
+	}
+
+	if _, _, err := cl.PreemptSpot(3600, 1.5); err == nil {
+		t.Error("fraction outside [0,1] accepted")
+	}
+
+	// On-demand plan: no spot tier, nothing to preempt.
+	od, err := New(DefaultVMClusters(), DefaultNFSClusters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := od.SetVMs(0, "standard", 10); err != nil {
+		t.Fatal(err)
+	}
+	killed, lost, err = od.PreemptSpot(3600, 1.0)
+	if err != nil || killed != 0 || lost != 0 {
+		t.Errorf("on-demand PreemptSpot = (%d, %v, %v), want no-op", killed, lost, err)
+	}
+	if got := od.Ledger().Totals().Interruptions; got != 0 {
+		t.Errorf("on-demand plan recorded %d interruptions", got)
+	}
+}
+
+// TestChargeTransfer: transfer dollars land in the bill and leave a note;
+// non-positive charges are dropped.
+func TestChargeTransfer(t *testing.T) {
+	cl, err := New(DefaultVMClusters(), DefaultNFSClusters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := cl.Ledger()
+	l.ChargeTransfer(100, 2.5, "viewers failed over from us-east")
+	l.ChargeTransfer(200, 0, "free")
+	l.ChargeTransfer(300, -1, "refund")
+	bill := l.Totals()
+	if !approx(bill.TransferUSD, 2.5, 1e-9) {
+		t.Errorf("transfer bill %v, want 2.5", bill.TransferUSD)
+	}
+	if !approx(bill.TotalUSD(), 2.5, 1e-9) {
+		t.Errorf("TotalUSD %v does not include transfer dollars", bill.TotalUSD())
+	}
+	notes := l.Diagnostics()
+	if len(notes) != 1 || !strings.Contains(notes[0].Msg, "us-east") {
+		t.Errorf("diagnostics %+v, want one transfer note", notes)
+	}
+}
+
+// TestSpotPricingPreset pins the shipped spot plan's shape.
+func TestSpotPricingPreset(t *testing.T) {
+	p := SpotPricing()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.SpotFraction != 0.7 || p.SpotRate != 0.3 || p.SpotInterruption != 0.25 {
+		t.Errorf("SpotPricing = %+v", p)
+	}
+	if p.DisplayName() != "spot" {
+		t.Errorf("display name %q", p.DisplayName())
+	}
 }

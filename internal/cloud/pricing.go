@@ -35,6 +35,21 @@ type PricingPlan struct {
 	UpfrontFraction float64
 	// StorageRate multiplies the catalog GB-hour price; 0 means 1.
 	StorageRate float64
+
+	// SpotFraction is the fraction of each cluster's elastic allocation
+	// (above the reserved count) that is fulfilled from the spot market;
+	// 0 disables the spot tier. Spot counts round to nearest, so a small
+	// elastic allocation can land entirely on either tier.
+	SpotFraction float64
+	// SpotRate multiplies the catalog hourly VM price for spot VM-hours;
+	// 0 means 1 (no discount — a degenerate but legal plan).
+	SpotRate float64
+	// SpotInterruption is the per-hour probability that the provider
+	// mass-preempts spot capacity. The billing ledger never rolls this
+	// die itself: internal/fault drives the seeded interruption process
+	// through the simulation backend, so runs stay deterministic per
+	// seed. Plans price the risk; faults realize it.
+	SpotInterruption float64
 }
 
 // OnDemandPricing returns the paper's literal pricing: every VM-hour and
@@ -62,21 +77,39 @@ func ReservedPricing() PricingPlan {
 	}
 }
 
+// SpotPricing returns a spot-heavy plan: 70% of every elastic allocation
+// fulfilled from the spot market at 30% of the catalog rate, with a 25%
+// per-hour chance of a mass-preemption event (realized by internal/fault's
+// seeded process, never by the ledger). The blended VM-hour lands near
+// 0.5× on-demand — the real-world spot bargain — but only policies that
+// hedge the interruption risk keep quality through the preemptions, which
+// is exactly the trade the resilience experiment measures.
+func SpotPricing() PricingPlan {
+	return PricingPlan{
+		Name:             "spot",
+		SpotFraction:     0.7,
+		SpotRate:         0.3,
+		SpotInterruption: 0.25,
+	}
+}
+
 // ParsePricing converts a command-line spelling into a PricingPlan. It
-// accepts "on-demand" (or "ondemand") and "reserved".
+// accepts "on-demand" (or "ondemand"), "reserved", and "spot".
 func ParsePricing(s string) (PricingPlan, error) {
 	switch s {
 	case "on-demand", "ondemand":
 		return OnDemandPricing(), nil
 	case "reserved":
 		return ReservedPricing(), nil
+	case "spot":
+		return SpotPricing(), nil
 	default:
-		return PricingPlan{}, fmt.Errorf("unknown pricing plan %q (want on-demand or reserved)", s)
+		return PricingPlan{}, fmt.Errorf("unknown pricing plan %q (want on-demand, reserved, or spot)", s)
 	}
 }
 
 // PricingNames lists the ParsePricing spellings, for CLI help and sweeps.
-func PricingNames() []string { return []string{"on-demand", "reserved"} }
+func PricingNames() []string { return []string{"on-demand", "reserved", "spot"} }
 
 // Validate checks plan invariants.
 func (p PricingPlan) Validate() error {
@@ -95,6 +128,12 @@ func (p PricingPlan) Validate() error {
 		return fmt.Errorf("cloud: pricing %q: reserved tier needs a positive term, got %v h", p.DisplayName(), p.TermHours)
 	case p.TermHours < 0:
 		return fmt.Errorf("cloud: pricing %q: negative term %v h", p.DisplayName(), p.TermHours)
+	case p.SpotFraction < 0 || p.SpotFraction > 1:
+		return fmt.Errorf("cloud: pricing %q: spot fraction %v outside [0,1]", p.DisplayName(), p.SpotFraction)
+	case p.SpotRate < 0:
+		return fmt.Errorf("cloud: pricing %q: negative spot rate %v", p.DisplayName(), p.SpotRate)
+	case p.SpotInterruption < 0 || p.SpotInterruption > 1:
+		return fmt.Errorf("cloud: pricing %q: spot interruption probability %v outside [0,1]", p.DisplayName(), p.SpotInterruption)
 	}
 	return nil
 }
@@ -121,6 +160,29 @@ func (p PricingPlan) storageRate() float64 {
 		return 1
 	}
 	return p.StorageRate
+}
+
+// spotRate returns the normalized spot multiplier.
+func (p PricingPlan) spotRate() float64 {
+	if p.SpotRate == 0 {
+		return 1
+	}
+	return p.SpotRate
+}
+
+// spotVMs returns how many of a cluster's elastic VMs (allocation above
+// the reserved count) are spot instances: SpotFraction × elastic, rounded
+// to nearest with the same 1e-9 epsilon guard reservedVMs uses so binary
+// float artifacts never flip a whole count.
+func (p PricingPlan) spotVMs(elastic int) int {
+	if p.SpotFraction <= 0 || elastic <= 0 {
+		return 0
+	}
+	n := int(math.Floor(p.SpotFraction*float64(elastic) + 0.5 + 1e-9))
+	if n > elastic {
+		n = elastic
+	}
+	return n
 }
 
 // reservedVMs returns the reserved-instance count for a cluster of the

@@ -11,6 +11,7 @@ import (
 
 	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/core"
+	"cloudmedia/internal/fault"
 	"cloudmedia/internal/modes"
 	"cloudmedia/internal/provision"
 	"cloudmedia/internal/queueing"
@@ -62,6 +63,7 @@ type Settings struct {
 	Fidelity    modes.Fidelity
 	Workload    *workload.Params
 	Source      workload.Source
+	Faults      *fault.Schedule
 
 	// Live-serving knobs (pkg/serve; ignored by batch Run).
 	Clock       modes.ClockMode
@@ -138,6 +140,7 @@ func (s *Settings) Clone() *Settings {
 	if s.Source != nil {
 		out.Source = s.Source.CloneSource()
 	}
+	out.Faults = s.Faults.Clone()
 	return &out
 }
 

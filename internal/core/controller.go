@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/provision"
@@ -145,8 +146,18 @@ type Controller struct {
 	workers int // resolved Options.Workers, see forEachChannel
 
 	records     []IntervalRecord
-	lastCaps    map[[2]int]float64 // last applied per-chunk capacity targets
+	planCaps    map[[2]int]float64 // last planned per-chunk capacity targets, unscaled
+	lastCaps    map[[2]int]float64 // last applied per-chunk capacities (plan × fault factors)
 	rateHistory [][]float64        // per-channel observed arrival rates, oldest first
+
+	// capFactor is the persistent capacity multiplier fault injection's
+	// capacity-degradation events set (1 = healthy); preemptScale is the
+	// transient survivor fraction after a spot preemption, reset when the
+	// next plan re-rents the lost VMs. Both stay exactly 1 on healthy
+	// runs, so plan×1×1 is bit-identical to the unscaled plan and no
+	// golden moves.
+	capFactor    float64
+	preemptScale float64
 
 	// Per-round scratch, reused across intervals so the steady control
 	// path stops allocating: the measurement inputs, the derived
@@ -189,14 +200,17 @@ func NewController(s sim.Backend, cl *cloud.Cloud, broker *cloud.Broker, opts Op
 		}
 	}
 	return &Controller{
-		sim:         s,
-		broker:      broker,
-		cl:          cl,
-		opts:        opts,
-		planner:     opts.Policy.NewPlanner(),
-		workers:     sim.EffectiveWorkers(opts.Workers, s.Channels()),
-		lastCaps:    make(map[[2]int]float64),
-		rateHistory: make([][]float64, s.Channels()),
+		sim:          s,
+		broker:       broker,
+		cl:           cl,
+		opts:         opts,
+		planner:      opts.Policy.NewPlanner(),
+		workers:      sim.EffectiveWorkers(opts.Workers, s.Channels()),
+		planCaps:     make(map[[2]int]float64),
+		lastCaps:     make(map[[2]int]float64),
+		rateHistory:  make([][]float64, s.Channels()),
+		capFactor:    1,
+		preemptScale: 1,
 	}, nil
 }
 
@@ -454,6 +468,7 @@ func (c *Controller) Provision(now float64, inputs []ChannelInput) {
 		VMBudgetPerHour:        c.opts.VMBudgetPerHour,
 		StorageBudgetPerHour:   c.opts.StorageBudgetPerHour,
 		StorageChangeThreshold: c.opts.StorageChangeThreshold,
+		Pricing:                c.cl.Ledger().Plan(),
 	}
 	if k := c.opts.Policy.Lookahead(); k > 0 && c.wantsFuture() {
 		req.Future = c.futureDemands(cfg, inputs, demands, rec.ArrivalRates, p2pMode, now, k)
@@ -529,10 +544,15 @@ func (c *Controller) apply(now float64, vmPlan provision.VMPlan, storagePlan pro
 	if c.opts.ApplyBootLatency {
 		delay = c.cl.BootLatency()
 	}
+	// A fresh plan re-rents whatever a spot preemption killed, so the
+	// transient survivor scale resets here; the persistent degradation
+	// factor keeps applying until the fault clears it.
+	c.preemptScale = 1
 	for ch, d := range demands {
 		for i := range d.CloudDemand {
 			key := [2]int{ch, i}
-			target := caps[key]
+			c.planCaps[key] = caps[key]
+			target := caps[key] * c.capFactor
 			if target > c.lastCaps[key] {
 				// Increases wait for the new VMs to boot.
 				c.setCapacityAt(now, delay, ch, i, target)
@@ -543,6 +563,68 @@ func (c *Controller) apply(now float64, vmPlan provision.VMPlan, storagePlan pro
 			}
 			c.lastCaps[key] = target
 		}
+	}
+}
+
+// SetCapacityFactor sets the persistent capacity multiplier — fault
+// injection's capacity-degradation hook. The factor scales every applied
+// chunk capacity (current and future plans) and holds until the next
+// SetCapacityFactor call; the current capacities are rescaled immediately,
+// in ascending (channel, chunk) order so the reapplication is
+// worker-count-invariant. Must be called at a control barrier (from a
+// scheduled callback or between RunUntil calls), like every backend
+// interaction.
+func (c *Controller) SetCapacityFactor(now, factor float64) error {
+	if factor < 0 || factor > 1 {
+		return fmt.Errorf("core: capacity factor %v outside [0,1]", factor)
+	}
+	c.capFactor = factor
+	c.reapplyCaps()
+	return nil
+}
+
+// CapacityFactor returns the current persistent capacity multiplier.
+func (c *Controller) CapacityFactor() float64 { return c.capFactor }
+
+// ScaleCapacity multiplies the transient post-preemption capacity scale —
+// fault injection's spot-preemption hook, called with the survivor
+// fraction after Cloud.PreemptSpot removed the billed VMs. The scale
+// compounds across preemptions within one interval and resets when the
+// next provisioning round re-rents replacement capacity (which then boots
+// through the normal latency path). Must be called at a control barrier.
+func (c *Controller) ScaleCapacity(now, factor float64) error {
+	if factor < 0 || factor > 1 {
+		return fmt.Errorf("core: capacity scale %v outside [0,1]", factor)
+	}
+	c.preemptScale *= factor
+	c.reapplyCaps()
+	return nil
+}
+
+// reapplyCaps pushes planCaps × capFactor × preemptScale into the running
+// system, immediately: degraded or preempted capacity disappears at once,
+// and a degradation clearing restores capacity that never stopped being
+// rented (already-booted VMs), so no boot latency applies on either edge.
+// Keys are applied in ascending (channel, chunk) order — planCaps is a
+// map, and float-effect ordering must not depend on Go's randomized
+// iteration.
+func (c *Controller) reapplyCaps() {
+	keys := make([][2]int, 0, len(c.planCaps))
+	for key := range c.planCaps {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	f := c.capFactor * c.preemptScale
+	for _, key := range keys {
+		target := c.planCaps[key] * f
+		//cloudmedia:allow noloss -- keys were recorded by apply from valid plan indices
+		_ = c.sim.SetCloudCapacity(key[0], key[1], target)
+		c.lastCaps[key] = target
 	}
 }
 

@@ -38,11 +38,13 @@ func Regional(sc Scenario) (*Result, error) {
 		Pricing:              sc.Pricing,
 		Channel:              sc.Channel,
 		Workload:             sc.Workload,
+		Faults:               sc.Faults,
 		IntervalSeconds:      sc.IntervalSeconds,
 		VMBudgetPerHour:      sc.VMBudget,
 		StorageBudgetPerHour: sc.StorageBudget,
 		Transfer:             transfer,
 		Seed:                 sc.Seed,
+		Workers:              sc.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("regional: %w", err)
@@ -55,8 +57,11 @@ func Regional(sc Scenario) (*Result, error) {
 		t := r.Cloud.Ledger().Totals()
 		bill.ReservedUSD += t.ReservedUSD
 		bill.OnDemandUSD += t.OnDemandUSD
+		bill.SpotUSD += t.SpotUSD
 		bill.UpfrontUSD += t.UpfrontUSD
 		bill.StorageUSD += t.StorageUSD
+		bill.TransferUSD += t.TransferUSD
+		bill.Interruptions += t.Interruptions
 	}
 	tbl := metrics.NewTable(
 		fmt.Sprintf("Regional deployment — per-region outcome (%v)", sc.Mode),
@@ -67,7 +72,10 @@ func Regional(sc Scenario) (*Result, error) {
 		"bill_total_usd":         bill.TotalUSD(),
 		"bill_reserved_usd":      bill.ReservedUSD,
 		"bill_on_demand_usd":     bill.OnDemandUSD,
+		"bill_spot_usd":          bill.SpotUSD,
 		"bill_upfront_usd":       bill.UpfrontUSD,
+		"bill_transfer_usd":      bill.TransferUSD,
+		"interruptions":          float64(bill.Interruptions),
 	}
 	for i, r := range regions {
 		scale := configured[i].UplinkScale

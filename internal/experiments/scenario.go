@@ -5,6 +5,7 @@ import (
 
 	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/core"
+	"cloudmedia/internal/fault"
 	"cloudmedia/internal/fluid"
 	"cloudmedia/internal/modes"
 	"cloudmedia/internal/provision"
@@ -53,6 +54,13 @@ type Scenario struct {
 	// Pricing selects the billing plan the cloud ledger accrues under;
 	// the zero value is pure on-demand, the paper's literal pricing.
 	Pricing cloud.PricingPlan
+	// Faults is the declarative failure plan injected at control barriers:
+	// spot preemptions and capacity degradations apply directly; region
+	// outages degenerate to full blackouts in a single-region run (the
+	// "regional" experiment realizes them as cross-region failover
+	// instead). nil injects nothing — though a spot Pricing plan with an
+	// interruption rate still drives its own seeded preemption process.
+	Faults *fault.Schedule
 	// Scheduling overrides the P2P uplink allocation policy; zero uses
 	// rarest-first, the paper's scheme.
 	Scheduling sim.PeerScheduling
@@ -275,6 +283,23 @@ func Build(sc Scenario) (*System, error) {
 		Workers: sc.Workers,
 	})
 	if err != nil {
+		return nil, err
+	}
+
+	// Inject the fault plan (and the pricing plan's spot-interruption
+	// process) at this run's control barriers. Single-region runs realize
+	// region outages as full blackouts — there is nowhere to fail over to.
+	target := fault.Target{
+		Backend:         s,
+		Cloud:           cl,
+		Controller:      ctl,
+		IntervalSeconds: sc.IntervalSeconds,
+		Seed:            sc.Seed,
+	}
+	if err := fault.Attach(target, sc.Faults); err != nil {
+		return nil, err
+	}
+	if err := fault.AttachBlackouts(target, sc.Faults); err != nil {
 		return nil, err
 	}
 

@@ -121,10 +121,11 @@ func Registry() map[string]Runner {
 		"regional":     Regional,
 		"costfrontier": CostFrontier,
 		"tracereplay":  TraceReplay,
+		"resilience":   Resilience,
 	}
 }
 
 // IDs returns the experiment identifiers in a stable presentation order.
 func IDs() []string {
-	return []string{"tab2", "tab3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "vmlat", "storcost", "timeline", "regional", "costfrontier", "tracereplay"}
+	return []string{"tab2", "tab3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "vmlat", "storcost", "timeline", "regional", "costfrontier", "tracereplay", "resilience"}
 }

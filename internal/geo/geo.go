@@ -10,13 +10,29 @@
 // full Sec. V-B loop against its local broker. The package reuses the same
 // building blocks as a single-region deployment — nothing in the analysis
 // changes, which is exactly the paper's implied claim.
+//
+// The adversarial layer (Config.Faults) makes the failure domains real:
+// a region outage migrates the failed region's arrival share to the
+// surviving regions (re-normalized by their own shares) behind a mutable
+// share-scaling source, charges each receiving region the migrated
+// viewers' transfer bytes, and zeroes the failed region's serving
+// capacity; recovery restores the shares and charges the fail-back
+// transfer. Spot preemptions and capacity degradations apply per region
+// through internal/fault's scheduling hooks. All fault handling runs at
+// control barriers between RunUntil segments, so runs stay bit-identical
+// for every worker count and deterministic per seed.
 package geo
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
 
 	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/core"
+	"cloudmedia/internal/fault"
 	"cloudmedia/internal/fluid"
 	"cloudmedia/internal/mathx"
 	"cloudmedia/internal/modes"
@@ -25,6 +41,10 @@ import (
 	"cloudmedia/internal/sim"
 	"cloudmedia/internal/workload"
 )
+
+// ErrConfig wraps every deployment-configuration rejection, so callers
+// can errors.Is their way past the message text.
+var ErrConfig = errors.New("geo: invalid config")
 
 // Region describes one geographic location.
 type Region struct {
@@ -90,38 +110,66 @@ type Config struct {
 	// the zero value is pure on-demand.
 	Pricing cloud.PricingPlan
 
+	// Faults is the declarative failure plan: region outages realized as
+	// cross-region failover, plus per-region spot preemptions and
+	// capacity degradations. nil injects nothing (the spot-interruption
+	// process still runs when Pricing prices one).
+	Faults *fault.Schedule
+	// TransferCostPerGB prices the inter-region viewer-migration bytes
+	// charged on failover and fail-back; 0 means $0.05/GB.
+	TransferCostPerGB float64
+
 	IntervalSeconds      float64
 	VMBudgetPerHour      float64 // per-region budget
 	StorageBudgetPerHour float64
 	Transfer             queueing.TransferMatrix
 	Seed                 int64
+	// Workers bounds the worker pool each regional engine and controller
+	// shard their channels over (sim.Config.Workers / core.Options.Workers);
+	// 0 means GOMAXPROCS. Results are bit-identical for every value.
+	Workers int
 }
 
 // Validate checks deployment invariants.
 func (c Config) Validate() error {
 	if len(c.Regions) == 0 {
-		return fmt.Errorf("geo: no regions")
+		return fmt.Errorf("%w: no regions", ErrConfig)
 	}
 	var total float64
 	seen := make(map[string]bool, len(c.Regions))
 	for i, r := range c.Regions {
 		if r.Name == "" {
-			return fmt.Errorf("geo: region %d has empty name", i)
+			return fmt.Errorf("%w: region %d has empty name", ErrConfig, i)
 		}
 		if seen[r.Name] {
-			return fmt.Errorf("geo: duplicate region %q", r.Name)
+			return fmt.Errorf("%w: duplicate region %q", ErrConfig, r.Name)
 		}
 		seen[r.Name] = true
 		if r.Share <= 0 {
-			return fmt.Errorf("geo: region %q: non-positive share %v", r.Name, r.Share)
+			return fmt.Errorf("%w: region %q: non-positive share %v", ErrConfig, r.Name, r.Share)
 		}
 		if r.UplinkScale < 0 {
-			return fmt.Errorf("geo: region %q: negative uplink scale %v", r.Name, r.UplinkScale)
+			return fmt.Errorf("%w: region %q: negative uplink scale %v", ErrConfig, r.Name, r.UplinkScale)
 		}
 		total += r.Share
 	}
 	if total < 0.999 || total > 1.001 {
-		return fmt.Errorf("geo: region shares sum to %v, want 1", total)
+		return fmt.Errorf("%w: region shares sum to %v, want 1", ErrConfig, total)
+	}
+	if c.IntervalSeconds < 0 {
+		return fmt.Errorf("%w: negative interval %v s", ErrConfig, c.IntervalSeconds)
+	}
+	if c.VMBudgetPerHour < 0 {
+		return fmt.Errorf("%w: negative VM budget %v $/h", ErrConfig, c.VMBudgetPerHour)
+	}
+	if c.StorageBudgetPerHour < 0 {
+		return fmt.Errorf("%w: negative storage budget %v $/h", ErrConfig, c.StorageBudgetPerHour)
+	}
+	if c.TransferCostPerGB < 0 {
+		return fmt.Errorf("%w: negative transfer cost %v $/GB", ErrConfig, c.TransferCostPerGB)
+	}
+	if err := c.validateFaults(seen); err != nil {
+		return err
 	}
 	if err := c.Channel.Validate(); err != nil {
 		return err
@@ -130,10 +178,138 @@ func (c Config) Validate() error {
 		return err
 	}
 	if c.Transfer == nil {
-		return fmt.Errorf("geo: nil transfer matrix")
+		return fmt.Errorf("%w: nil transfer matrix", ErrConfig)
 	}
 	return c.Transfer.Validate()
 }
+
+// validateFaults checks the fault schedule against the region set: every
+// scoped event must name a configured region, and the regions that can be
+// down concurrently must leave some surviving share to fail over to.
+func (c Config) validateFaults(regions map[string]bool) error {
+	if c.Faults == nil {
+		return nil
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	known := func(name string) bool { return name == "" || regions[name] }
+	outageShare := make(map[string]bool, len(c.Regions))
+	for _, o := range c.Faults.Outages {
+		if !known(o.Region) {
+			return fmt.Errorf("%w: outage names unknown region %q", ErrConfig, o.Region)
+		}
+		name := o.Region
+		if name == "" {
+			name = c.largestRegion()
+		}
+		outageShare[name] = true
+	}
+	// Sum in region-declaration order, not map order: float addition is
+	// not associative and this threshold must be deterministic.
+	var down float64
+	for _, r := range c.Regions {
+		if outageShare[r.Name] {
+			down += r.Share
+		}
+	}
+	if down >= 0.999 {
+		return fmt.Errorf("%w: outages can take down share %v, nothing left to fail over to", ErrConfig, down)
+	}
+	for _, p := range c.Faults.Preemptions {
+		if !known(p.Region) {
+			return fmt.Errorf("%w: preemption names unknown region %q", ErrConfig, p.Region)
+		}
+	}
+	for _, d := range c.Faults.Degradations {
+		if !known(d.Region) {
+			return fmt.Errorf("%w: degradation names unknown region %q", ErrConfig, d.Region)
+		}
+	}
+	return nil
+}
+
+// largestRegion returns the name of the region with the biggest share
+// (first wins ties) — the default victim for an unscoped outage.
+func (c Config) largestRegion() string {
+	best, share := "", -1.0
+	for _, r := range c.Regions {
+		if r.Share > share {
+			best, share = r.Name, r.Share
+		}
+	}
+	return best
+}
+
+// shareFactor is a mutable arrival-share multiplier read lock-free by the
+// engines' channel workers and written only at control barriers (between
+// RunUntil segments), via atomic float bits.
+type shareFactor struct{ bits atomic.Uint64 }
+
+func newShareFactor() *shareFactor {
+	f := &shareFactor{}
+	f.set(1)
+	return f
+}
+
+func (f *shareFactor) set(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *shareFactor) get() float64  { return math.Float64frombits(f.bits.Load()) }
+
+// shareSource scales a region's demand source by its deployment-owned
+// share factor: 1 in steady state, 0 while the region is down, above 1
+// while it absorbs a failed sibling's arrivals. Factor 1 multiplies
+// bit-identically (r × 1.0 == r), so a fault-free deployment is exactly
+// the pre-fault geo behaviour.
+//
+// CloneSource shares the factor handle on purpose (like serve.LiveSource
+// shares its receiver): the deployment steers every copy of a region's
+// demand — engine, oracle feed — through one knob.
+type shareSource struct {
+	src    workload.Source
+	factor *shareFactor
+	// maxBoost bounds the factor over the whole run (from the fault
+	// schedule), so the arrival-thinning envelope primed at construction
+	// stays an upper bound while survivors run above share 1.
+	maxBoost float64
+}
+
+func (s *shareSource) NumChannels() int { return s.src.NumChannels() }
+
+func (s *shareSource) Rate(channel int, t float64) (float64, error) {
+	r, err := s.src.Rate(channel, t)
+	return r * s.factor.get(), err
+}
+
+func (s *shareSource) MaxRate(channel int) (float64, error) {
+	r, err := s.src.MaxRate(channel)
+	return r * s.maxBoost, err
+}
+
+func (s *shareSource) MeanRate(channel int, start, end float64) (float64, error) {
+	r, err := s.src.MeanRate(channel, start, end)
+	return r * s.factor.get(), err
+}
+
+// RatesInto implements workload.BatchSource: delegate, then scale in
+// place with one factor read, preserving Rate's r×factor operand order.
+//
+//cloudmedia:hotpath
+func (s *shareSource) RatesInto(t float64, dst []float64) error {
+	if err := workload.RatesInto(s.src, t, dst); err != nil {
+		return err
+	}
+	f := s.factor.get()
+	for c := range dst {
+		dst[c] *= f
+	}
+	return nil
+}
+
+func (s *shareSource) CloneSource() workload.Source {
+	return &shareSource{src: s.src.CloneSource(), factor: s.factor, maxBoost: s.maxBoost}
+}
+
+func (s *shareSource) Validate() error { return s.src.Validate() }
 
 // RegionSystem is one region's running stack. Sim is the engine behind
 // the deployment's fidelity, seen through the sim.Backend seam.
@@ -143,12 +319,27 @@ type RegionSystem struct {
 	Cloud      *cloud.Cloud
 	Broker     *cloud.Broker
 	Controller *core.Controller
+
+	share *shareFactor
+	down  bool
+}
+
+// geoEvent is one outage boundary in deployment time.
+type geoEvent struct {
+	time   float64
+	start  bool // outage start (false = recovery)
+	region int  // index into Deployment.regions
 }
 
 // Deployment is the full multi-region system.
 type Deployment struct {
 	cfg     Config
 	regions []*RegionSystem
+
+	events    []geoEvent // outage boundaries, sorted
+	nextEvent int
+	handoffGB float64 // per-migrated-viewer transfer footprint
+	costPerGB float64
 }
 
 // New builds every regional stack, bootstraps provisioning from the
@@ -163,20 +354,42 @@ func New(cfg Config) (*Deployment, error) {
 	if cfg.StorageBudgetPerHour == 0 {
 		cfg.StorageBudgetPerHour = 1
 	}
+	if cfg.TransferCostPerGB == 0 {
+		cfg.TransferCostPerGB = 0.05
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	d := &Deployment{cfg: cfg}
+	// Resolve unscoped outages to the largest-share region, so the rest
+	// of the deployment only ever sees named victims.
+	if cfg.Faults != nil && len(cfg.Faults.Outages) > 0 {
+		cfg.Faults = cfg.Faults.Clone()
+		for i := range cfg.Faults.Outages {
+			if cfg.Faults.Outages[i].Region == "" {
+				cfg.Faults.Outages[i].Region = cfg.largestRegion()
+			}
+		}
+	}
+	d := &Deployment{
+		cfg:       cfg,
+		handoffGB: cfg.Channel.ChunkBytes() / 1e9,
+		costPerGB: cfg.TransferCostPerGB,
+	}
+	maxBoost := d.maxShareBoost()
 	for i, region := range cfg.Regions {
 		wl, err := regionWorkload(cfg.Workload, region)
 		if err != nil {
 			return nil, err
 		}
+		share := newShareFactor()
+		src := &shareSource{src: wl.Source(), factor: share, maxBoost: maxBoost}
 		simCfg := sim.Config{
 			Mode:     cfg.Mode,
 			Channel:  cfg.Channel,
 			Workload: wl,
+			Source:   src,
 			Transfer: cfg.Transfer,
+			Workers:  cfg.Workers,
 			Seed:     cfg.Seed + int64(i)*7919, // distinct stream per region
 		}
 		var s sim.Backend
@@ -207,6 +420,7 @@ func New(cfg Config) (*Deployment, error) {
 		if err != nil {
 			return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)
 		}
+		oracleSrc := src.CloneSource()
 		ctl, err := core.NewController(s, cl, broker, core.Options{
 			IntervalSeconds:      cfg.IntervalSeconds,
 			VMBudgetPerHour:      cfg.VMBudgetPerHour,
@@ -216,8 +430,17 @@ func New(cfg Config) (*Deployment, error) {
 			PeerSupplyTrust:      0.7,
 			ProvisionHeadroom:    1.2,
 			Policy:               cfg.Policy,
-			// Each region's oracle source is its own share-scaled trace.
-			TrueRates: wl.TrueRateSource(),
+			Workers:              cfg.Workers,
+			// Each region's oracle source is its own share-scaled trace,
+			// read through the share wrapper so failover migrations steer
+			// the oracle's view too.
+			TrueRates: func(channel int, start, end float64) float64 {
+				r, err := oracleSrc.MeanRate(channel, start, end)
+				if err != nil {
+					return 0
+				}
+				return r
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)
@@ -239,24 +462,198 @@ func New(cfg Config) (*Deployment, error) {
 		if err := ctl.Start(); err != nil {
 			return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)
 		}
-		d.regions = append(d.regions, &RegionSystem{
+		rs := &RegionSystem{
 			Region: region, Sim: s, Cloud: cl, Broker: broker, Controller: ctl,
-		})
+			share: share,
+		}
+		// Per-region scheduled faults: spot preemptions, degradations,
+		// and the pricing plan's stochastic interruption process. Outages
+		// are deployment-level (share migration), handled in RunUntil.
+		if err := fault.Attach(fault.Target{
+			Backend:         s,
+			Cloud:           cl,
+			Controller:      ctl,
+			Region:          region.Name,
+			IntervalSeconds: cfg.IntervalSeconds,
+			Seed:            cfg.Seed + int64(i)*7919 + 1,
+		}, cfg.Faults); err != nil {
+			return nil, fmt.Errorf("geo: region %q: %w", region.Name, err)
+		}
+		d.regions = append(d.regions, rs)
 	}
+	d.buildEvents()
 	return d, nil
+}
+
+// maxShareBoost bounds the share factor any survivor can reach over the
+// run: with S the combined share of every region the schedule can take
+// down, survivors scale by at most 1/(1−S). A fault-free deployment
+// returns exactly 1 so the envelope (and with it every pre-fault golden)
+// is untouched.
+func (d *Deployment) maxShareBoost() float64 {
+	if d.cfg.Faults == nil || len(d.cfg.Faults.Outages) == 0 {
+		return 1
+	}
+	failing := make(map[string]bool, len(d.cfg.Regions))
+	for _, o := range d.cfg.Faults.Outages {
+		failing[o.Region] = true
+	}
+	// Sum in region-declaration order, not map order: the boost scales
+	// every envelope and must be float-deterministic.
+	var down float64
+	for _, r := range d.cfg.Regions {
+		if failing[r.Name] {
+			down += r.Share
+		}
+	}
+	if down >= 0.999 {
+		down = 0.999 // unreachable: Validate rejects it
+	}
+	return 1 / (1 - down)
+}
+
+// buildEvents flattens the outage windows into a sorted boundary list.
+// Ties process recoveries before starts, then lower region index, so the
+// order is deterministic.
+func (d *Deployment) buildEvents() {
+	if d.cfg.Faults == nil {
+		return
+	}
+	index := make(map[string]int, len(d.regions))
+	for i, r := range d.regions {
+		index[r.Region.Name] = i
+	}
+	for _, o := range d.cfg.Faults.Outages {
+		ri := index[o.Region]
+		d.events = append(d.events,
+			geoEvent{time: o.Start, start: true, region: ri},
+			geoEvent{time: o.Start + o.Duration, start: false, region: ri},
+		)
+	}
+	sort.Slice(d.events, func(i, j int) bool {
+		a, b := d.events[i], d.events[j]
+		if a.time != b.time {
+			return a.time < b.time
+		}
+		if a.start != b.start {
+			return !a.start // recoveries first
+		}
+		return a.region < b.region
+	})
 }
 
 // Regions returns the regional stacks in configuration order.
 func (d *Deployment) Regions() []*RegionSystem { return d.regions }
 
-// RunUntil advances every region to simulated time t (regions evolve
-// independently; cross-region traffic is out of scope, as in the paper's
-// sketch).
+// RunUntil advances every region to simulated time t. Regions evolve
+// independently between outage boundaries (cross-region traffic is out of
+// scope, as in the paper's sketch); at each boundary every region is
+// barriered to the boundary instant, the failover (or recovery) is
+// applied — share migration, capacity blackout, transfer charges — and
+// the advance resumes. Fault-free deployments take the straight path.
 func (d *Deployment) RunUntil(t float64) {
+	for d.nextEvent < len(d.events) && d.events[d.nextEvent].time <= t {
+		ev := d.events[d.nextEvent]
+		d.nextEvent++
+		for _, r := range d.regions {
+			r.Sim.RunUntil(ev.time)
+			r.Cloud.Advance(ev.time)
+		}
+		if ev.start {
+			d.failOver(ev.time, ev.region)
+		} else {
+			d.recover(ev.time, ev.region)
+		}
+	}
 	for _, r := range d.regions {
 		r.Sim.RunUntil(t)
 		r.Cloud.Advance(t)
 	}
+}
+
+// applyShares recomputes every region's arrival factor from the down set:
+// down regions get 0, survivors re-normalize to 1/(1 − downShare) so the
+// global arrival mass is conserved.
+func (d *Deployment) applyShares() {
+	var downShare float64
+	for _, r := range d.regions {
+		if r.down {
+			downShare += r.Region.Share
+		}
+	}
+	boost := 1.0
+	if downShare > 0 && downShare < 1 {
+		boost = 1 / (1 - downShare)
+	}
+	for _, r := range d.regions {
+		if r.down {
+			r.share.set(0)
+		} else {
+			r.share.set(boost)
+		}
+	}
+}
+
+// failOver takes region ri dark at time now: arrivals migrate to the
+// survivors (proportionally to their shares), serving capacity zeroes,
+// and each receiving region is charged the migrated viewers' handoff
+// bytes. The failed region's controller keeps running; with arrivals and
+// capacity at zero its next plans collapse to (nearly) nothing, so its
+// bill drains on its own.
+func (d *Deployment) failOver(now float64, ri int) {
+	failed := d.regions[ri]
+	failed.down = true
+	d.applyShares()
+	//cloudmedia:allow noloss -- factor 0 is always valid
+	_ = failed.Controller.SetCapacityFactor(now, 0)
+	failed.Cloud.Ledger().Notef(now, "region outage: arrivals migrated to surviving regions")
+
+	migrated := float64(failed.Sim.TotalUsers())
+	if migrated <= 0 {
+		return
+	}
+	var survivingShare float64
+	for _, r := range d.regions {
+		if !r.down {
+			survivingShare += r.Region.Share
+		}
+	}
+	if survivingShare <= 0 {
+		return
+	}
+	for _, r := range d.regions {
+		if r.down {
+			continue
+		}
+		moved := migrated * r.Region.Share / survivingShare
+		cost := moved * d.handoffGB * d.costPerGB
+		r.Cloud.Ledger().ChargeTransfer(now, cost,
+			fmt.Sprintf("%.0f viewers failed over from %s", moved, failed.Region.Name))
+	}
+}
+
+// recover brings region ri back at time now: shares re-normalize (with it
+// back in the pool), its capacity factor clears, and the region is
+// charged the fail-back transfer for its share of the currently served
+// crowd returning home.
+func (d *Deployment) recover(now float64, ri int) {
+	recovered := d.regions[ri]
+	recovered.down = false
+	d.applyShares()
+	//cloudmedia:allow noloss -- restoring factor 1 is always valid
+	_ = recovered.Controller.SetCapacityFactor(now, 1)
+
+	var crowd float64
+	for _, r := range d.regions {
+		if r != recovered {
+			crowd += float64(r.Sim.TotalUsers())
+		}
+	}
+	returning := crowd * recovered.Region.Share
+	cost := returning * d.handoffGB * d.costPerGB
+	recovered.Cloud.Ledger().ChargeTransfer(now, cost,
+		fmt.Sprintf("%.0f viewers failed back to %s", returning, recovered.Region.Name))
+	recovered.Cloud.Ledger().Notef(now, "region recovered: share restored")
 }
 
 // RegionReport is one region's aggregate outcome.
@@ -266,6 +663,9 @@ type RegionReport struct {
 	Quality     float64
 	VMCost      float64
 	StorageCost float64
+	// Bill is the region's ledger view: dollars split by pricing tier,
+	// spot interruption events, and failover transfer charges.
+	Bill cloud.LedgerTotals
 }
 
 // Report summarizes every region plus the global totals.
@@ -279,6 +679,7 @@ func (d *Deployment) Report() (regions []RegionReport, totalVM, totalStorage flo
 			Quality:     q.Overall,
 			VMCost:      vm,
 			StorageCost: storage,
+			Bill:        r.Cloud.Ledger().Totals(),
 		})
 		totalVM += vm
 		totalStorage += storage

@@ -1,10 +1,15 @@
 package geo
 
 import (
+	"errors"
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"cloudmedia/internal/cloud"
+	"cloudmedia/internal/fault"
+	"cloudmedia/internal/modes"
 	"cloudmedia/internal/provision"
 	"cloudmedia/internal/sim"
 	"cloudmedia/internal/testutil"
@@ -67,6 +72,51 @@ func TestConfigValidation(t *testing.T) {
 	noTransfer.Transfer = nil
 	if _, err := New(noTransfer); err == nil {
 		t.Error("nil transfer accepted")
+	}
+}
+
+// TestValidateRejectsNegatives pins the PR 10 bugfix: New defaults only
+// the == 0 spellings of the interval and budgets, so negatives used to
+// slip through into the controllers. Every rejection wraps ErrConfig.
+func TestValidateRejectsNegatives(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative interval", func(c *Config) { c.IntervalSeconds = -600 }},
+		{"negative vm budget", func(c *Config) { c.VMBudgetPerHour = -100 }},
+		{"negative storage budget", func(c *Config) { c.StorageBudgetPerHour = -1 }},
+		{"negative transfer cost", func(c *Config) { c.TransferCostPerGB = -0.05 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig(t, twoRegions())
+			tc.mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			} else if !errors.Is(err, ErrConfig) {
+				t.Errorf("%s: error %v does not wrap ErrConfig", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestValidateFaultSchedule(t *testing.T) {
+	cfg := testConfig(t, twoRegions())
+	cfg.Faults = &fault.Schedule{
+		Outages: []fault.RegionOutage{{Region: "atlantis", Start: 600, Duration: 600}},
+	}
+	if _, err := New(cfg); err == nil || !errors.Is(err, ErrConfig) {
+		t.Errorf("unknown outage region accepted: %v", err)
+	}
+	cfg.Faults = &fault.Schedule{
+		Outages: []fault.RegionOutage{
+			{Region: "us-east", Start: 600, Duration: 600},
+			{Region: "eu-west", Start: 1800, Duration: 600},
+		},
+	}
+	if _, err := New(cfg); err == nil || !errors.Is(err, ErrConfig) {
+		t.Errorf("outages covering every region accepted: %v", err)
 	}
 }
 
@@ -215,5 +265,158 @@ func TestDeploymentHonoursPolicyAndPricing(t *testing.T) {
 		if recs[1].VMPlan.TotalVMs() != recs[len(recs)-1].VMPlan.TotalVMs() {
 			t.Errorf("region %s: static plan moved between rounds", r.Region.Name)
 		}
+	}
+}
+
+// faultConfig is the adversarial deployment the failover tests share: an
+// outage taking the large region dark for one interval, a global spot
+// preemption while it is down, everything billed on the spot plan.
+func faultConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := testConfig(t, twoRegions())
+	cfg.Pricing = cloud.SpotPricing()
+	cfg.Faults = &fault.Schedule{
+		Outages:     []fault.RegionOutage{{Region: "us-east", Start: 600, Duration: 600}},
+		Preemptions: []fault.SpotPreemption{{At: 900, Fraction: 0.5}},
+	}
+	return cfg
+}
+
+// TestOutageFailoverMigratesSharesAndChargesTransfer exercises the PR 10
+// failover path end to end: the failed region's arrivals move to the
+// survivor (shares re-normalized through the mutable share source), the
+// handoff bytes are charged to the receiving region, and recovery
+// restores the shares and charges the fail-back.
+func TestOutageFailoverMigratesSharesAndChargesTransfer(t *testing.T) {
+	cfg := faultConfig(t)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	east, west := d.Regions()[0], d.Regions()[1]
+
+	d.RunUntil(1100) // mid-outage
+	if !east.down {
+		t.Fatal("failed region not marked down mid-outage")
+	}
+	if got := east.share.get(); got != 0 {
+		t.Errorf("failed region share factor %v, want 0", got)
+	}
+	if got, want := west.share.get(), 1/(1-0.7); math.Abs(got-want) > 1e-12 {
+		t.Errorf("survivor share factor %v, want %v", got, want)
+	}
+	if got := east.Controller.CapacityFactor(); got != 0 {
+		t.Errorf("failed region capacity factor %v, want 0", got)
+	}
+	if west.Cloud.Ledger().Totals().TransferUSD <= 0 {
+		t.Error("survivor charged no failover transfer")
+	}
+	if east.Cloud.Ledger().Totals().Interruptions == 0 {
+		t.Error("spot preemption at t=900 left no interruption record")
+	}
+
+	d.RunUntil(1800) // past recovery
+	if east.down || east.share.get() != 1 || west.share.get() != 1 {
+		t.Errorf("shares not restored after recovery: east=%v west=%v",
+			east.share.get(), west.share.get())
+	}
+	if got := east.Controller.CapacityFactor(); got != 1 {
+		t.Errorf("recovered region capacity factor %v, want 1", got)
+	}
+	if east.Cloud.Ledger().Totals().TransferUSD <= 0 {
+		t.Error("recovered region charged no fail-back transfer")
+	}
+	regions, _, _ := d.Report()
+	if regions[1].Bill.TransferUSD != west.Cloud.Ledger().Totals().TransferUSD {
+		t.Error("Report bill does not carry the ledger transfer dollars")
+	}
+}
+
+// TestGeoWorkerInvarianceUnderFaults is the PR 10 S4 pin: a faulted
+// multi-region run — failover, share migration, spot preemption and all
+// — must produce byte-identical per-region reports for every worker
+// count, on both engine fidelities. (This also covers the S1 bugfix:
+// before PR 10 the Workers knob silently never reached the regional
+// engines, so this test could not exist.)
+func TestGeoWorkerInvarianceUnderFaults(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	for _, fid := range []modes.Fidelity{modes.FidelityEvent, modes.FidelityFluid} {
+		run := func(workers int) []RegionReport {
+			cfg := faultConfig(t)
+			cfg.Fidelity = fid
+			cfg.Workers = workers
+			d, err := New(cfg)
+			if err != nil {
+				t.Fatalf("fidelity %v workers %d: %v", fid, workers, err)
+			}
+			d.RunUntil(4 * 600)
+			regions, _, _ := d.Report()
+			return regions
+		}
+		serial := run(1)
+		if len(serial) != 2 || serial[0].Users+serial[1].Users == 0 {
+			t.Fatalf("fidelity %v: serial run served nobody: %+v", fid, serial)
+		}
+		for _, workers := range []int{4, 8} {
+			if got := run(workers); !reflect.DeepEqual(serial, got) {
+				t.Errorf("fidelity %v: Workers=%d report diverged from serial\nserial: %+v\ngot:    %+v",
+					fid, workers, serial, got)
+			}
+		}
+	}
+}
+
+// TestFailoverDeterministicPerSeed pins reproducibility: the same seed
+// and fault schedule give byte-identical deployments run to run, on both
+// fidelities, and a different seed gives a different realization.
+func TestFailoverDeterministicPerSeed(t *testing.T) {
+	for _, fid := range []modes.Fidelity{modes.FidelityEvent, modes.FidelityFluid} {
+		run := func(seed int64) []RegionReport {
+			cfg := faultConfig(t)
+			cfg.Fidelity = fid
+			cfg.Seed = seed
+			d, err := New(cfg)
+			if err != nil {
+				t.Fatalf("fidelity %v: %v", fid, err)
+			}
+			d.RunUntil(3 * 600)
+			regions, _, _ := d.Report()
+			return regions
+		}
+		a, b := run(5), run(5)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("fidelity %v: same seed diverged:\n%+v\n%+v", fid, a, b)
+		}
+		if fid == modes.FidelityEvent {
+			if other := run(6); reflect.DeepEqual(a, other) {
+				t.Errorf("fidelity %v: different seeds produced identical reports", fid)
+			}
+		}
+	}
+}
+
+// TestFaultFreeDeploymentUntouched pins the bit-identity claim of the
+// share wrapper: a deployment with no fault schedule reports exactly what
+// the pre-fault geo code reported (factor 1 multiplies bit-identically,
+// and the envelope boost is exactly 1).
+func TestFaultFreeDeploymentUntouched(t *testing.T) {
+	run := func(withNilFaults bool) []RegionReport {
+		cfg := testConfig(t, twoRegions())
+		if withNilFaults {
+			cfg.Faults = nil
+		} else {
+			cfg.Faults = &fault.Schedule{} // empty schedule, same thing
+		}
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.RunUntil(2 * 600)
+		regions, _, _ := d.Report()
+		return regions
+	}
+	if a, b := run(true), run(false); !reflect.DeepEqual(a, b) {
+		t.Errorf("nil and empty fault schedules diverge:\n%+v\n%+v", a, b)
 	}
 }

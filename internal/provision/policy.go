@@ -40,6 +40,11 @@ type PlanRequest struct {
 	// only when total demand moved by more than this fraction since the
 	// last storage plan. 0 replans every round.
 	StorageChangeThreshold float64
+	// Pricing is the plan the ledger bills this run under. Risk-aware
+	// policies read the spot tier from it (fraction at risk, interruption
+	// probability) to fold expected interruption loss into their targets;
+	// the zero value is pure on-demand and carries no risk.
+	Pricing cloud.PricingPlan
 }
 
 // totalDemand sums the request's current-interval demand in input order
@@ -114,13 +119,17 @@ func ParsePolicy(s string) (Policy, error) {
 		return Oracle{}, nil
 	case "staticpeak", "static-peak":
 		return StaticPeak{}, nil
+	case "lookahead-hedged", "hedged":
+		return Lookahead{SpotHedge: true}, nil
 	default:
-		return nil, fmt.Errorf("unknown policy %q (want greedy, lookahead, oracle, or staticpeak)", s)
+		return nil, fmt.Errorf("unknown policy %q (want greedy, lookahead, lookahead-hedged, oracle, or staticpeak)", s)
 	}
 }
 
 // PolicyNames lists the ParsePolicy spellings, for CLI help and sweeps.
-func PolicyNames() []string { return []string{"greedy", "lookahead", "oracle", "staticpeak"} }
+func PolicyNames() []string {
+	return []string{"greedy", "lookahead", "lookahead-hedged", "oracle", "staticpeak"}
+}
 
 // Greedy is the paper's policy (Sec. V-A/V-B): every interval, run the
 // greedy VM heuristic on the predicted demand, shrinking demand when the
@@ -188,10 +197,23 @@ type Lookahead struct {
 	// persist before capacity is released; 0 means 2, 1 releases
 	// immediately.
 	Hysteresis int
+	// SpotHedge folds the pricing plan's spot-interruption risk into the
+	// plan: targets grow by 1/(1 − fraction_at_risk), where the fraction
+	// at risk is the spot share times the per-interval interruption
+	// probability (clamped so the multiplier never exceeds 1.5×). Under a
+	// mass preemption the surviving capacity then still covers the
+	// unhedged demand in expectation; on risk-free plans (no spot tier)
+	// the multiplier is exactly 1 and the policy is plain Lookahead.
+	SpotHedge bool
 }
 
 // Name implements Policy.
-func (Lookahead) Name() string { return "lookahead" }
+func (l Lookahead) Name() string {
+	if l.SpotHedge {
+		return "lookahead-hedged"
+	}
+	return "lookahead"
+}
 
 // Lookahead implements Policy.
 func (l Lookahead) Lookahead() int {
@@ -221,11 +243,12 @@ func (l Lookahead) NewPlanner() Planner {
 	if h == 0 {
 		h = 2
 	}
-	return &lookaheadPlanner{hysteresis: h}
+	return &lookaheadPlanner{hysteresis: h, hedge: l.SpotHedge}
 }
 
 type lookaheadPlanner struct {
 	hysteresis int
+	hedge      bool
 	storage    storageState
 
 	have      bool
@@ -235,8 +258,36 @@ type lookaheadPlanner struct {
 	below     int
 }
 
+// hedgeMultiplier prices the pricing plan's interruption risk into a
+// capacity multiplier m ≥ 1: the fraction of provisioned capacity at risk
+// per interval is spotFraction × P(interruption in T), and provisioning
+// 1/(1−atRisk) keeps the expected surviving capacity at the unhedged
+// target through a mass preemption. The at-risk fraction is clamped to
+// 1/3 (m ≤ 1.5) so a pathological plan can never triple the bill.
+func hedgeMultiplier(p cloud.PricingPlan, intervalSeconds float64) float64 {
+	if p.SpotFraction <= 0 || p.SpotInterruption <= 0 {
+		return 1
+	}
+	pInt := p.SpotInterruption * intervalSeconds / 3600
+	if pInt > 1 {
+		pInt = 1
+	}
+	atRisk := p.SpotFraction * pInt
+	if atRisk > 1.0/3 {
+		atRisk = 1.0 / 3
+	}
+	return 1 / (1 - atRisk)
+}
+
 func (p *lookaheadPlanner) Plan(req PlanRequest) (PlanResult, error) {
 	target := maxDemands(req.Demands, req.Future)
+	if p.hedge {
+		if m := hedgeMultiplier(req.Pricing, req.IntervalSeconds); m != 1 {
+			for i := range target {
+				target[i].Demand *= m
+			}
+		}
+	}
 	vmPlan, scale, err := planWithScaling(target, req.VMBandwidth, req.VMClusters, req.VMBudgetPerHour)
 	if err != nil {
 		return PlanResult{}, err

@@ -331,3 +331,69 @@ func BenchmarkPolicyPlan(b *testing.B) {
 		})
 	}
 }
+
+// TestHedgeMultiplier pins the spot-risk discount: m = 1/(1 − atRisk)
+// with atRisk = spotFraction × P(interruption in interval), clamped so
+// m never exceeds 1.5.
+func TestHedgeMultiplier(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		plan     cloud.PricingPlan
+		interval float64
+		want     float64
+	}{
+		{"no spot tier", cloud.OnDemandPricing(), 3600, 1},
+		{"spot without interruption risk", cloud.PricingPlan{SpotFraction: 0.7, SpotRate: 0.3}, 3600, 1},
+		{"shipped spot plan hourly", cloud.SpotPricing(), 3600, 1 / (1 - 0.7*0.25)},
+		{"shorter interval shrinks the risk", cloud.SpotPricing(), 600, 1 / (1 - 0.7*0.25/6)},
+		{"pathological plan clamps at 1.5", cloud.PricingPlan{SpotFraction: 1, SpotInterruption: 1}, 3600, 1.5},
+	} {
+		if got := hedgeMultiplier(tc.plan, tc.interval); !approxEq(got, tc.want, 1e-12) {
+			t.Errorf("%s: m = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func approxEq(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// TestLookaheadSpotHedgeRentsAhead: under a risky spot plan the hedged
+// lookahead provisions strictly more than the plain one for the same
+// demand, and exactly the same when the plan carries no spot risk.
+func TestLookaheadSpotHedgeRentsAhead(t *testing.T) {
+	req := planRequest(demandGrid(2, 4, 2e6))
+	req.Pricing = cloud.SpotPricing()
+
+	plain, err := Lookahead{}.NewPlanner().Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedged, err := Lookahead{SpotHedge: true}.NewPlanner().Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hedged.VMPlan.TotalVMs() <= plain.VMPlan.TotalVMs() {
+		t.Errorf("hedged plan %v VMs not above plain %v under spot risk",
+			hedged.VMPlan.TotalVMs(), plain.VMPlan.TotalVMs())
+	}
+
+	// Without spot risk the hedge is inert: identical plans.
+	safe := planRequest(demandGrid(2, 4, 2e6))
+	plainSafe, err := Lookahead{}.NewPlanner().Plan(safe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedgedSafe, err := Lookahead{SpotHedge: true}.NewPlanner().Plan(safe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hedgedSafe.VMPlan.TotalVMs() != plainSafe.VMPlan.TotalVMs() {
+		t.Errorf("hedge moved the plan without spot risk: %v vs %v VMs",
+			hedgedSafe.VMPlan.TotalVMs(), plainSafe.VMPlan.TotalVMs())
+	}
+}

@@ -255,6 +255,32 @@ func WithPricing(p simulate.PricingPlan) Option {
 	}
 }
 
+// WithSpotPricing selects the spot-heavy billing plan: 70% of the
+// elastic capacity at 30% of the catalog rate, with an expected 0.25
+// interruption events per hour realized by the fault layer's seeded
+// preemption process. Sugar for WithPricing(simulate.SpotPricing());
+// hedge the interruption risk with
+// WithPolicy(simulate.Lookahead{SpotHedge: true}). Scenario only.
+func WithSpotPricing() Option {
+	return WithPricing(simulate.SpotPricing())
+}
+
+// WithFaults injects a declarative failure plan at the run's control
+// barriers: region outages, spot mass-preemptions, and capacity
+// degradations (simulate.FaultSchedule; build one literally or with
+// simulate.ParseFault). nil injects nothing. Fault runs stay
+// deterministic per seed and bit-identical across worker counts.
+// Scenario only.
+func WithFaults(f *simulate.FaultSchedule) Option {
+	return func(s *config.Settings) {
+		if err := f.Validate(); err != nil {
+			s.Fail("cloudmedia: %v", err)
+			return
+		}
+		s.Faults = f.Clone()
+	}
+}
+
 // WithScheduling selects the P2P uplink allocation policy (default
 // simulate.RarestFirst, the paper's scheme). Scenario only.
 func WithScheduling(policy simulate.Scheduling) Option {

@@ -58,6 +58,10 @@ type Options struct {
 	// channel count follows the source. Experiments that synthesize their
 	// own workloads (regional) ignore it.
 	Source simulate.Source
+	// Faults injects a declarative failure plan (the CLI's -fault flag):
+	// region outages, spot mass-preemptions, capacity degradations. nil
+	// injects nothing (resilience pins the schedules it compares).
+	Faults *simulate.FaultSchedule
 	// Scale is the workload scale: 1 ≈ 250 concurrent viewers, 10 ≈ paper
 	// scale. Zero means 2.
 	Scale float64
@@ -113,6 +117,7 @@ func scenario(o Options) (experiments.Scenario, error) {
 	esc.Policy = o.Policy
 	esc.Pricing = o.Pricing
 	esc.Source = o.Source
+	esc.Faults = o.Faults.Clone()
 	if o.Hours != 0 {
 		esc.Hours = o.Hours
 	}

@@ -14,8 +14,8 @@ func TestIDs(t *testing.T) {
 		t.Fatal("no experiments registered")
 	}
 	// Presentation order: catalogs first, the mode-sensitive entries
-	// (timeline, regional, costfrontier, tracereplay) last.
-	if ids[0] != "tab2" || ids[len(ids)-1] != "tracereplay" {
+	// (timeline, regional, costfrontier, tracereplay, resilience) last.
+	if ids[0] != "tab2" || ids[len(ids)-1] != "resilience" {
 		t.Errorf("presentation order lost: %v", ids)
 	}
 	want := map[string]bool{"tab2": false, "tab3": false, "fig4": false, "fig10": false}

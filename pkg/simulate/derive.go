@@ -106,6 +106,9 @@ func (sc Scenario) With(opts ...Option) Scenario {
 	if s.Pricing != nil {
 		out.Pricing = *s.Pricing
 	}
+	if s.Faults != nil {
+		out.Faults = s.Faults.Clone()
+	}
 	if s.Scheduling != 0 {
 		out.Scheduling = s.Scheduling
 	}
@@ -140,5 +143,6 @@ func (sc Scenario) Clone() Scenario {
 	}
 	sc.VMClusters = append([]plan.VMCluster(nil), sc.VMClusters...)
 	sc.NFSClusters = append([]plan.NFSCluster(nil), sc.NFSClusters...)
+	sc.Faults = sc.Faults.Clone()
 	return sc
 }

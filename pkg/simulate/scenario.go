@@ -64,6 +64,11 @@ type Scenario struct {
 	// Pricing selects the cloud billing plan; the zero value is pure
 	// on-demand, the paper's literal pricing.
 	Pricing PricingPlan
+	// Faults is the declarative failure plan injected at the run's control
+	// barriers; nil injects nothing. A spot Pricing plan with an
+	// interruption rate drives its own seeded preemption process even with
+	// no schedule.
+	Faults *FaultSchedule
 	// Scheduling overrides the P2P uplink allocation policy; zero uses
 	// rarest-first, the paper's scheme.
 	Scheduling Scheduling
@@ -166,6 +171,9 @@ func (sc Scenario) internal() (experiments.Scenario, error) {
 	if err := sc.Pricing.Validate(); err != nil {
 		return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
 	}
+	if err := sc.Faults.Validate(); err != nil {
+		return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
+	}
 	if v, ok := sc.Policy.(interface{ Validate() error }); ok && sc.Policy != nil {
 		if err := v.Validate(); err != nil {
 			return experiments.Scenario{}, fmt.Errorf("%w: %w", ErrInvalidScenario, err)
@@ -196,6 +204,7 @@ func (sc Scenario) internal() (experiments.Scenario, error) {
 		Predictor:          sc.Predictor,
 		Policy:             sc.Policy,
 		Pricing:            sc.Pricing,
+		Faults:             sc.Faults,
 		Scheduling:         sc.Scheduling,
 		Workers:            sc.Workers,
 		VMClusters:         sc.VMClusters,

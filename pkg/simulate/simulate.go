@@ -23,6 +23,7 @@ import (
 	"cloudmedia/internal/cloud"
 	"cloudmedia/internal/core"
 	"cloudmedia/internal/experiments"
+	"cloudmedia/internal/fault"
 	"cloudmedia/internal/mathx"
 	"cloudmedia/internal/modes"
 	"cloudmedia/internal/provision"
@@ -192,7 +193,7 @@ type Oracle = provision.Oracle
 type StaticPeak = provision.StaticPeak
 
 // ParsePolicy converts a command-line spelling into a Policy. It accepts
-// "greedy", "lookahead", "oracle", and "staticpeak".
+// "greedy", "lookahead", "lookahead-hedged", "oracle", and "staticpeak".
 func ParsePolicy(s string) (Policy, error) {
 	p, err := provision.ParsePolicy(s)
 	if err != nil {
@@ -221,14 +222,58 @@ func OnDemandPricing() PricingPlan { return cloud.OnDemandPricing() }
 // upfront, overflow on demand.
 func ReservedPricing() PricingPlan { return cloud.ReservedPricing() }
 
+// SpotPricing returns a spot-heavy plan: 70% of the elastic (beyond
+// reserved) capacity billed at 30% of the catalog rate, carrying an
+// expected 0.25 interruption events per hour. The discount is real money;
+// the interruption risk is realized by the fault layer's seeded
+// preemption process (see FaultSchedule) — hedge with
+// Lookahead{SpotHedge: true}.
+func SpotPricing() PricingPlan { return cloud.SpotPricing() }
+
 // ParsePricing converts a command-line spelling into a PricingPlan. It
-// accepts "on-demand" and "reserved".
+// accepts "on-demand", "reserved", and "spot".
 func ParsePricing(s string) (PricingPlan, error) {
 	p, err := cloud.ParsePricing(s)
 	if err != nil {
 		return PricingPlan{}, fmt.Errorf("simulate: %w", err)
 	}
 	return p, nil
+}
+
+// FaultSchedule is a declarative failure plan injected into a run at its
+// control barriers: region outages (cross-region failover in the geo
+// deployment, capacity blackouts in single-region runs), spot
+// mass-preemptions, and capacity degradations. nil injects nothing. All
+// fault handling is deterministic per seed and bit-identical across
+// worker counts. See DESIGN.md "Failure injection and spot markets".
+type FaultSchedule = fault.Schedule
+
+// RegionOutage, SpotPreemption, and CapacityDegradation are the three
+// fault kinds a FaultSchedule declares.
+type (
+	RegionOutage        = fault.RegionOutage
+	SpotPreemption      = fault.SpotPreemption
+	CapacityDegradation = fault.CapacityDegradation
+)
+
+// FaultPresets returns the named fault scenarios ("outage-flash",
+// "preempt-peak", "degrade-evening"), aligned to the default workload's
+// evening flash crowd.
+func FaultPresets() map[string]*FaultSchedule { return fault.Presets() }
+
+// FaultPresetNames lists the preset spellings, sorted, for CLI help.
+func FaultPresetNames() []string { return fault.PresetNames() }
+
+// ParseFault converts a command-line fault spec into a FaultSchedule: a
+// preset name or comma-separated events like "outage@19.5h+2h",
+// "preempt@20h:0.6", "degrade@18h+3h:0.5" (optionally region-scoped with
+// a "name=" prefix). "" and "none" return nil.
+func ParseFault(spec string) (*FaultSchedule, error) {
+	s, err := fault.ParseSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: %w", err)
+	}
+	return s, nil
 }
 
 // IntervalRecord captures one provisioning round: the arrival-rate

@@ -171,6 +171,48 @@ func Pricings(plans ...simulate.PricingPlan) Axis {
 	return ax
 }
 
+// FaultScenarios sweeps the fault schedule: each point injects one named
+// failure plan (nil for a fault-free baseline), so resilience under
+// outages, mass-preemptions, and brownouts runs on one grid — e.g.
+// FaultScenarios(simulate.FaultPresets()) plus {"none": nil}. Points are
+// ordered by name so grids are deterministic; each cell receives its own
+// clone of the schedule.
+func FaultScenarios(named map[string]*simulate.FaultSchedule) Axis {
+	names := make([]string, 0, len(named))
+	for name := range named {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ax := Axis{Name: "fault"}
+	for _, name := range names {
+		f := named[name]
+		ax.Points = append(ax.Points, Point{
+			Label: name,
+			Set:   func(sc *simulate.Scenario) { sc.Faults = f.Clone() },
+		})
+	}
+	return ax
+}
+
+// SpotDiscounts sweeps the spot tier's price as a fraction of the
+// catalog rate over the base scenario's pricing plan (1 prices spot like
+// on-demand; the preset uses 0.3) — the axis for "how cheap must spot be
+// to beat on-demand at this interruption rate".
+func SpotDiscounts(rates ...float64) Axis {
+	return floatAxis("spot_rate", rates, func(sc *simulate.Scenario, v float64) {
+		sc.Pricing.SpotRate = v
+	})
+}
+
+// SpotInterruptionRates sweeps the spot market's expected interruption
+// events per hour over the base scenario's pricing plan — the risk axis
+// of the spot trade-off (0 makes the discount free money).
+func SpotInterruptionRates(perHour ...float64) Axis {
+	return floatAxis("spot_interruption", perHour, func(sc *simulate.Scenario, v float64) {
+		sc.Pricing.SpotInterruption = v
+	})
+}
+
 // Traces sweeps the demand source: each point replays one named trace
 // (pkg/trace) through the scenario, so recorded days, weekday/weekend
 // cycles, and launch/decay catalogs run on one grid. Points are ordered

@@ -70,6 +70,16 @@ func OnDemandPricing() PricingPlan { return simulate.OnDemandPricing() }
 // of every VM cluster at a discounted rate plus an upfront fee per term.
 func ReservedPricing() PricingPlan { return simulate.ReservedPricing() }
 
+// SpotPricing returns a spot-heavy plan: deeply discounted elastic
+// capacity that the provider may mass-preempt (pass to WithPricing, or
+// use WithSpotPricing).
+func SpotPricing() PricingPlan { return simulate.SpotPricing() }
+
+// FaultSchedule is a declarative failure plan — region outages, spot
+// mass-preemptions, capacity degradations — injected into a run with
+// WithFaults. See pkg/simulate for the event types and presets.
+type FaultSchedule = simulate.FaultSchedule
+
 // Source is the pluggable demand seam: per-channel arrival intensity
 // over time. Pass one to WithWorkloadSource — most usefully a *Trace —
 // and the engines, the bootstrap, and the oracle policies all follow it.

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs the key benchmarks and emits a machine-readable BENCH_PR9.json so
+# Runs the key benchmarks and emits a machine-readable BENCH_PR10.json so
 # the perf trajectory is tracked across PRs (earlier BENCH_PR*.json files
 # stay committed as baselines). CI runs this and then gates the result
 # against the previous snapshot with scripts/benchgate; run locally with
@@ -7,7 +7,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
@@ -21,7 +21,7 @@ trap 'rm -f "$TMP"' EXIT
 
 # Full-stack scale and throughput benches (root package): one iteration
 # each is enough — they are multi-second, domain-metric-reporting runs.
-go test -run '^$' -bench 'BenchmarkFluidMillionViewers$|BenchmarkFluid10MViewers|BenchmarkFluid100MViewers|BenchmarkEventParallelChannels|BenchmarkSweep3x3$' \
+go test -run '^$' -bench 'BenchmarkFluidMillionViewers$|BenchmarkFluid10MViewers|BenchmarkFluid100MViewers|BenchmarkEventParallelChannels|BenchmarkSweep3x3$|BenchmarkResilienceDay$' \
     -benchtime 1x -count=3 . | tee -a "$TMP"
 
 # Solver benches are sub-millisecond: a single iteration is all warm-up
